@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every paper artifact via the benchmark harness.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Render every table/figure (and extension study) as text.
+experiments:
+	$(GO) run ./cmd/hdc-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/activity
+	$(GO) run ./examples/speech
+	$(GO) run ./examples/baggingsweep
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/genomics
+	$(GO) run ./examples/federated
+
+clean:
+	$(GO) clean ./...

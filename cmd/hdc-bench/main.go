@@ -1,0 +1,62 @@
+// Command hdc-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hdc-bench [-samples N] [-dim D] [-epochs E] [-seed S] [experiment ...]
+//
+// Without arguments it runs every experiment. Known experiments: table1,
+// fig4, fig5, fig6, fig7, table2, fig8, fig9, fig10 and the ablation-*
+// studies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hdcedge/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	samples := flag.Int("samples", cfg.FunctionalSamples, "functional sample cap per dataset")
+	dim := flag.Int("dim", cfg.FunctionalDim, "functional hypervector width")
+	epochs := flag.Int("epochs", cfg.Epochs, "fully-trained iteration count")
+	seed := flag.Uint64("seed", cfg.Seed, "random seed")
+	list := flag.Bool("list", false, "list known experiments and exit")
+	jsonOut := flag.Bool("json", false, "emit structured JSON instead of tables")
+	flag.Parse()
+	if *list {
+		for _, name := range experiments.AllExperiments {
+			fmt.Println(name)
+		}
+		return
+	}
+	cfg.FunctionalSamples = *samples
+	cfg.FunctionalDim = *dim
+	cfg.Epochs = *epochs
+	cfg.Seed = *seed
+
+	names := flag.Args()
+	if len(names) == 0 {
+		if err := experiments.RunAll(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "hdc-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range names {
+		if *jsonOut {
+			if err := experiments.WriteJSON(name, cfg, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "hdc-bench:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Printf("=== %s ===\n", name)
+		if err := experiments.RunOne(name, cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "hdc-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

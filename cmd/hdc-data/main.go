@@ -1,0 +1,76 @@
+// Command hdc-data generates the synthetic evaluation datasets.
+//
+// Usage:
+//
+//	hdc-data -name ISOLET -out isolet.bin [-max 4000] [-csv]
+//	hdc-data -features 300 -samples 5000 -classes 8 -out synth.bin
+//
+// Catalog names follow Table I: FACE, ISOLET, UCIHAR, MNIST, PAMAP2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdcedge/internal/dataset"
+)
+
+func main() {
+	name := flag.String("name", "", "catalog dataset name (Table I)")
+	features := flag.Int("features", 0, "synthetic: feature count")
+	samples := flag.Int("samples", 10000, "synthetic: sample count")
+	classes := flag.Int("classes", 8, "synthetic: class count")
+	seed := flag.Uint64("seed", 1, "synthetic: generator seed")
+	max := flag.Int("max", 0, "cap generated samples (0 = full size)")
+	out := flag.String("out", "", "output path (required)")
+	csv := flag.Bool("csv", false, "write CSV instead of binary")
+	list := flag.Bool("list", false, "list catalog datasets and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range dataset.Catalog() {
+			fmt.Printf("%-8s %6d samples  %4d features  %3d classes  %s\n",
+				s.Name, s.Samples, s.Features, s.Classes, s.Description)
+		}
+		return
+	}
+	if *out == "" {
+		fail("missing -out")
+	}
+
+	var spec dataset.Spec
+	switch {
+	case *name != "":
+		s, err := dataset.CatalogSpec(strings.ToUpper(*name))
+		if err != nil {
+			fail(err.Error())
+		}
+		spec = s
+	case *features > 0:
+		spec = dataset.SyntheticSpec(*features, *samples, *classes, *seed)
+	default:
+		fail("need -name or -features")
+	}
+
+	ds, err := dataset.Generate(spec, *max)
+	if err != nil {
+		fail(err.Error())
+	}
+	if *csv {
+		err = ds.SaveCSV(*out)
+	} else {
+		err = ds.Save(*out)
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+	fmt.Printf("wrote %s: %d samples, %d features, %d classes\n",
+		*out, ds.Samples(), ds.Features(), ds.Classes)
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "hdc-data:", msg)
+	os.Exit(2)
+}

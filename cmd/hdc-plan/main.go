@@ -1,0 +1,64 @@
+// Command hdc-plan evaluates whether a workload is worth deploying on the
+// Edge TPU platform: it models training and inference time and energy for
+// the CPU baseline and the co-design framework, and renders a verdict —
+// the decision procedure behind the paper's Fig 10 discussion.
+//
+// Usage:
+//
+//	hdc-plan -name MNIST
+//	hdc-plan -features 27 -samples 32768 -classes 5
+//	hdc-plan -name ISOLET -dim 10000 -epochs 20 -batch 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/pipeline"
+)
+
+func main() {
+	name := flag.String("name", "", "catalog dataset (Table I)")
+	features := flag.Int("features", 0, "custom workload: feature count")
+	samples := flag.Int("samples", 10000, "custom workload: sample count")
+	classes := flag.Int("classes", 8, "custom workload: class count")
+	dim := flag.Int("dim", 0, "hypervector width (default 10000)")
+	epochs := flag.Int("epochs", 20, "training iterations")
+	batch := flag.Int("batch", pipeline.DefaultBatch, "accelerator encode batch")
+	flag.Parse()
+
+	var spec dataset.Spec
+	switch {
+	case *name != "":
+		s, err := dataset.CatalogSpec(strings.ToUpper(*name))
+		if err != nil {
+			fail(err.Error())
+		}
+		spec = s
+	case *features > 0:
+		spec = dataset.SyntheticSpec(*features, *samples, *classes, 1)
+	default:
+		fail("need -name or -features")
+	}
+
+	w := pipeline.FromSpec(spec, *epochs)
+	if *dim > 0 {
+		w.Dim = *dim
+	}
+	w.Batch = *batch
+
+	plan, err := pipeline.Plan(pipeline.CPUBaseline(), pipeline.EdgeTPU(), w, bagging.DefaultConfig())
+	if err != nil {
+		fail(err.Error())
+	}
+	fmt.Print(plan.Render())
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "hdc-plan:", msg)
+	os.Exit(2)
+}

@@ -1,0 +1,91 @@
+// Command tpu-compile converts a saved HDC model into a quantized wide-NN
+// model compiled for the simulated Edge TPU, in the spirit of the
+// edgetpu_compiler toolchain.
+//
+// Usage:
+//
+//	tpu-compile -model model.hdm -calib train.bin -out model.htfl
+//	            [-batch 8] [-encoder-only]
+//
+// It prints the operator placement report (which ops map to the
+// accelerator, parameter residency, per-invoke transfer sizes) and writes
+// the quantized tflite-style model file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/nnmap"
+	"hdcedge/internal/pipeline"
+	"hdcedge/internal/tflite"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "saved HDC model (required)")
+	calib := flag.String("calib", "", "representative dataset for quantization (required)")
+	out := flag.String("out", "", "output model path (required)")
+	batch := flag.Int("batch", pipeline.DefaultInferBatch, "model batch size")
+	encoderOnly := flag.Bool("encoder-only", false, "compile only the encoding half (training path)")
+	disasm := flag.Bool("disasm", false, "print the tile-level device program")
+	summary := flag.Bool("summary", false, "print the model's structural summary")
+	flag.Parse()
+
+	if *modelPath == "" || *calib == "" || *out == "" {
+		fail("need -model, -calib and -out")
+	}
+	model, err := hdc.LoadModel(*modelPath)
+	if err != nil {
+		fail(err.Error())
+	}
+	ds, err := loadDataset(*calib)
+	if err != nil {
+		fail(err.Error())
+	}
+
+	var floatModel *tflite.Model
+	if *encoderOnly {
+		floatModel, err = nnmap.BuildEncoderModel(model.Encoder, *batch)
+	} else {
+		floatModel, err = nnmap.BuildInferenceModel(model, *batch)
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+	qm, err := nnmap.QuantizeForTPU(floatModel, ds, *batch, 8)
+	if err != nil {
+		fail(err.Error())
+	}
+	cm, err := edgetpu.Compile(qm, edgetpu.DefaultUSB())
+	if err != nil {
+		fail(err.Error())
+	}
+	fmt.Print(cm.Report())
+	if *summary {
+		fmt.Print(qm.Summary())
+	}
+	if *disasm {
+		fmt.Print(cm.Disassemble())
+		fmt.Print(cm.MemoryMap())
+	}
+	if err := qm.Save(*out); err != nil {
+		fail(err.Error())
+	}
+	fmt.Printf("wrote %s (%d bytes of parameters)\n", *out, qm.ParamBytes())
+}
+
+func loadDataset(path string) (*dataset.Dataset, error) {
+	if len(path) > 4 && path[len(path)-4:] == ".csv" {
+		return dataset.LoadCSV(path, 0)
+	}
+	return dataset.LoadBinary(path)
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "tpu-compile:", msg)
+	os.Exit(2)
+}

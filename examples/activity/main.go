@@ -1,0 +1,76 @@
+// Activity recognition on the edge: the paper's motivating IoT scenario.
+//
+// A PAMAP2-like human-activity stream is trained with the bagging
+// framework (weak sub-models fused into one inference model), and the
+// example contrasts the co-design runtime story for this dataset: with
+// only 27 input features, encoding gains little from the accelerator
+// (Fig 10's low end), while the bagging update optimization still pays.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+	"hdcedge/internal/rng"
+)
+
+func main() {
+	spec, err := dataset.CatalogSpec("PAMAP2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.Generate(spec, 6000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(0.25, rng.New(11))
+	fmt.Printf("PAMAP2 (synthetic stand-in): %d train / %d test, %d features, %d activities\n",
+		train.Samples(), test.Samples(), train.Features(), train.Classes)
+
+	// Fully-trained single model (the accuracy reference).
+	full, _, err := hdc.Train(train, nil, hdc.TrainConfig{
+		Dim: 4000, Epochs: 20, LearningRate: 1, Nonlinear: true, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fully-trained model (20 iters, d=4000): %s accuracy\n",
+		metrics.FmtPct(full.Accuracy(test)))
+
+	// Bagging: 4 weak sub-models, 6 iterations, 60%% bootstrap samples.
+	bcfg := bagging.DefaultConfig()
+	bcfg.Dim = 4000
+	bcfg.Seed = 3
+	ens, stats, err := bagging.Train(train, bcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fused := ens.Fuse()
+	fmt.Printf("bagging ensemble (M=%d, d'=%d, I'=%d, α=%.1f): %s accuracy, %d total updates\n",
+		bcfg.SubModels, bcfg.SubDim(), bcfg.Iterations, bcfg.DatasetRatio,
+		metrics.FmtPct(fused.Accuracy(test)), stats.TotalUpdates())
+	fmt.Printf("modeled weight-update cost: %.0f%% of full training (C'/C = %.2f)\n",
+		100*bcfg.CostReduction(20), bcfg.CostReduction(20))
+
+	// Deploy the fused model on the simulated accelerator.
+	preds, timing, err := pipeline.InferOnDevice(pipeline.EdgeTPU(), fused, test, train, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fused model on device: %s accuracy\n", metrics.FmtPct(metrics.Accuracy(preds, test.Y)))
+
+	// The runtime lesson of this dataset: fixed per-invoke costs dominate
+	// at 27 features.
+	fixed := timing.Host + timing.TransferIn + timing.TransferOut
+	fmt.Printf("device time split: %v fixed (host+transfers) vs %v compute — %.0f%% overhead\n",
+		fixed.Round(time.Microsecond), timing.Compute.Round(time.Microsecond),
+		100*float64(fixed)/float64(timing.Total()))
+	fmt.Println("with 27 input features the accelerator cannot amortize its per-invoke costs,")
+	fmt.Println("which is exactly why PAMAP2 is the paper's counterexample (Figs 5, 6, 10).")
+}

@@ -1,0 +1,63 @@
+// Federated HDC learning across edge nodes — the distributed deployment
+// the paper's introduction motivates (and its reference [21] develops).
+//
+// Eight simulated devices each hold a private shard of a UCIHAR-like
+// activity dataset. Every round they train locally and upload only their
+// class-hypervector deltas; the base hypervectors never leave the seed.
+// The example contrasts IID and pathologically label-skewed sharding, and
+// reports the communication savings over centralizing the raw data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/federated"
+	"hdcedge/internal/rng"
+)
+
+func main() {
+	spec, err := dataset.CatalogSpec("UCIHAR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.Generate(spec, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(0.25, rng.New(55))
+
+	cfg := federated.DefaultConfig()
+	cfg.Dim = 4000
+	cfg.Rounds = 5
+	fmt.Printf("federating %d nodes over %d train samples (%d features, %d classes)\n\n",
+		cfg.Nodes, train.Samples(), train.Features(), train.Classes)
+
+	run := func(label string, shards []*dataset.Dataset) *federated.Result {
+		res, err := federated.Train(shards, test, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s sharding:\n  round accuracy:", label)
+		for _, a := range res.RoundAccuracy {
+			fmt.Printf(" %.3f", a)
+		}
+		fmt.Println()
+		return res
+	}
+
+	res := run("IID", federated.ShardIID(train, cfg.Nodes, rng.New(56)))
+	run("label-skewed", federated.ShardByLabel(train, cfg.Nodes))
+
+	fmt.Println()
+	fmt.Printf("per-node upload per round: %d KB (class hypervectors only)\n",
+		res.UploadBytesPerRound/1024)
+	fmt.Printf("centralizing the raw shards instead would move %d KB once\n",
+		res.RawDataBytes/1024)
+	fmt.Printf("communication savings over the whole run: %.1fx\n",
+		res.CommunicationSavings(cfg))
+	fmt.Println()
+	fmt.Println("because HDC models are additive, federated averaging aggregates class")
+	fmt.Println("hypervectors exactly; no raw sample ever leaves a node.")
+}

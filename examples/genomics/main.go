@@ -1,0 +1,79 @@
+// DNA pattern matching with hyperdimensional sequence encoding — the
+// GenieHD-style application the paper cites ([26], [27]) as an HDC
+// workload class.
+//
+// A reference library of synthetic genomes is encoded once with
+// permutation-bound n-gram hypervectors. Noisy reads (point mutations,
+// the sequencing-error model) are matched by associative search. The
+// example reports match accuracy as the mutation rate rises, showing the
+// graceful degradation high-dimensional codes give.
+package main
+
+import (
+	"fmt"
+
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/rng"
+)
+
+const (
+	alphabet = 4 // A, C, G, T
+	dim      = 8192
+	ngram    = 6
+	refLen   = 400
+	nRefs    = 32
+)
+
+func main() {
+	r := rng.New(2024)
+	enc := hdc.NewSequenceEncoder(alphabet, dim, ngram, r.Split())
+
+	refs := make([][]int, nRefs)
+	for i := range refs {
+		refs[i] = randomGenome(r, refLen)
+	}
+	matcher := hdc.NewSequenceMatcher(enc, refs)
+	fmt.Printf("encoded %d references of length %d as %d-gram hypervectors (d=%d)\n\n",
+		nRefs, refLen, ngram, dim)
+
+	fmt.Printf("%-14s %-10s %-12s\n", "mutation rate", "matched", "mean cosine")
+	for _, rate := range []float64{0, 0.01, 0.03, 0.05, 0.10, 0.20, 0.30} {
+		correct := 0
+		var simSum float64
+		const trials = 64
+		for trial := 0; trial < trials; trial++ {
+			src := trial % nRefs
+			query := mutate(r, refs[src], rate)
+			got, sim := matcher.Match(query)
+			if got == src {
+				correct++
+			}
+			simSum += float64(sim)
+		}
+		fmt.Printf("%-14.2f %3d/%-6d %-12.3f\n", rate, correct, trials, simSum/trials)
+	}
+
+	fmt.Println()
+	fmt.Println("match confidence decays smoothly with the mutation rate — the library")
+	fmt.Println("keeps resolving the right reference well past 10% corrupted bases,")
+	fmt.Println("the robustness HDC systems are chosen for.")
+}
+
+func randomGenome(r *rng.RNG, length int) []int {
+	g := make([]int, length)
+	for i := range g {
+		g[i] = r.Intn(alphabet)
+	}
+	return g
+}
+
+// mutate applies i.i.d. point substitutions at the given rate.
+func mutate(r *rng.RNG, seq []int, rate float64) []int {
+	out := append([]int(nil), seq...)
+	for i := range out {
+		if r.Float64() < rate {
+			out[i] = (out[i] + 1 + r.Intn(alphabet-1)) % alphabet
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+// Quickstart: train an HDC classifier on synthetic data, inspect the
+// training curve, classify on the host, then run the same model through
+// the quantized wide-NN path on the simulated Edge TPU and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+	"hdcedge/internal/rng"
+)
+
+func main() {
+	// 1. Data: 48 features, 6 classes, multi-modal clusters.
+	ds, err := dataset.Generate(dataset.SyntheticSpec(48, 4000, 6, 42), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(0.25, rng.New(43))
+	fmt.Printf("dataset: %d train / %d test samples, %d features, %d classes\n",
+		train.Samples(), test.Samples(), train.Features(), train.Classes)
+
+	// 2. Train the HDC model on the host CPU (the paper's baseline).
+	cfg := hdc.TrainConfig{Dim: 4096, Epochs: 10, LearningRate: 1, Nonlinear: true, Seed: 7}
+	start := time.Now()
+	model, stats, err := hdc.Train(train, test, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained d=%d model in %v\n", model.Dim(), time.Since(start).Round(time.Millisecond))
+	for _, e := range stats.Epochs {
+		fmt.Printf("  epoch %2d: train %.3f  validation %.3f  (%d updates)\n",
+			e.Epoch+1, e.TrainAccuracy, e.ValidationAccuracy, e.Updates)
+	}
+
+	// 3. Classify on the host.
+	hostAcc := model.Accuracy(test)
+	fmt.Printf("host (float) accuracy: %s\n", metrics.FmtPct(hostAcc))
+
+	// 4. Same model as a quantized hyper-wide NN on the simulated Edge
+	// TPU: build, calibrate, compile, invoke.
+	preds, timing, err := pipeline.InferOnDevice(pipeline.EdgeTPU(), model, test, train, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device (int8) accuracy: %s\n", metrics.FmtPct(metrics.Accuracy(preds, test.Y)))
+	fmt.Printf("simulated device time: %v total (%v compute, %v transfers, %v host)\n",
+		timing.Total().Round(time.Microsecond),
+		timing.Compute.Round(time.Microsecond),
+		(timing.TransferIn + timing.TransferOut).Round(time.Microsecond),
+		timing.Host.Round(time.Microsecond))
+	fmt.Printf("MXU work: %.1f MMACs over %d cycles\n", float64(timing.MACs)/1e6, timing.Cycles)
+}

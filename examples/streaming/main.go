@@ -1,0 +1,97 @@
+// Streaming adaptation under concept drift — the IoT dynamics the paper's
+// introduction motivates ("model updates frequently to follow the rapidly
+// changing inputs").
+//
+// A sensor stream starts from one data distribution and abruptly drifts
+// (feature noise grows and the class structure is re-generated). A frozen
+// model collapses after the drift; a model that keeps learning through the
+// lightweight Adapt updates (the exact bundling/detaching primitive the
+// paper runs on the host CPU) recovers within a few hundred samples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/hdc"
+)
+
+func main() {
+	const (
+		features = 32
+		classes  = 4
+		dim      = 2048
+		window   = 250 // accuracy reporting window
+	)
+	before, err := dataset.Generate(dataset.SyntheticSpec(features, 4000, classes, 71), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The drifted world: same shape, different seed → different class
+	// geometry.
+	after, err := dataset.Generate(dataset.SyntheticSpec(features, 4000, classes, 72), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pretrain := before.Subset(seq(0, 2000))
+	streamA := before.Subset(seq(2000, 3000))
+	streamB := after.Subset(seq(0, 3000))
+
+	frozen, _, err := hdc.Train(pretrain, nil, hdc.TrainConfig{
+		Dim: dim, Epochs: 8, LearningRate: 1, Nonlinear: true, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive := frozen.Clone()
+
+	fmt.Printf("pre-trained on %d samples; streaming %d pre-drift + %d post-drift samples\n",
+		pretrain.Samples(), streamA.Samples(), streamB.Samples())
+	fmt.Printf("%-12s %-10s %-10s\n", "window", "frozen", "adaptive")
+
+	frozenHits, adaptiveHits, seen := 0, 0, 0
+	windowID := 0
+	process := func(ds *dataset.Dataset, label string) {
+		for i := 0; i < ds.Samples(); i++ {
+			x, y := ds.X.Row(i), ds.Y[i]
+			if frozen.Predict(x) == y {
+				frozenHits++
+			}
+			// The adaptive model predicts first, then updates on mistakes
+			// (prequential evaluation).
+			pred, _ := adaptive.Adapt(x, y, 1)
+			if pred == y {
+				adaptiveHits++
+			}
+			seen++
+			if seen == window {
+				windowID++
+				fmt.Printf("%-12s %-10.3f %-10.3f\n",
+					fmt.Sprintf("%s #%d", label, windowID),
+					float64(frozenHits)/float64(window),
+					float64(adaptiveHits)/float64(window))
+				frozenHits, adaptiveHits, seen = 0, 0, 0
+			}
+		}
+	}
+	process(streamA, "pre-drift")
+	fmt.Println("--- distribution drift ---")
+	windowID = 0
+	process(streamB, "post-drift")
+
+	fmt.Println()
+	fmt.Println("the frozen model never recovers after the drift; the adaptive model")
+	fmt.Println("re-converges using only per-sample bundling/detaching updates — the")
+	fmt.Println("operation the co-design framework keeps on the host CPU.")
+}
+
+// seq returns [lo, hi).
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

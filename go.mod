@@ -1,0 +1,3 @@
+module hdcedge
+
+go 1.22

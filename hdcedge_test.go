@@ -1,0 +1,198 @@
+package hdcedge
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the library exactly as README's quickstart
+// shows a downstream user would.
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ds, err := Generate(SyntheticSpec(40, 1600, 4, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.25, NewRNG(2))
+
+	cfg := DefaultTrainConfig()
+	cfg.Dim = 1024
+	cfg.Epochs = 6
+	model, stats, err := Train(train, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalUpdates() == 0 {
+		t.Fatal("no training updates")
+	}
+	hostAcc := model.Accuracy(test)
+	if hostAcc < 0.7 {
+		t.Fatalf("host accuracy %.3f", hostAcc)
+	}
+
+	preds, timing, err := InferOnDevice(EdgeTPU(), model, test, train, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == test.Y[i] {
+			correct++
+		}
+	}
+	devAcc := float64(correct) / float64(len(preds))
+	if devAcc < hostAcc-0.05 {
+		t.Fatalf("device accuracy %.3f vs host %.3f", devAcc, hostAcc)
+	}
+	if timing.Total() <= 0 {
+		t.Fatal("no device timing")
+	}
+}
+
+func TestFacadeBagging(t *testing.T) {
+	ds, err := Generate(SyntheticSpec(36, 1600, 5, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.25, NewRNG(4))
+	cfg := DefaultBaggingConfig()
+	cfg.Dim = 1024
+	ens, _, err := TrainBagging(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := ens.Fuse()
+	if fused.Dim() != 1024 {
+		t.Fatalf("fused dim %d", fused.Dim())
+	}
+	if acc := fused.Accuracy(test); acc < 0.65 {
+		t.Fatalf("fused accuracy %.3f", acc)
+	}
+}
+
+func TestFacadeCoDesignTraining(t *testing.T) {
+	ds, err := Generate(SyntheticSpec(30, 1200, 3, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.25, NewRNG(6))
+	cfg := DefaultTrainConfig()
+	cfg.Dim = 768
+	cfg.Epochs = 6
+	res, err := TrainOnDevice(EdgeTPU(), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Model.Accuracy(test); acc < 0.7 {
+		t.Fatalf("co-design accuracy %.3f", acc)
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	if len(Catalog()) != 5 {
+		t.Fatal("catalog size")
+	}
+	spec, err := CatalogSpec("MNIST")
+	if err != nil || spec.Features != 784 {
+		t.Fatalf("MNIST spec: %+v, %v", spec, err)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) < 9 {
+		t.Fatalf("only %d experiments", len(Experiments()))
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("table1", DefaultExperimentConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PAMAP2") {
+		t.Fatal("table1 render incomplete")
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	if !EdgeTPU().HasAccel() {
+		t.Fatal("EdgeTPU platform lacks accelerator")
+	}
+	if CPUBaseline().HasAccel() || RaspberryPi().HasAccel() {
+		t.Fatal("CPU platforms must not carry accelerators")
+	}
+}
+
+func TestFacadeApplications(t *testing.T) {
+	// Regression.
+	x, y := regressionToy()
+	reg, _, err := TrainRegressor(x, y, RegressionConfig{Dim: 512, Epochs: 8, Nonlinear: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := reg.MSE(x, y); mse > 0.2 {
+		t.Fatalf("facade regression MSE %.4f", mse)
+	}
+	// Clustering.
+	ds, err := Generate(SyntheticSpec(16, 600, 3, 9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(ds.X, ClusterConfig{K: 6, Dim: 512, Nonlinear: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Purity(ds.Y, ds.Classes); p < 0.5 {
+		t.Fatalf("facade cluster purity %.3f", p)
+	}
+	// Sequences.
+	enc := NewSequenceEncoder(4, 2048, 4, NewRNG(3))
+	refs := [][]int{seqOf(200, 4, 10), seqOf(200, 4, 11)}
+	m := NewSequenceMatcher(enc, refs)
+	if idx, _ := m.Match(refs[1]); idx != 1 {
+		t.Fatalf("facade matcher picked %d", idx)
+	}
+}
+
+func TestFacadeFederated(t *testing.T) {
+	ds, err := Generate(SyntheticSpec(24, 1600, 4, 12), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.25, NewRNG(13))
+	cfg := DefaultFederatedConfig()
+	cfg.Dim = 768
+	shards := ShardIID(train, cfg.Nodes, NewRNG(14))
+	res, err := FederatedTrain(shards, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.RoundAccuracy[len(res.RoundAccuracy)-1]; acc < 0.7 {
+		t.Fatalf("facade federated accuracy %.3f", acc)
+	}
+	if len(ShardByLabel(train, 4)) != 4 {
+		t.Fatal("ShardByLabel count")
+	}
+}
+
+func regressionToy() (*Tensor, []float32) {
+	r := NewRNG(7)
+	const n = 600
+	x := tensorNew(n, 3)
+	y := make([]float32, n)
+	for i := 0; i < n; i++ {
+		row := x.F32[i*3 : (i+1)*3]
+		for j := range row {
+			row[j] = float32(r.Float64()*2 - 1)
+		}
+		y[i] = row[0]*row[1] + 0.5*row[2]
+	}
+	return x, y
+}
+
+func seqOf(length, alphabet int, seed uint64) []int {
+	r := NewRNG(seed)
+	s := make([]int, length)
+	for i := range s {
+		s[i] = r.Intn(alphabet)
+	}
+	return s
+}

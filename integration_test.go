@@ -1,0 +1,192 @@
+package hdcedge
+
+// Integration tests: the complete co-design flow at moderate scale,
+// crossing every package boundary the way the paper's framework does —
+// data generation → (bagging) training → fusion → wide-NN mapping →
+// post-training quantization → accelerator compilation → simulated
+// invocation → accuracy and timing checks — plus artifact persistence.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/nnmap"
+	"hdcedge/internal/tflite"
+)
+
+func TestIntegrationFullCoDesignFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// 1. Data: an ISOLET-like workload at reduced scale.
+	spec, err := CatalogSpec("ISOLET")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Generate(spec, 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.25, NewRNG(100))
+
+	// 2. Bagging training at the paper's ratios.
+	bcfg := DefaultBaggingConfig()
+	bcfg.Dim = 2000
+	bcfg.Seed = 101
+	ens, stats, err := TrainBagging(train, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalUpdates() == 0 {
+		t.Fatal("no updates recorded")
+	}
+	oob, evaluated := ens.OOBAccuracy(train)
+	if evaluated == 0 {
+		t.Fatal("no out-of-bag samples")
+	}
+	fused := ens.Fuse()
+	hostAcc := fused.Accuracy(test)
+	if hostAcc < 0.85 {
+		t.Fatalf("fused host accuracy %.3f", hostAcc)
+	}
+	// The OOB estimate must land near held-out accuracy.
+	if oob < hostAcc-0.12 || oob > hostAcc+0.12 {
+		t.Fatalf("OOB %.3f far from test %.3f", oob, hostAcc)
+	}
+
+	// 3. Map to the wide NN, quantize, compile, and check the placement.
+	im, err := nnmap.BuildInferenceModel(fused, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := nnmap.QuantizeForTPU(im, train, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := edgetpu.Compile(qm, edgetpu.DefaultUSB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.DelegatedOps() != 3 { // FC + TANH + FC
+		t.Fatalf("delegated %d ops:\n%s", cm.DelegatedOps(), cm.Report())
+	}
+	if !cm.Resident {
+		t.Fatalf("%d-byte model should fit the 8 MiB cache", cm.ParamBytes)
+	}
+	if cm.ProgramCycles() == 0 {
+		t.Fatal("empty device program")
+	}
+
+	// 4. Persist and reload the quantized model; behavior must survive.
+	dir := t.TempDir()
+	qmPath := filepath.Join(dir, "fused.htfl")
+	if err := qm.Save(qmPath); err != nil {
+		t.Fatal(err)
+	}
+	qm2, err := tflite.Load(qmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, err := edgetpu.Compile(qm2, edgetpu.DefaultUSB())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. Simulated device inference over the test set.
+	dev := edgetpu.NewDevice(edgetpu.DefaultUSB())
+	if _, err := dev.LoadModel(cm2); err != nil {
+		t.Fatal(err)
+	}
+	n := test.Features()
+	const batch = 16
+	correct, total := 0, 0
+	var timing edgetpu.Timing
+	for start := 0; start+batch <= test.Samples(); start += batch {
+		for r := 0; r < batch; r++ {
+			copy(dev.Input(0).F32[r*n:(r+1)*n], test.X.Row(start+r))
+		}
+		tm, err := dev.Invoke()
+		if err != nil {
+			t.Fatal(err)
+		}
+		timing.Add(tm)
+		for r := 0; r < batch; r++ {
+			if int(dev.Output(0).I32[r]) == test.Y[start+r] {
+				correct++
+			}
+			total++
+		}
+	}
+	devAcc := float64(correct) / float64(total)
+	if devAcc < hostAcc-0.04 {
+		t.Fatalf("device accuracy %.3f vs host %.3f", devAcc, hostAcc)
+	}
+	if timing.Compute <= 0 || timing.MACs == 0 {
+		t.Fatalf("timing not accumulated: %+v", timing)
+	}
+
+	// 6. Persist the fused HDC model itself and verify the reload
+	// classifies identically.
+	hdmPath := filepath.Join(dir, "fused.hdm")
+	if err := fused.Save(hdmPath); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadModel(hdmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if reloaded.Predict(test.X.Row(i)) != fused.Predict(test.X.Row(i)) {
+			t.Fatalf("reloaded model diverges at sample %d", i)
+		}
+	}
+	// Artifacts must be non-trivial files on disk.
+	for _, p := range []string{qmPath, hdmPath} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() < 1000 {
+			t.Fatalf("artifact %s missing or too small", p)
+		}
+	}
+}
+
+func TestIntegrationCoDesignTrainingMatchesPaperFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// The Fig 1 training path end to end, then device inference with the
+	// resulting model (Fig 3 without bagging).
+	spec, err := CatalogSpec("UCIHAR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Generate(spec, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.25, NewRNG(200))
+
+	cfg := DefaultTrainConfig()
+	cfg.Dim = 1536
+	cfg.Epochs = 10
+	cfg.Seed = 201
+	res, err := TrainOnDevice(EdgeTPU(), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, timing, err := InferOnDevice(EdgeTPU(), res.Model, test, train, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := metrics.Accuracy(preds, test.Y)
+	if acc < 0.75 {
+		t.Fatalf("end-to-end device accuracy %.3f", acc)
+	}
+	// Sanity on the simulated economics: inference compute must be a
+	// visible but non-dominant slice at batch 8 on 561 features.
+	if timing.Compute <= 0 || timing.Compute > timing.Total() {
+		t.Fatalf("inconsistent timing %+v", timing)
+	}
+}

@@ -1,0 +1,236 @@
+package bagging
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/tensor"
+)
+
+// Ensemble binary format (little endian): magic "HDE1", then the config
+// (subModels u32, dim u32, iterations u32, datasetRatio f64,
+// featureRatio f64, learningRate f32, nonlinear u8, seed u64), then per
+// sub-model: n u32, d' u32, k u32, base [n*d']f32, classes [k*d']f32,
+// mask [n]u8, sampleCount u32 + indices []u32.
+
+const ensembleMagic = "HDE1"
+
+// Save writes the full ensemble — sub-models, feature masks and bootstrap
+// indices — so out-of-bag evaluation and re-fusion work after reload.
+func (e *Ensemble) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := e.write(w); err != nil {
+		f.Close()
+		return fmt.Errorf("bagging: writing %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (e *Ensemble) write(w *bufio.Writer) error {
+	if _, err := w.WriteString(ensembleMagic); err != nil {
+		return err
+	}
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		w.Write(b[:])
+	}
+	putU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		w.Write(b[:])
+	}
+	cfg := e.Config
+	putU32(uint32(cfg.SubModels))
+	putU32(uint32(cfg.Dim))
+	putU32(uint32(cfg.Iterations))
+	putU64(math.Float64bits(cfg.DatasetRatio))
+	putU64(math.Float64bits(cfg.FeatureRatio))
+	putU32(math.Float32bits(cfg.LearningRate))
+	if cfg.Nonlinear {
+		w.WriteByte(1)
+	} else {
+		w.WriteByte(0)
+	}
+	putU64(cfg.Seed)
+
+	for m, sub := range e.Subs {
+		n := sub.Encoder.Features()
+		dp := sub.Dim()
+		k := sub.K()
+		putU32(uint32(n))
+		putU32(uint32(dp))
+		putU32(uint32(k))
+		for _, v := range sub.Encoder.Base.F32 {
+			putU32(math.Float32bits(v))
+		}
+		for _, v := range sub.Classes.F32 {
+			putU32(math.Float32bits(v))
+		}
+		for _, keep := range e.Masks[m] {
+			if keep {
+				w.WriteByte(1)
+			} else {
+				w.WriteByte(0)
+			}
+		}
+		putU32(uint32(len(e.SampleIdx[m])))
+		for _, idx := range e.SampleIdx[m] {
+			putU32(uint32(idx))
+		}
+	}
+	return nil
+}
+
+// LoadEnsemble reads an ensemble written by Save.
+func LoadEnsemble(path string) (*Ensemble, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var mg [4]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		return nil, err
+	}
+	if string(mg[:]) != ensembleMagic {
+		return nil, fmt.Errorf("bagging: bad ensemble magic %q in %s", mg, path)
+	}
+	getU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	getU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+
+	var cfg Config
+	v32, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	cfg.SubModels = int(v32)
+	if v32, err = getU32(); err != nil {
+		return nil, err
+	}
+	cfg.Dim = int(v32)
+	if v32, err = getU32(); err != nil {
+		return nil, err
+	}
+	cfg.Iterations = int(v32)
+	v64, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	cfg.DatasetRatio = math.Float64frombits(v64)
+	if v64, err = getU64(); err != nil {
+		return nil, err
+	}
+	cfg.FeatureRatio = math.Float64frombits(v64)
+	if v32, err = getU32(); err != nil {
+		return nil, err
+	}
+	cfg.LearningRate = math.Float32frombits(v32)
+	nl, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Nonlinear = nl == 1
+	if cfg.Seed, err = getU64(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SubModels > 1<<12 {
+		return nil, fmt.Errorf("bagging: implausible sub-model count %d", cfg.SubModels)
+	}
+
+	e := &Ensemble{Config: cfg}
+	readF32s := func(dst []float32) error {
+		for i := range dst {
+			bits, err := getU32()
+			if err != nil {
+				return err
+			}
+			dst[i] = math.Float32frombits(bits)
+		}
+		return nil
+	}
+	for m := 0; m < cfg.SubModels; m++ {
+		n, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		dp, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		k, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || dp == 0 || k < 2 || n > 1<<20 || dp > 1<<24 || k > 1<<16 {
+			return nil, fmt.Errorf("bagging: implausible sub-model %d dims n=%d d'=%d k=%d", m, n, dp, k)
+		}
+		base := tensor.New(tensor.Float32, int(n), int(dp))
+		if err := readF32s(base.F32); err != nil {
+			return nil, err
+		}
+		classes := tensor.New(tensor.Float32, int(k), int(dp))
+		if err := readF32s(classes.F32); err != nil {
+			return nil, err
+		}
+		mask := make([]bool, n)
+		for i := range mask {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			mask[i] = b == 1
+		}
+		count, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		if count > 1<<26 {
+			return nil, fmt.Errorf("bagging: implausible sample count %d", count)
+		}
+		idx := make([]int, count)
+		for i := range idx {
+			v, err := getU32()
+			if err != nil {
+				return nil, err
+			}
+			idx[i] = int(v)
+		}
+		e.Subs = append(e.Subs, &hdc.Model{
+			Encoder: &hdc.Encoder{Base: base, Nonlinear: cfg.Nonlinear},
+			Classes: classes,
+		})
+		e.Masks = append(e.Masks, mask)
+		e.SampleIdx = append(e.SampleIdx, idx)
+	}
+	return e, nil
+}

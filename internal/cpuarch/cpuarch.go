@@ -1,0 +1,168 @@
+// Package cpuarch provides roofline-style cost models for the two host
+// CPUs in the paper's evaluation: the mobile Intel i5-5250U driving the
+// Edge TPU, and the Raspberry Pi 3's ARM Cortex-A53 used as the
+// similar-power embedded baseline (Table II).
+//
+// The models price the three primitive workloads HDC training and
+// inference are made of:
+//
+//   - dense GEMM (encoding and similarity search) — compute bound, priced
+//     at an effective FLOP rate well under peak, as a BLAS-backed ML
+//     runtime achieves on these parts;
+//   - streaming element-wise passes (class-hypervector bundling/detaching,
+//     tanh) — memory-bandwidth bound;
+//   - fixed per-call dispatch overhead.
+//
+// Absolute numbers are calibrated to public measurements for these parts;
+// what the experiments rely on is the *ratio structure*: the i5 is ~2.7×
+// the A53 on compute-bound GEMM but ~10× on memory-bound streaming, which
+// is exactly why the paper's training (update-heavy) and inference
+// (GEMM-heavy) speedups over the Pi differ.
+package cpuarch
+
+import "time"
+
+// Spec describes one CPU's effective throughput for the model's primitive
+// workloads.
+type Spec struct {
+	Name string
+
+	// Cores and FreqHz document the part; costs use the effective rates
+	// below, which already include all-core parallel speedup.
+	Cores  int
+	FreqHz float64
+
+	// GEMMFLOPS is the sustained dense-matmul rate in FLOP/s across all
+	// cores (library-level efficiency, not peak).
+	GEMMFLOPS float64
+
+	// StreamBytesPerSec is the sustained memory bandwidth for streaming
+	// element-wise passes.
+	StreamBytesPerSec float64
+
+	// ElemwiseFLOPS is the sustained rate for arithmetic-heavy
+	// element-wise math such as tanh (transcendental, several tens of
+	// FLOPs per element).
+	ElemwiseFLOPS float64
+
+	// DispatchOverhead is the fixed cost of issuing one kernel/pass.
+	DispatchOverhead time.Duration
+
+	// ActivePowerWatts is the package power while running these
+	// workloads; IdlePowerWatts while waiting (e.g. for an accelerator).
+	ActivePowerWatts float64
+	IdlePowerWatts   float64
+}
+
+// ActiveEnergy returns the energy of running busy for d at active power,
+// in joules.
+func (s Spec) ActiveEnergy(d time.Duration) float64 {
+	return s.ActivePowerWatts * d.Seconds()
+}
+
+// IdleEnergy returns the energy of idling for d, in joules.
+func (s Spec) IdleEnergy(d time.Duration) float64 {
+	return s.IdlePowerWatts * d.Seconds()
+}
+
+// MobileI5 models the Intel Core i5-5250U (Broadwell-U, 2C/4T, 1.6 GHz
+// base): the paper's host laptop CPU.
+func MobileI5() Spec {
+	return Spec{
+		Name:              "intel-i5-5250U",
+		Cores:             2,
+		FreqHz:            1.6e9,
+		GEMMFLOPS:         20e9, // of ~83 GFLOP/s FP32 peak with AVX2+FMA
+		StreamBytesPerSec: 12e9, // dual-channel LPDDR3-1866
+		ElemwiseFLOPS:     6e9,
+		DispatchOverhead:  5 * time.Microsecond,
+		ActivePowerWatts:  9.5, // 15 W TDP part, memory-heavy mix
+		IdlePowerWatts:    2.0,
+	}
+}
+
+// CortexA53RPi3 models the Raspberry Pi 3 Model B (4× Cortex-A53 @
+// 1.2 GHz): the embedded comparison platform of Table II.
+func CortexA53RPi3() Spec {
+	return Spec{
+		Name:              "arm-cortex-a53-rpi3",
+		Cores:             4,
+		FreqHz:            1.2e9,
+		GEMMFLOPS:         7.5e9, // NEON across 4 cores, in-order pipeline
+		StreamBytesPerSec: 1.0e9, // single-channel LPDDR2
+		ElemwiseFLOPS:     1.5e9,
+		DispatchOverhead:  25 * time.Microsecond,
+		ActivePowerWatts:  3.7, // board-level under load
+		IdlePowerWatts:    1.3,
+	}
+}
+
+// GEMMTime prices a dense [m,k]·[k,n] multiply as the slower of its
+// compute cost (2mkn FLOPs at the effective GEMM rate) and its memory
+// traffic (both operands read, result written, in float32). The traffic
+// term is what makes skinny products — a handful of query rows against a
+// large weight matrix — memory-bound, especially on the Pi's narrow
+// memory system.
+func (s Spec) GEMMTime(m, k, n int) time.Duration {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	bytes := 4 * (float64(m)*float64(k) + float64(k)*float64(n) + float64(m)*float64(n))
+	cost := flops / s.GEMMFLOPS
+	if mem := bytes / s.StreamBytesPerSec; mem > cost {
+		cost = mem
+	}
+	return s.DispatchOverhead + time.Duration(cost*float64(time.Second))
+}
+
+// StreamTime prices a memory-bound pass over the given bytes (total bytes
+// moved, reads plus writes).
+func (s Spec) StreamTime(bytes int) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return s.DispatchOverhead + time.Duration(float64(bytes)/s.StreamBytesPerSec*float64(time.Second))
+}
+
+// TanhTime prices an element-wise tanh over float32 elements: the larger
+// of its memory traffic (read+write) and its arithmetic cost (~24 FLOPs
+// per element for a polynomial tanh).
+func (s Spec) TanhTime(elems int) time.Duration {
+	if elems <= 0 {
+		return 0
+	}
+	mem := float64(8*elems) / s.StreamBytesPerSec
+	alu := 24 * float64(elems) / s.ElemwiseFLOPS
+	cost := mem
+	if alu > cost {
+		cost = alu
+	}
+	return s.DispatchOverhead + time.Duration(cost*float64(time.Second))
+}
+
+// AxpyTime prices y += a·x over float32 vectors of the given length
+// (three streams of 4 bytes per element).
+func (s Spec) AxpyTime(elems int) time.Duration {
+	if elems <= 0 {
+		return 0
+	}
+	return s.DispatchOverhead + time.Duration(float64(12*elems)/s.StreamBytesPerSec*float64(time.Second))
+}
+
+// QuantizeTime prices a float→int8 conversion pass (5 bytes per element
+// moved plus a multiply-round, memory bound on these parts).
+func (s Spec) QuantizeTime(elems int) time.Duration {
+	if elems <= 0 {
+		return 0
+	}
+	return s.DispatchOverhead + time.Duration(float64(5*elems)/s.StreamBytesPerSec*float64(time.Second))
+}
+
+// ArgMaxTime prices a scan over float32 scores.
+func (s Spec) ArgMaxTime(elems int) time.Duration {
+	if elems <= 0 {
+		return 0
+	}
+	return s.DispatchOverhead + time.Duration(float64(4*elems)/s.StreamBytesPerSec*float64(time.Second))
+}

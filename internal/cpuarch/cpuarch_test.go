@@ -1,0 +1,110 @@
+package cpuarch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGEMMTimeScalesLinearly(t *testing.T) {
+	s := MobileI5()
+	t1 := s.GEMMTime(32, 600, 10000) - s.DispatchOverhead
+	t2 := s.GEMMTime(64, 600, 10000) - s.DispatchOverhead
+	ratio := float64(t2) / float64(t1)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("doubling m scaled time by %v, want ~2", ratio)
+	}
+}
+
+func TestGEMMTimeZeroDims(t *testing.T) {
+	s := MobileI5()
+	if s.GEMMTime(0, 10, 10) != 0 || s.GEMMTime(10, 0, 10) != 0 {
+		t.Fatal("degenerate GEMM should be free")
+	}
+}
+
+func TestGEMMTimeMatchesRate(t *testing.T) {
+	s := MobileI5()
+	// 2*1000*1000*1000 = 2e9 FLOPs at 20 GFLOP/s = 100 ms.
+	got := s.GEMMTime(1000, 1000, 1000) - s.DispatchOverhead
+	want := 100 * time.Millisecond
+	if got < want*99/100 || got > want*101/100 {
+		t.Fatalf("GEMMTime = %v, want ~%v", got, want)
+	}
+}
+
+func TestStreamTimeMatchesBandwidth(t *testing.T) {
+	s := CortexA53RPi3()
+	got := s.StreamTime(int(s.StreamBytesPerSec)) - s.DispatchOverhead
+	if got < 990*time.Millisecond || got > 1010*time.Millisecond {
+		t.Fatalf("one bandwidth-second of data took %v", got)
+	}
+}
+
+func TestPlatformRatios(t *testing.T) {
+	i5 := MobileI5()
+	pi := CortexA53RPi3()
+	// Compute-bound ratio (GEMM) must be far smaller than the
+	// memory-bound ratio (streaming): this asymmetry drives the
+	// different training vs inference speedups in Table II.
+	gemmRatio := float64(i5.GEMMFLOPS) / float64(pi.GEMMFLOPS)
+	streamRatio := float64(i5.StreamBytesPerSec) / float64(pi.StreamBytesPerSec)
+	if gemmRatio < 2 || gemmRatio > 4 {
+		t.Fatalf("GEMM ratio %v outside plausible [2,4]", gemmRatio)
+	}
+	if streamRatio < 6 || streamRatio > 15 {
+		t.Fatalf("stream ratio %v outside plausible [6,15]", streamRatio)
+	}
+	if streamRatio <= gemmRatio {
+		t.Fatal("memory-bound gap must exceed compute-bound gap")
+	}
+}
+
+func TestGEMMBelowPeak(t *testing.T) {
+	for _, s := range []Spec{MobileI5(), CortexA53RPi3()} {
+		// Effective GEMM rate must be below an optimistic peak bound:
+		// cores × freq × 32 FLOPs/cycle.
+		peak := float64(s.Cores) * s.FreqHz * 32
+		if s.GEMMFLOPS >= peak {
+			t.Fatalf("%s: effective %v ≥ peak bound %v", s.Name, s.GEMMFLOPS, peak)
+		}
+	}
+}
+
+func TestTanhTimePositiveAndMonotone(t *testing.T) {
+	s := MobileI5()
+	small := s.TanhTime(1000)
+	big := s.TanhTime(1000000)
+	if small <= 0 || big <= small {
+		t.Fatalf("tanh times: %v, %v", small, big)
+	}
+	if s.TanhTime(0) != 0 {
+		t.Fatal("empty tanh should be free")
+	}
+}
+
+func TestAxpyQuantizeArgMax(t *testing.T) {
+	s := MobileI5()
+	if s.AxpyTime(10000) <= s.DispatchOverhead {
+		t.Fatal("axpy unpriced")
+	}
+	if s.QuantizeTime(10000) <= s.DispatchOverhead {
+		t.Fatal("quantize unpriced")
+	}
+	if s.ArgMaxTime(10000) <= s.DispatchOverhead {
+		t.Fatal("argmax unpriced")
+	}
+	if s.AxpyTime(0) != 0 || s.QuantizeTime(0) != 0 || s.ArgMaxTime(0) != 0 {
+		t.Fatal("degenerate passes should be free")
+	}
+}
+
+func TestEncodingCostDominatedByGEMM(t *testing.T) {
+	// For the paper's dimensions, encoding cost must be GEMM-dominated:
+	// sanity check that tanh is a small fraction.
+	s := MobileI5()
+	gemm := s.GEMMTime(1, 600, 10000)
+	tanh := s.TanhTime(10000)
+	if tanh > gemm/2 {
+		t.Fatalf("tanh (%v) not small vs GEMM (%v)", tanh, gemm)
+	}
+}

@@ -1,0 +1,223 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"hdcedge/internal/tensor"
+)
+
+// Binary dataset format (little endian): magic "HDS1", then
+// samples u32, features u32, classes u32, name string (u32 + bytes),
+// X as float32 row-major, Y as u32.
+
+const dsMagic = "HDS1"
+
+// Save writes the dataset in the package's binary format.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := d.write(w); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (d *Dataset) write(w *bufio.Writer) error {
+	if _, err := w.WriteString(dsMagic); err != nil {
+		return err
+	}
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		w.Write(b[:])
+	}
+	putU32(uint32(d.Samples()))
+	putU32(uint32(d.Features()))
+	putU32(uint32(d.Classes))
+	putU32(uint32(len(d.Name)))
+	w.WriteString(d.Name)
+	for _, v := range d.X.F32 {
+		putU32(math.Float32bits(v))
+	}
+	for _, y := range d.Y {
+		putU32(uint32(y))
+	}
+	return nil
+}
+
+// LoadBinary reads a dataset written by Save.
+func LoadBinary(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var mg [4]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		return nil, err
+	}
+	if string(mg[:]) != dsMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q in %s", mg, path)
+	}
+	getU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	samples, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	features, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	classes, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if samples > 1<<26 || features > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible dims %d×%d", samples, features)
+	}
+	nameLen, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("dataset: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Name:    string(name),
+		Classes: int(classes),
+		X:       tensor.New(tensor.Float32, int(samples), int(features)),
+		Y:       make([]int, samples),
+	}
+	for i := range ds.X.F32 {
+		bits, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		ds.X.F32[i] = math.Float32frombits(bits)
+	}
+	for i := range ds.Y {
+		y, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		ds.Y[i] = int(y)
+	}
+	return ds, nil
+}
+
+// SaveCSV writes the dataset as label-first CSV rows.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for i := 0; i < d.Samples(); i++ {
+		fmt.Fprintf(w, "%d", d.Y[i])
+		for _, v := range d.X.Row(i) {
+			fmt.Fprintf(w, ",%g", v)
+		}
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads label-first CSV rows. classes, when zero, is inferred as
+// max(label)+1.
+func LoadCSV(path string, classes int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var rows [][]float32
+	var labels []int
+	features := -1
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("dataset: %s line %d: need label and features", path, lineNo)
+		}
+		y, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s line %d: bad label: %w", path, lineNo, err)
+		}
+		if features == -1 {
+			features = len(parts) - 1
+		} else if len(parts)-1 != features {
+			return nil, fmt.Errorf("dataset: %s line %d: %d features, want %d", path, lineNo, len(parts)-1, features)
+		}
+		row := make([]float32, features)
+		for j, p := range parts[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: %s line %d col %d: %w", path, lineNo, j+1, err)
+			}
+			row[j] = float32(v)
+		}
+		rows = append(rows, row)
+		labels = append(labels, y)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: %s is empty", path)
+	}
+	if classes == 0 {
+		for _, y := range labels {
+			if y+1 > classes {
+				classes = y + 1
+			}
+		}
+	}
+	ds := &Dataset{
+		Name:    strings.TrimSuffix(path, ".csv"),
+		Classes: classes,
+		X:       tensor.New(tensor.Float32, len(rows), features),
+		Y:       labels,
+	}
+	for i, row := range rows {
+		copy(ds.X.Row(i), row)
+	}
+	return ds, nil
+}

@@ -1,0 +1,107 @@
+package edgetpu
+
+import (
+	"testing"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tflite"
+)
+
+func BenchmarkSystolicFC(b *testing.B) {
+	// The encoder matmul at functional scale: batch 32, 617 → 2000.
+	r := rng.New(1)
+	in, w, bias, out := randFC(r, 32, 617, 2000)
+	arr := Array{Rows: 64, Cols: 64}
+	b.SetBytes(int64(len(in.I8) + len(w.I8)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arr.RunFullyConnected(in, w, bias, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	m := buildFloatNet(8, 100, 1000, 8, 1)
+	var calib [][][]float32
+	r := rng.New(2)
+	for i := 0; i < 8; i++ {
+		buf := make([]float32, 8*100)
+		r.FillNormal(buf)
+		calib = append(calib, [][]float32{buf})
+	}
+	qm, err := quantizeForBench(m, calib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(qm, DefaultUSB()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeviceInvoke(b *testing.B) {
+	m := buildFloatNet(8, 100, 1000, 8, 3)
+	var calib [][][]float32
+	r := rng.New(4)
+	for i := 0; i < 8; i++ {
+		buf := make([]float32, 8*100)
+		r.FillNormal(buf)
+		calib = append(calib, [][]float32{buf})
+	}
+	qm, err := quantizeForBench(m, calib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm, err := Compile(qm, DefaultUSB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := NewDevice(DefaultUSB())
+	if _, err := dev.LoadModel(cm); err != nil {
+		b.Fatal(err)
+	}
+	r.FillNormal(dev.Input(0).F32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Invoke(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateInvoke(b *testing.B) {
+	m := buildFloatNet(8, 100, 1000, 8, 5)
+	var calib [][][]float32
+	r := rng.New(6)
+	for i := 0; i < 8; i++ {
+		buf := make([]float32, 8*100)
+		r.FillNormal(buf)
+		calib = append(calib, [][]float32{buf})
+	}
+	qm, err := quantizeForBench(m, calib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm, err := Compile(qm, DefaultUSB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := NewDevice(DefaultUSB())
+	if _, err := dev.LoadModel(cm); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.EstimateInvoke(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// quantizeForBench mirrors quantizeNet without a testing.T.
+func quantizeForBench(m *tflite.Model, calib [][][]float32) (*tflite.Model, error) {
+	return tflite.QuantizeModel(m, calib)
+}

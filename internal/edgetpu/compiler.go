@@ -1,0 +1,293 @@
+package edgetpu
+
+import (
+	"fmt"
+	"strings"
+
+	"hdcedge/internal/tensor"
+	"hdcedge/internal/tflite"
+)
+
+// Placement says where a compiled operator executes.
+type Placement uint8
+
+const (
+	// PlaceCPU runs the operator on the host with the reference kernels.
+	PlaceCPU Placement = iota
+	// PlaceTPU runs the operator on the accelerator.
+	PlaceTPU
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	if p == PlaceTPU {
+		return "TPU"
+	}
+	return "CPU"
+}
+
+// CompiledModel is the result of compiling a tflite model for a device
+// configuration: an operator placement plan plus the transfer and memory
+// analysis the runtime needs.
+type CompiledModel struct {
+	Model  *tflite.Model
+	Config Config
+
+	// Placements has one entry per model operator.
+	Placements []Placement
+
+	// SegmentStart and SegmentEnd delimit the delegated operator run
+	// [start, end); start == end means nothing was delegated.
+	SegmentStart, SegmentEnd int
+
+	// ParamBytes is the total constant data referenced by delegated ops.
+	ParamBytes int
+
+	// Resident reports whether the delegated parameters fit in on-chip
+	// memory and therefore upload once at LoadModel instead of streaming
+	// on every invoke.
+	Resident bool
+
+	// TransferInBytes and TransferOutBytes are the activation bytes that
+	// cross the host-device link per invocation.
+	TransferInBytes, TransferOutBytes int
+
+	// Warnings collects non-fatal compilation notes (e.g. nothing could
+	// be delegated).
+	Warnings []string
+}
+
+// Compile partitions m for the device described by cfg. Like the Edge TPU
+// compiler, it delegates a single contiguous run of supported operators —
+// the longest one — and leaves everything else on the CPU. Compilation
+// never fails on an undelegatable model; it returns a CPU-only plan with a
+// warning, because that is what the real toolchain does.
+func Compile(m *tflite.Model, cfg Config) (*CompiledModel, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("edgetpu: %w", err)
+	}
+	if cfg.MXURows <= 0 || cfg.MXUCols <= 0 || cfg.ClockHz <= 0 {
+		return nil, fmt.Errorf("edgetpu: invalid config %+v", cfg)
+	}
+	cm := &CompiledModel{
+		Model:      m,
+		Config:     cfg,
+		Placements: make([]Placement, len(m.Operators)),
+	}
+
+	supported := make([]bool, len(m.Operators))
+	for i, op := range m.Operators {
+		supported[i] = opSupported(m, op)
+	}
+
+	// Longest contiguous supported run.
+	bestStart, bestEnd := 0, 0
+	i := 0
+	for i < len(supported) {
+		if !supported[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(supported) && supported[j] {
+			j++
+		}
+		if j-i > bestEnd-bestStart {
+			bestStart, bestEnd = i, j
+		}
+		i = j
+	}
+	cm.SegmentStart, cm.SegmentEnd = bestStart, bestEnd
+	for i := bestStart; i < bestEnd; i++ {
+		cm.Placements[i] = PlaceTPU
+	}
+	if bestEnd == bestStart {
+		cm.Warnings = append(cm.Warnings,
+			"model does not contain any operator mappable to the accelerator; "+
+				"it will run entirely on the CPU (is the model quantized?)")
+		return cm, nil
+	}
+
+	cm.ParamBytes = delegatedParamBytes(m, cm.Placements)
+	cm.Resident = cm.ParamBytes <= cfg.ParamMemBytes
+	if !cm.Resident {
+		cm.Warnings = append(cm.Warnings, fmt.Sprintf(
+			"delegated parameters (%d bytes) exceed on-chip memory (%d bytes); "+
+				"parameters will stream on every invocation", cm.ParamBytes, cfg.ParamMemBytes))
+	}
+	cm.TransferInBytes, cm.TransferOutBytes = boundaryBytes(m, cm.Placements)
+	if cfg.ActMemBytes > 0 {
+		if ti, bytes := largestDelegatedActivation(m, cm.Placements); bytes > cfg.ActMemBytes {
+			cm.Warnings = append(cm.Warnings, fmt.Sprintf(
+				"activation tensor %q (%d bytes) exceeds on-chip activation memory (%d bytes); "+
+					"reduce the batch size", m.Tensors[ti].Name, bytes, cfg.ActMemBytes))
+		}
+	}
+	return cm, nil
+}
+
+// largestDelegatedActivation finds the biggest runtime tensor the
+// delegated segment touches.
+func largestDelegatedActivation(m *tflite.Model, place []Placement) (idx, bytes int) {
+	idx = -1
+	for oi, op := range m.Operators {
+		if place[oi] != PlaceTPU {
+			continue
+		}
+		for _, list := range [][]int{op.Inputs, op.Outputs} {
+			for _, ti := range list {
+				info := m.Tensors[ti]
+				if info.Buffer != tflite.NoBuffer {
+					continue
+				}
+				if b := info.Shape.Elems() * info.DType.Size(); b > bytes {
+					idx, bytes = ti, b
+				}
+			}
+		}
+	}
+	return idx, bytes
+}
+
+// opSupported implements the delegate's operator whitelist: full-integer
+// FULLY_CONNECTED / TANH / CONCATENATION / RESHAPE map to the accelerator;
+// anything touching float data, QUANTIZE/DEQUANTIZE boundaries, ARG_MAX
+// and SOFTMAX stay on the CPU.
+func opSupported(m *tflite.Model, op tflite.Operator) bool {
+	allInt8 := func(idxs []int, allowI32Bias bool) bool {
+		for pos, ti := range idxs {
+			info := m.Tensors[ti]
+			if info.DType == tensor.Int8 {
+				continue
+			}
+			if allowI32Bias && pos == 2 && info.DType == tensor.Int32 {
+				continue
+			}
+			return false
+		}
+		return true
+	}
+	switch op.Op {
+	case tflite.OpFullyConnected:
+		if !allInt8(op.Inputs, true) || !allInt8(op.Outputs, false) {
+			return false
+		}
+		// Weights and bias must be compile-time constants with symmetric
+		// weight quantization, matching the MXU's accumulate path.
+		w := m.Tensors[op.Inputs[1]]
+		bias := m.Tensors[op.Inputs[2]]
+		if w.Buffer == tflite.NoBuffer || bias.Buffer == tflite.NoBuffer {
+			return false
+		}
+		return w.Quant != nil && w.Quant.ZeroPoint == 0
+	case tflite.OpTanh, tflite.OpLogistic, tflite.OpConcat, tflite.OpReshape:
+		return allInt8(op.Inputs, false) && allInt8(op.Outputs, false)
+	default:
+		return false
+	}
+}
+
+func delegatedParamBytes(m *tflite.Model, place []Placement) int {
+	seen := map[int]bool{}
+	total := 0
+	for i, op := range m.Operators {
+		if place[i] != PlaceTPU {
+			continue
+		}
+		for _, ti := range op.Inputs {
+			info := m.Tensors[ti]
+			if info.Buffer == tflite.NoBuffer || seen[ti] {
+				continue
+			}
+			seen[ti] = true
+			total += len(m.Buffers[info.Buffer])
+		}
+	}
+	return total
+}
+
+// boundaryBytes sums the activation bytes entering and leaving the
+// delegated segment on each invocation.
+func boundaryBytes(m *tflite.Model, place []Placement) (in, out int) {
+	producer := make([]int, len(m.Tensors)) // op index, or -1 for inputs/consts
+	for i := range producer {
+		producer[i] = -1
+	}
+	for oi, op := range m.Operators {
+		for _, t := range op.Outputs {
+			producer[t] = oi
+		}
+	}
+	consumedByCPU := make([]bool, len(m.Tensors))
+	for oi, op := range m.Operators {
+		if place[oi] == PlaceTPU {
+			continue
+		}
+		for _, t := range op.Inputs {
+			consumedByCPU[t] = true
+		}
+	}
+	for _, t := range m.Outputs {
+		consumedByCPU[t] = true
+	}
+
+	seenIn := map[int]bool{}
+	for oi, op := range m.Operators {
+		if place[oi] != PlaceTPU {
+			continue
+		}
+		for _, t := range op.Inputs {
+			info := m.Tensors[t]
+			if info.Buffer != tflite.NoBuffer || seenIn[t] {
+				continue // constants upload with the model, not per invoke
+			}
+			if producer[t] == -1 || place[producer[t]] == PlaceCPU {
+				seenIn[t] = true
+				in += info.Shape.Elems() * info.DType.Size()
+			}
+		}
+	}
+	seenOut := map[int]bool{}
+	for oi, op := range m.Operators {
+		if place[oi] != PlaceTPU {
+			continue
+		}
+		for _, t := range op.Outputs {
+			if consumedByCPU[t] && !seenOut[t] {
+				seenOut[t] = true
+				info := m.Tensors[t]
+				out += info.Shape.Elems() * info.DType.Size()
+			}
+		}
+	}
+	return in, out
+}
+
+// DelegatedOps returns how many operators run on the accelerator.
+func (cm *CompiledModel) DelegatedOps() int {
+	n := 0
+	for _, p := range cm.Placements {
+		if p == PlaceTPU {
+			n++
+		}
+	}
+	return n
+}
+
+// Report renders a human-readable compilation summary in the spirit of
+// the edgetpu_compiler log.
+func (cm *CompiledModel) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Model %q compiled for %s\n", cm.Model.Name, cm.Config.Name)
+	fmt.Fprintf(&sb, "Operators delegated: %d/%d\n", cm.DelegatedOps(), len(cm.Placements))
+	for i, op := range cm.Model.Operators {
+		fmt.Fprintf(&sb, "  %-16v %s\n", op.Op, cm.Placements[i])
+	}
+	fmt.Fprintf(&sb, "Parameter data: %d bytes (resident: %v)\n", cm.ParamBytes, cm.Resident)
+	fmt.Fprintf(&sb, "Per-invoke transfers: %d bytes in, %d bytes out\n",
+		cm.TransferInBytes, cm.TransferOutBytes)
+	for _, w := range cm.Warnings {
+		fmt.Fprintf(&sb, "WARNING: %s\n", w)
+	}
+	return sb.String()
+}

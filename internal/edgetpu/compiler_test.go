@@ -1,0 +1,244 @@
+package edgetpu
+
+import (
+	"strings"
+	"testing"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+	"hdcedge/internal/tflite"
+)
+
+// buildFloatNet returns a small float 3-layer network with an arg-max
+// head, structurally identical to the paper's wide-NN inference model.
+func buildFloatNet(batch, n, d, k int, seed uint64) *tflite.Model {
+	r := rng.New(seed)
+	b := tflite.NewBuilder("net")
+	in := b.AddInput("features", tensor.Float32, batch, n)
+	w1 := tensor.New(tensor.Float32, d, n)
+	r.FillNormal(w1.F32)
+	b1 := tensor.New(tensor.Float32, d)
+	w2 := tensor.New(tensor.Float32, k, d)
+	r.FillNormal(w2.F32)
+	b2 := tensor.New(tensor.Float32, k)
+	h := b.FullyConnected(in, b.AddConstF32("w1", w1), b.AddConstF32("b1", b1), "hidden")
+	ht := b.Tanh(h, "encoded")
+	scores := b.FullyConnected(ht, b.AddConstF32("w2", w2), b.AddConstF32("b2", b2), "scores")
+	b.MarkOutput(b.ArgMax(scores, "pred"))
+	b.MarkOutput(scores)
+	return b.Finish()
+}
+
+// quantizeNet runs post-training quantization with random calibration.
+func quantizeNet(t *testing.T, m *tflite.Model, batch, n int, seed uint64) *tflite.Model {
+	t.Helper()
+	r := rng.New(seed)
+	var calib [][][]float32
+	for i := 0; i < 32; i++ {
+		buf := make([]float32, batch*n)
+		r.FillNormal(buf)
+		calib = append(calib, [][]float32{buf})
+	}
+	qm, err := tflite.QuantizeModel(m, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm
+}
+
+func TestCompilePartitionsQuantizedNet(t *testing.T) {
+	m := buildFloatNet(2, 16, 128, 4, 1)
+	qm := quantizeNet(t, m, 2, 16, 2)
+	cm, err := Compile(qm, DefaultUSB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantized graph: QUANTIZE, FC, TANH, FC, ARGMAX, DEQUANTIZE.
+	// Delegated run must be the FC/TANH/FC core.
+	if cm.DelegatedOps() != 3 {
+		t.Fatalf("delegated %d ops, want 3\n%s", cm.DelegatedOps(), cm.Report())
+	}
+	for i, op := range qm.Operators {
+		wantTPU := op.Op == tflite.OpFullyConnected || op.Op == tflite.OpTanh
+		if (cm.Placements[i] == PlaceTPU) != wantTPU {
+			t.Fatalf("op %d (%v) placed %v", i, op.Op, cm.Placements[i])
+		}
+	}
+	if cm.SegmentEnd-cm.SegmentStart != 3 {
+		t.Fatalf("segment [%d,%d)", cm.SegmentStart, cm.SegmentEnd)
+	}
+}
+
+func TestCompileFloatModelFallsBackToCPU(t *testing.T) {
+	m := buildFloatNet(1, 8, 32, 3, 3)
+	cm, err := Compile(m, DefaultUSB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.DelegatedOps() != 0 {
+		t.Fatalf("float model delegated %d ops", cm.DelegatedOps())
+	}
+	if len(cm.Warnings) == 0 || !strings.Contains(cm.Warnings[0], "quantized") {
+		t.Fatalf("expected not-quantized warning, got %v", cm.Warnings)
+	}
+}
+
+func TestCompileParamBytes(t *testing.T) {
+	n, d, k := 16, 128, 4
+	m := buildFloatNet(1, n, d, k, 4)
+	qm := quantizeNet(t, m, 1, n, 5)
+	cm, err := Compile(qm, DefaultUSB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delegated constants: w1 (d×n int8) + b1 (d int32) + w2 (k×d int8)
+	// + b2 (k int32).
+	want := d*n + 4*d + k*d + 4*k
+	if cm.ParamBytes != want {
+		t.Fatalf("ParamBytes = %d, want %d", cm.ParamBytes, want)
+	}
+	if !cm.Resident {
+		t.Fatal("small model should be resident")
+	}
+}
+
+func TestCompileStreamingWhenOverCache(t *testing.T) {
+	cfg := DefaultUSB()
+	cfg.ParamMemBytes = 1024 // force streaming
+	m := buildFloatNet(1, 16, 128, 4, 6)
+	qm := quantizeNet(t, m, 1, 16, 7)
+	cm, err := Compile(qm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Resident {
+		t.Fatal("model larger than cache marked resident")
+	}
+	found := false
+	for _, w := range cm.Warnings {
+		if strings.Contains(w, "stream") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no streaming warning: %v", cm.Warnings)
+	}
+}
+
+func TestCompileBoundaryBytes(t *testing.T) {
+	batch, n, d, k := 4, 16, 128, 4
+	m := buildFloatNet(batch, n, d, k, 8)
+	qm := quantizeNet(t, m, batch, n, 9)
+	cm, err := Compile(qm, DefaultUSB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In: quantized features [batch, n] int8. Out: int8 scores [batch, k]
+	// consumed by CPU ARG_MAX and DEQUANTIZE.
+	if cm.TransferInBytes != batch*n {
+		t.Fatalf("TransferInBytes = %d, want %d", cm.TransferInBytes, batch*n)
+	}
+	if cm.TransferOutBytes != batch*k {
+		t.Fatalf("TransferOutBytes = %d, want %d", cm.TransferOutBytes, batch*k)
+	}
+}
+
+func TestCompileRejectsInvalidModel(t *testing.T) {
+	m := buildFloatNet(1, 4, 8, 2, 10)
+	m.Operators[0].Inputs[0] = 999
+	if _, err := Compile(m, DefaultUSB()); err == nil {
+		t.Fatal("invalid model compiled")
+	}
+}
+
+func TestCompileRejectsInvalidConfig(t *testing.T) {
+	m := buildFloatNet(1, 4, 8, 2, 11)
+	cfg := DefaultUSB()
+	cfg.MXURows = 0
+	if _, err := Compile(m, cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestCompileReportMentionsPlacements(t *testing.T) {
+	m := buildFloatNet(1, 8, 64, 3, 12)
+	qm := quantizeNet(t, m, 1, 8, 13)
+	cm, err := Compile(qm, DefaultUSB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cm.Report()
+	for _, want := range []string{"FULLY_CONNECTED", "TANH", "TPU", "CPU", "Parameter data"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlaceTPU.String() != "TPU" || PlaceCPU.String() != "CPU" {
+		t.Fatal("placement names wrong")
+	}
+}
+
+func TestCompileDelegatesLogistic(t *testing.T) {
+	// A logistic-activated quantized graph must delegate like tanh.
+	b := tflite.NewBuilder("lg")
+	in := b.AddInput("in", tensor.Int8, 1, 8)
+	b.SetQuant(in, tensor.QuantParams{Scale: 0.05, ZeroPoint: 0})
+	w := tensor.New(tensor.Int8, 16, 8)
+	w.Quant = &tensor.QuantParams{Scale: 0.02, ZeroPoint: 0}
+	bias := tensor.New(tensor.Int32, 16)
+	bias.Quant = &tensor.QuantParams{Scale: 0.001}
+	h := b.FullyConnected(in, b.AddConstI8("w", w), b.AddConstI32("b", bias), "h")
+	b.SetQuant(h, tensor.QuantParams{Scale: 0.1, ZeroPoint: 0})
+	out := b.Logistic(h, "act")
+	b.MarkOutput(out)
+	cm, err := Compile(b.Finish(), DefaultUSB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.DelegatedOps() != 2 {
+		t.Fatalf("delegated %d ops:\n%s", cm.DelegatedOps(), cm.Report())
+	}
+	dev := NewDevice(DefaultUSB())
+	if _, err := dev.LoadModel(cm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if cm.ProgramCycles() == 0 {
+		t.Fatal("no program cycles for logistic graph")
+	}
+}
+
+func TestCompileWarnsOnActivationOverflow(t *testing.T) {
+	cfg := DefaultUSB()
+	cfg.ActMemBytes = 256 // tiny scratch
+	m := buildFloatNet(8, 16, 512, 4, 130)
+	qm := quantizeNet(t, m, 8, 16, 131)
+	cm, err := Compile(qm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range cm.Warnings {
+		if strings.Contains(w, "activation") && strings.Contains(w, "batch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no activation-overflow warning: %v", cm.Warnings)
+	}
+	// Normal scratch: no warning.
+	cm2, err := Compile(qm, DefaultUSB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range cm2.Warnings {
+		if strings.Contains(w, "activation") {
+			t.Fatalf("spurious activation warning: %v", cm2.Warnings)
+		}
+	}
+}

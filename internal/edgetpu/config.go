@@ -1,0 +1,117 @@
+// Package edgetpu simulates an Edge-TPU-class inference accelerator
+// attached to a host over USB: a weight-stationary int8 systolic matrix
+// unit, on-chip parameter memory, a compiler that partitions a quantized
+// tflite model into accelerator-delegated and CPU-fallback operators, and
+// a runtime that executes compiled models functionally (bit-exact with the
+// tflite reference interpreter) while accounting cycle-level compute time
+// and byte-level transfer time.
+//
+// The paper's co-design hinges on three architectural facts this package
+// reproduces from first principles:
+//
+//   - large matrix multiplications are fast: the MXU retires
+//     Rows×Cols int8 MACs per cycle once a weight tile is resident;
+//   - every invocation pays fixed host/USB costs, so small input
+//     dimensions (PAMAP2's 27 features) cannot amortize them;
+//   - element-wise weight updates are not supported at all, which forces
+//     HDC class-hypervector training back onto the host CPU.
+package edgetpu
+
+import "time"
+
+// Config describes one accelerator instance and its host link.
+type Config struct {
+	Name string
+
+	// MXURows and MXUCols give the systolic array geometry. The Edge TPU
+	// MXU is a 64×64 array of 8-bit MACs.
+	MXURows, MXUCols int
+
+	// ClockHz is the accelerator clock. 480 MHz yields the advertised
+	// 4 TOPS peak (64·64·480e6·2 ops).
+	ClockHz float64
+
+	// ParamMemBytes is the on-chip parameter memory. Models whose
+	// delegated weights fit stay resident after LoadModel; larger models
+	// re-stream their parameters over the link on every invocation, as
+	// the Edge TPU compiler's "parameter streaming" mode does.
+	ParamMemBytes int
+
+	// ActMemBytes is the on-chip activation scratch. The compiler warns
+	// when a single delegated activation tensor exceeds it (the cue to
+	// shrink the invoke batch).
+	ActMemBytes int
+
+	// LinkBandwidth is the effective host-device bandwidth in bytes per
+	// second (USB 3.0 bulk transfers sustain well under the 5 Gb/s line
+	// rate).
+	LinkBandwidth float64
+
+	// LinkLatency is the fixed cost of one bulk transfer.
+	LinkLatency time.Duration
+
+	// InvokeOverhead is the per-Invoke host runtime cost: interpreter
+	// dispatch, delegate entry, and USB round-trip setup.
+	InvokeOverhead time.Duration
+
+	// HostNsPerElem prices CPU-fallback operators (QUANTIZE, DEQUANTIZE,
+	// ARG_MAX) in nanoseconds per produced element.
+	HostNsPerElem float64
+
+	// ActivePowerWatts is the accelerator's power while computing or
+	// transferring; IdlePowerWatts while waiting between invocations.
+	ActivePowerWatts float64
+	IdlePowerWatts   float64
+}
+
+// ActiveEnergy returns the accelerator energy for d of busy time, in
+// joules.
+func (c Config) ActiveEnergy(d time.Duration) float64 {
+	return c.ActivePowerWatts * d.Seconds()
+}
+
+// DefaultUSB returns the configuration of the USB-attached Edge TPU
+// accelerator used in the paper's experiments.
+func DefaultUSB() Config {
+	return Config{
+		Name:           "edgetpu-usb",
+		MXURows:        64,
+		MXUCols:        64,
+		ClockHz:        480e6,
+		ParamMemBytes:  8 << 20,
+		ActMemBytes:    2 << 20,
+		LinkBandwidth:  320e6, // ~2.5 Gb/s sustained over USB 3.0 bulk
+		LinkLatency:    150 * time.Microsecond,
+		InvokeOverhead: 250 * time.Microsecond,
+		HostNsPerElem:  1.2,
+
+		ActivePowerWatts: 2.0, // USB accelerator under sustained load
+		IdlePowerWatts:   0.5,
+	}
+}
+
+// DefaultPCIe returns the configuration of a PCIe/M.2-attached variant
+// (as on the Coral Dev Board): same MXU, but a wider, lower-latency host
+// link and cheaper invocations. It exists for link-sensitivity studies.
+func DefaultPCIe() Config {
+	c := DefaultUSB()
+	c.Name = "edgetpu-pcie"
+	c.LinkBandwidth = 1.6e9
+	c.LinkLatency = 20 * time.Microsecond
+	c.InvokeOverhead = 60 * time.Microsecond
+	return c
+}
+
+// transferTime returns the cost of moving n bytes across the host link.
+// Zero-byte transfers are free (no bulk transfer is issued).
+func (c Config) transferTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return c.LinkLatency + time.Duration(float64(n)/c.LinkBandwidth*float64(time.Second))
+}
+
+// cyclesToTime converts MXU cycles to wall-clock time.
+func (c Config) cyclesToTime(cycles uint64) time.Duration {
+	return time.Duration(float64(cycles) / c.ClockHz * float64(time.Second))
+}

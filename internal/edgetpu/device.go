@@ -1,0 +1,201 @@
+package edgetpu
+
+import (
+	"fmt"
+	"time"
+
+	"hdcedge/internal/tensor"
+	"hdcedge/internal/tflite"
+)
+
+// Timing breaks one invocation's wall-clock cost into the phases the
+// paper's runtime figures distinguish.
+type Timing struct {
+	Host         time.Duration // interpreter/delegate dispatch overhead
+	TransferIn   time.Duration // activations host → device
+	WeightStream time.Duration // parameter streaming (non-resident models)
+	Compute      time.Duration // MXU + activation pipeline
+	HostFallback time.Duration // CPU-placed operators
+	TransferOut  time.Duration // activations device → host
+
+	Cycles uint64 // accelerator cycles spent in Compute
+	MACs   uint64 // multiply-accumulates performed on the MXU
+}
+
+// Total returns the end-to-end invocation latency.
+func (t Timing) Total() time.Duration {
+	return t.Host + t.TransferIn + t.WeightStream + t.Compute + t.HostFallback + t.TransferOut
+}
+
+// Add accumulates another invocation's timing into t.
+func (t *Timing) Add(o Timing) {
+	t.Host += o.Host
+	t.TransferIn += o.TransferIn
+	t.WeightStream += o.WeightStream
+	t.Compute += o.Compute
+	t.HostFallback += o.HostFallback
+	t.TransferOut += o.TransferOut
+	t.Cycles += o.Cycles
+	t.MACs += o.MACs
+}
+
+// Device is one simulated accelerator instance with at most one loaded
+// model, mirroring the single-program restriction of the real part.
+type Device struct {
+	cfg      Config
+	loaded   *CompiledModel
+	interp   *tflite.Interpreter
+	array    Array
+	profiler *Profiler
+
+	// SetupTime is the one-time cost paid by LoadModel (model transfer
+	// and, for resident models, the parameter upload).
+	SetupTime time.Duration
+}
+
+// NewDevice returns an idle device.
+func NewDevice(cfg Config) *Device {
+	return &Device{cfg: cfg, array: Array{Rows: cfg.MXURows, Cols: cfg.MXUCols}}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// LoadModel uploads a compiled model. For resident models the parameters
+// cross the link once here; streaming models pay per invocation instead.
+func (d *Device) LoadModel(cm *CompiledModel) (time.Duration, error) {
+	if cm == nil {
+		return 0, fmt.Errorf("edgetpu: nil compiled model")
+	}
+	if cm.Config != d.cfg {
+		return 0, fmt.Errorf("edgetpu: model compiled for %q, device is %q", cm.Config.Name, d.cfg.Name)
+	}
+	it, err := tflite.NewInterpreter(cm.Model)
+	if err != nil {
+		return 0, err
+	}
+	setup := d.cfg.transferTime(len(cm.Model.Marshal()))
+	if cm.Resident {
+		setup += d.cfg.transferTime(cm.ParamBytes)
+	}
+	d.loaded = cm
+	d.interp = it
+	d.SetupTime = setup
+	return setup, nil
+}
+
+// Input returns the i-th model input tensor of the loaded model.
+func (d *Device) Input(i int) *tensor.Tensor {
+	return d.interp.Input(i)
+}
+
+// Output returns the i-th model output tensor after Invoke.
+func (d *Device) Output(i int) *tensor.Tensor {
+	return d.interp.Output(i)
+}
+
+// Invoke executes the loaded model once and returns the phase timing.
+// CPU-placed operators run with the tflite reference kernels priced by the
+// host cost model; TPU-placed FULLY_CONNECTED ops run on the systolic
+// array (bit-exact with the reference); other delegated ops run on the
+// activation pipeline.
+func (d *Device) Invoke() (Timing, error) {
+	if d.loaded == nil {
+		return Timing{}, fmt.Errorf("edgetpu: no model loaded")
+	}
+	cm := d.loaded
+	var t Timing
+	t.Host = d.cfg.InvokeOverhead
+	if cm.DelegatedOps() > 0 {
+		t.TransferIn = d.cfg.transferTime(cm.TransferInBytes)
+		t.TransferOut = d.cfg.transferTime(cm.TransferOutBytes)
+		if !cm.Resident {
+			t.WeightStream = d.cfg.transferTime(cm.ParamBytes)
+		}
+	}
+
+	var cycles uint64
+	for oi, op := range cm.Model.Operators {
+		if cm.Placements[oi] == PlaceCPU {
+			if err := d.interp.InvokeOp(oi); err != nil {
+				return t, err
+			}
+			t.HostFallback += d.hostOpCost(op)
+			continue
+		}
+		switch op.Op {
+		case tflite.OpFullyConnected:
+			in := d.interp.Tensor(op.Inputs[0])
+			w := d.interp.Tensor(op.Inputs[1])
+			bias := d.interp.Tensor(op.Inputs[2])
+			out := d.interp.Tensor(op.Outputs[0])
+			stats, err := d.array.RunFullyConnected(in, w, bias, out)
+			if err != nil {
+				return t, fmt.Errorf("edgetpu: op %d: %w", oi, err)
+			}
+			cycles += stats.Cycles
+			t.MACs += stats.MACs
+		case tflite.OpTanh, tflite.OpLogistic, tflite.OpConcat, tflite.OpReshape:
+			if err := d.interp.InvokeOp(oi); err != nil {
+				return t, err
+			}
+			cycles += d.array.lutCycles(d.interp.Tensor(op.Outputs[0]).Elems())
+		default:
+			return t, fmt.Errorf("edgetpu: op %d (%v) delegated but not executable", oi, op.Op)
+		}
+	}
+	t.Cycles = cycles
+	t.Compute = d.cfg.cyclesToTime(cycles)
+	return t, nil
+}
+
+// EstimateInvoke returns the timing one Invoke would take without
+// executing any kernels. It uses the same cycle and transfer models as
+// Invoke, so runtime experiments can be evaluated at the paper's full
+// dataset scale where functional execution would be wasteful.
+func (d *Device) EstimateInvoke() (Timing, error) {
+	if d.loaded == nil {
+		return Timing{}, fmt.Errorf("edgetpu: no model loaded")
+	}
+	cm := d.loaded
+	var t Timing
+	t.Host = d.cfg.InvokeOverhead
+	if cm.DelegatedOps() > 0 {
+		t.TransferIn = d.cfg.transferTime(cm.TransferInBytes)
+		t.TransferOut = d.cfg.transferTime(cm.TransferOutBytes)
+		if !cm.Resident {
+			t.WeightStream = d.cfg.transferTime(cm.ParamBytes)
+		}
+	}
+	var cycles uint64
+	for oi, op := range cm.Model.Operators {
+		if cm.Placements[oi] == PlaceCPU {
+			t.HostFallback += d.hostOpCost(op)
+			continue
+		}
+		switch op.Op {
+		case tflite.OpFullyConnected:
+			in := cm.Model.Tensors[op.Inputs[0]]
+			w := cm.Model.Tensors[op.Inputs[1]]
+			stats := d.array.fcCycles(in.Shape[0], in.Shape[1], w.Shape[0])
+			cycles += stats.Cycles
+			t.MACs += stats.MACs
+		case tflite.OpTanh, tflite.OpLogistic, tflite.OpConcat, tflite.OpReshape:
+			cycles += d.array.lutCycles(cm.Model.Tensors[op.Outputs[0]].Shape.Elems())
+		default:
+			return t, fmt.Errorf("edgetpu: op %d (%v) delegated but not executable", oi, op.Op)
+		}
+	}
+	t.Cycles = cycles
+	t.Compute = d.cfg.cyclesToTime(cycles)
+	return t, nil
+}
+
+// hostOpCost prices a CPU-fallback operator by its produced elements.
+func (d *Device) hostOpCost(op tflite.Operator) time.Duration {
+	elems := 0
+	for _, ti := range op.Outputs {
+		elems += d.loaded.Model.Tensors[ti].Shape.Elems()
+	}
+	return time.Duration(float64(elems) * d.cfg.HostNsPerElem)
+}

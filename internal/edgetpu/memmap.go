@@ -1,0 +1,76 @@
+package edgetpu
+
+import (
+	"fmt"
+	"strings"
+
+	"hdcedge/internal/tflite"
+)
+
+// MemRegion is one constant tensor's placement in on-chip parameter
+// memory.
+type MemRegion struct {
+	Tensor int // tflite tensor index
+	Name   string
+	Offset int
+	Bytes  int
+}
+
+// MemoryMap is the compiler's parameter-memory allocation for the
+// delegated segment.
+type MemoryMap struct {
+	Regions []MemRegion
+	// Used is the total allocated bytes including alignment padding.
+	Used int
+	// Capacity is the device's parameter memory size.
+	Capacity int
+	// Resident mirrors CompiledModel.Resident: whether Used fits.
+	Resident bool
+}
+
+// paramAlignment is the allocation granularity of the parameter memory:
+// tiles stream in 64-byte lines.
+const paramAlignment = 64
+
+// MemoryMap lays the delegated constants out in on-chip memory in
+// first-use order with line alignment — the allocation the weight
+// streamer walks. Non-resident models still get a map (the streaming
+// window reuses it as a schedule); Resident reports whether it fits.
+func (cm *CompiledModel) MemoryMap() *MemoryMap {
+	mm := &MemoryMap{Capacity: cm.Config.ParamMemBytes}
+	seen := map[int]bool{}
+	offset := 0
+	for oi, op := range cm.Model.Operators {
+		if cm.Placements[oi] != PlaceTPU {
+			continue
+		}
+		for _, ti := range op.Inputs {
+			info := cm.Model.Tensors[ti]
+			if info.Buffer == tflite.NoBuffer || seen[ti] {
+				continue
+			}
+			seen[ti] = true
+			size := len(cm.Model.Buffers[info.Buffer])
+			mm.Regions = append(mm.Regions, MemRegion{
+				Tensor: ti, Name: info.Name, Offset: offset, Bytes: size,
+			})
+			offset += align(size, paramAlignment)
+		}
+	}
+	mm.Used = offset
+	mm.Resident = offset <= mm.Capacity
+	return mm
+}
+
+func align(n, a int) int { return (n + a - 1) / a * a }
+
+// String renders the layout.
+func (mm *MemoryMap) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "parameter memory: %d / %d bytes (resident: %v)\n",
+		mm.Used, mm.Capacity, mm.Resident)
+	for _, r := range mm.Regions {
+		fmt.Fprintf(&sb, "  0x%08x  %-24s %10d bytes\n", r.Offset, r.Name, r.Bytes)
+	}
+	return sb.String()
+}

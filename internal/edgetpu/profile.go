@@ -1,0 +1,147 @@
+package edgetpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hdcedge/internal/tflite"
+)
+
+// OpTrace records one operator execution inside an Invoke, in the spirit
+// of the Edge TPU profiler's per-op breakdown.
+type OpTrace struct {
+	Op        int
+	Code      tflite.OpCode
+	Placement Placement
+	Cycles    uint64        // accelerator cycles (TPU-placed ops)
+	HostTime  time.Duration // host cost (CPU-placed ops)
+	MACs      uint64
+}
+
+// Profiler accumulates traces across invocations of one device.
+type Profiler struct {
+	Invocations int
+	Ops         map[int]*OpTrace // keyed by operator index, summed
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{Ops: map[int]*OpTrace{}}
+}
+
+// record folds one invocation's traces in.
+func (p *Profiler) record(traces []OpTrace) {
+	p.Invocations++
+	for _, tr := range traces {
+		agg, ok := p.Ops[tr.Op]
+		if !ok {
+			cp := tr
+			p.Ops[tr.Op] = &cp
+			continue
+		}
+		agg.Cycles += tr.Cycles
+		agg.HostTime += tr.HostTime
+		agg.MACs += tr.MACs
+	}
+}
+
+// Report renders the aggregated per-op profile, hottest first.
+func (p *Profiler) Report(cfg Config) string {
+	var rows []*OpTrace
+	for _, tr := range p.Ops {
+		rows = append(rows, tr)
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		ta := cfg.cyclesToTime(rows[a].Cycles) + rows[a].HostTime
+		tb := cfg.cyclesToTime(rows[b].Cycles) + rows[b].HostTime
+		return ta > tb
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Profile over %d invocations:\n", p.Invocations)
+	var totalTime time.Duration
+	for _, tr := range rows {
+		totalTime += cfg.cyclesToTime(tr.Cycles) + tr.HostTime
+	}
+	for _, tr := range rows {
+		t := cfg.cyclesToTime(tr.Cycles) + tr.HostTime
+		pct := 0.0
+		if totalTime > 0 {
+			pct = 100 * float64(t) / float64(totalTime)
+		}
+		fmt.Fprintf(&sb, "  op%-3d %-16v %-4v %10v %5.1f%%  %12d MACs\n",
+			tr.Op, tr.Code, tr.Placement, t.Round(time.Microsecond), pct, tr.MACs)
+	}
+	return sb.String()
+}
+
+// InvokeProfiled executes the loaded model like Invoke and additionally
+// returns the per-op trace of this invocation; when the device has an
+// attached profiler the trace is folded in.
+func (d *Device) InvokeProfiled() (Timing, []OpTrace, error) {
+	if d.loaded == nil {
+		return Timing{}, nil, fmt.Errorf("edgetpu: no model loaded")
+	}
+	cm := d.loaded
+	var t Timing
+	t.Host = d.cfg.InvokeOverhead
+	if cm.DelegatedOps() > 0 {
+		t.TransferIn = d.cfg.transferTime(cm.TransferInBytes)
+		t.TransferOut = d.cfg.transferTime(cm.TransferOutBytes)
+		if !cm.Resident {
+			t.WeightStream = d.cfg.transferTime(cm.ParamBytes)
+		}
+	}
+	traces := make([]OpTrace, 0, len(cm.Model.Operators))
+	var cycles uint64
+	for oi, op := range cm.Model.Operators {
+		tr := OpTrace{Op: oi, Code: op.Op, Placement: cm.Placements[oi]}
+		if cm.Placements[oi] == PlaceCPU {
+			if err := d.interp.InvokeOp(oi); err != nil {
+				return t, nil, err
+			}
+			tr.HostTime = d.hostOpCost(op)
+			t.HostFallback += tr.HostTime
+			traces = append(traces, tr)
+			continue
+		}
+		switch op.Op {
+		case tflite.OpFullyConnected:
+			in := d.interp.Tensor(op.Inputs[0])
+			w := d.interp.Tensor(op.Inputs[1])
+			bias := d.interp.Tensor(op.Inputs[2])
+			out := d.interp.Tensor(op.Outputs[0])
+			stats, err := d.array.RunFullyConnected(in, w, bias, out)
+			if err != nil {
+				return t, nil, fmt.Errorf("edgetpu: op %d: %w", oi, err)
+			}
+			tr.Cycles = stats.Cycles
+			tr.MACs = stats.MACs
+			cycles += stats.Cycles
+			t.MACs += stats.MACs
+		case tflite.OpTanh, tflite.OpLogistic, tflite.OpConcat, tflite.OpReshape:
+			if err := d.interp.InvokeOp(oi); err != nil {
+				return t, nil, err
+			}
+			tr.Cycles = d.array.lutCycles(d.interp.Tensor(op.Outputs[0]).Elems())
+			cycles += tr.Cycles
+		default:
+			return t, nil, fmt.Errorf("edgetpu: op %d (%v) delegated but not executable", oi, op.Op)
+		}
+		traces = append(traces, tr)
+	}
+	t.Cycles = cycles
+	t.Compute = d.cfg.cyclesToTime(cycles)
+	if d.profiler != nil {
+		d.profiler.record(traces)
+	}
+	return t, traces, nil
+}
+
+// AttachProfiler starts accumulating per-op traces from InvokeProfiled
+// calls; it returns the profiler for reporting.
+func (d *Device) AttachProfiler() *Profiler {
+	d.profiler = NewProfiler()
+	return d.profiler
+}

@@ -1,0 +1,85 @@
+package edgetpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvokeProfiledMatchesInvoke(t *testing.T) {
+	// Same inputs through Invoke and InvokeProfiled on two devices must
+	// produce identical timing and outputs.
+	dev, _, qm := loadedDevice(t, 4, 24, 192, 5)
+	dev2, _, _ := loadedDevice(t, 4, 24, 192, 5)
+	for i := range dev.Input(0).F32 {
+		v := float32(i%13) * 0.1
+		dev.Input(0).F32[i] = v
+		dev2.Input(0).F32[i] = v
+	}
+	plain, err := dev.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled, traces, err := dev2.InvokeProfiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != profiled {
+		t.Fatalf("timings differ: %+v vs %+v", plain, profiled)
+	}
+	if len(traces) != len(qm.Operators) {
+		t.Fatalf("%d traces for %d ops", len(traces), len(qm.Operators))
+	}
+	for i := range dev.Output(0).I32 {
+		if dev.Output(0).I32[i] != dev2.Output(0).I32[i] {
+			t.Fatal("outputs differ")
+		}
+	}
+	// Trace cycle sum must equal the reported compute cycles.
+	var cyc uint64
+	for _, tr := range traces {
+		cyc += tr.Cycles
+	}
+	if cyc != profiled.Cycles {
+		t.Fatalf("trace cycles %d vs timing %d", cyc, profiled.Cycles)
+	}
+}
+
+func TestProfilerAggregation(t *testing.T) {
+	dev, _, _ := loadedDevice(t, 2, 16, 128, 3)
+	prof := dev.AttachProfiler()
+	const invokes = 5
+	for i := 0; i < invokes; i++ {
+		if _, _, err := dev.InvokeProfiled(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prof.Invocations != invokes {
+		t.Fatalf("profiler saw %d invocations", prof.Invocations)
+	}
+	// FC ops must dominate the cycle budget.
+	single, _, _ := loadedDevice(t, 2, 16, 128, 3)
+	est, err := single.EstimateInvoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, tr := range prof.Ops {
+		total += tr.Cycles
+	}
+	if total != est.Cycles*invokes {
+		t.Fatalf("aggregated cycles %d, want %d", total, est.Cycles*invokes)
+	}
+	rep := prof.Report(dev.Config())
+	for _, want := range []string{"FULLY_CONNECTED", "TPU", "CPU", "MACs", "%"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestInvokeProfiledWithoutModel(t *testing.T) {
+	dev := NewDevice(DefaultUSB())
+	if _, _, err := dev.InvokeProfiled(); err == nil {
+		t.Fatal("profiled invoke without model succeeded")
+	}
+}

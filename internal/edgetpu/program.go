@@ -1,0 +1,139 @@
+package edgetpu
+
+import (
+	"fmt"
+	"strings"
+
+	"hdcedge/internal/tflite"
+)
+
+// InstrKind enumerates the accelerator's schedule-level instructions.
+type InstrKind uint8
+
+const (
+	// InstrLoadTile shifts one weight tile from parameter memory into
+	// the MXU.
+	InstrLoadTile InstrKind = iota
+	// InstrMatMulTile streams the activation batch through the resident
+	// weight tile, accumulating partial sums.
+	InstrMatMulTile
+	// InstrLUT runs an element-wise pass through the activation
+	// pipeline's lookup unit.
+	InstrLUT
+	// InstrMove copies activations without arithmetic (CONCAT, RESHAPE).
+	InstrMove
+)
+
+// String implements fmt.Stringer.
+func (k InstrKind) String() string {
+	switch k {
+	case InstrLoadTile:
+		return "LOAD_TILE"
+	case InstrMatMulTile:
+		return "MATMUL_TILE"
+	case InstrLUT:
+		return "LUT"
+	case InstrMove:
+		return "MOVE"
+	default:
+		return fmt.Sprintf("INSTR(%d)", uint8(k))
+	}
+}
+
+// Instruction is one step of the compiled tile schedule.
+type Instruction struct {
+	Kind   InstrKind
+	Op     int // index of the source tflite operator
+	TileK  int // depth-tile index (matmul instructions)
+	TileU  int // unit-tile index (matmul instructions)
+	Cycles uint64
+}
+
+// Program expands the delegated segment into its tile-level instruction
+// schedule — the representation the real compiler lowers to (and the unit
+// the timing model charges). CPU-placed operators do not appear.
+func (cm *CompiledModel) Program() []Instruction {
+	arr := Array{Rows: cm.Config.MXURows, Cols: cm.Config.MXUCols}
+	var prog []Instruction
+	for oi, op := range cm.Model.Operators {
+		if cm.Placements[oi] != PlaceTPU {
+			continue
+		}
+		switch op.Op {
+		case tflite.OpFullyConnected:
+			in := cm.Model.Tensors[op.Inputs[0]]
+			w := cm.Model.Tensors[op.Inputs[1]]
+			batch, depth := in.Shape[0], in.Shape[1]
+			units := w.Shape[0]
+			tilesK := (depth + arr.Rows - 1) / arr.Rows
+			tilesU := (units + arr.Cols - 1) / arr.Cols
+			loadCycles := uint64(arr.Rows)
+			streamCycles := uint64(batch + arr.Rows + arr.Cols)
+			for tk := 0; tk < tilesK; tk++ {
+				for tu := 0; tu < tilesU; tu++ {
+					prog = append(prog,
+						Instruction{Kind: InstrLoadTile, Op: oi, TileK: tk, TileU: tu, Cycles: loadCycles},
+						Instruction{Kind: InstrMatMulTile, Op: oi, TileK: tk, TileU: tu, Cycles: streamCycles},
+					)
+				}
+			}
+		case tflite.OpTanh, tflite.OpLogistic:
+			elems := cm.Model.Tensors[op.Outputs[0]].Shape.Elems()
+			prog = append(prog, Instruction{Kind: InstrLUT, Op: oi, Cycles: arr.lutCycles(elems)})
+		case tflite.OpConcat, tflite.OpReshape:
+			elems := cm.Model.Tensors[op.Outputs[0]].Shape.Elems()
+			prog = append(prog, Instruction{Kind: InstrMove, Op: oi, Cycles: arr.lutCycles(elems)})
+		}
+	}
+	return prog
+}
+
+// ProgramCycles sums the schedule's cycle budget; it equals the Compute
+// cycles EstimateInvoke and Invoke report.
+func (cm *CompiledModel) ProgramCycles() uint64 {
+	var total uint64
+	for _, in := range cm.Program() {
+		total += in.Cycles
+	}
+	return total
+}
+
+// Disassemble renders the schedule, collapsing tile runs per operator for
+// readability.
+func (cm *CompiledModel) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program for %q on %s\n", cm.Model.Name, cm.Config.Name)
+	prog := cm.Program()
+	i := 0
+	for i < len(prog) {
+		in := prog[i]
+		switch in.Kind {
+		case InstrLoadTile, InstrMatMulTile:
+			// Collapse the whole tile loop of this operator.
+			j := i
+			var cycles uint64
+			tiles := 0
+			for j < len(prog) && prog[j].Op == in.Op &&
+				(prog[j].Kind == InstrLoadTile || prog[j].Kind == InstrMatMulTile) {
+				cycles += prog[j].Cycles
+				if prog[j].Kind == InstrMatMulTile {
+					tiles++
+				}
+				j++
+			}
+			op := cm.Model.Operators[in.Op]
+			w := cm.Model.Tensors[op.Inputs[1]]
+			fmt.Fprintf(&sb, "  op%-3d FULLY_CONNECTED  %4d tiles (%d×%d weights)  %10d cycles\n",
+				in.Op, tiles, w.Shape[0], w.Shape[1], cycles)
+			i = j
+		default:
+			fmt.Fprintf(&sb, "  op%-3d %-16v %28s %10d cycles\n", in.Op, in.Kind, "", in.Cycles)
+			i++
+		}
+	}
+	fmt.Fprintf(&sb, "; total %d cycles (%.3f ms @ %.0f MHz)\n",
+		cm.ProgramCycles(),
+		float64(cm.ProgramCycles())/cm.Config.ClockHz*1e3,
+		cm.Config.ClockHz/1e6)
+	return sb.String()
+}

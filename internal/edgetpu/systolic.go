@@ -1,0 +1,137 @@
+package edgetpu
+
+import (
+	"fmt"
+
+	"hdcedge/internal/tensor"
+	"hdcedge/internal/tflite"
+)
+
+// Array is the weight-stationary systolic matrix unit. A weight tile of
+// Rows×Cols int8 values is shifted into the array, then activation rows
+// stream through; each cycle every resident PE performs one int8·int8→int32
+// multiply-accumulate.
+type Array struct {
+	Rows, Cols int
+}
+
+// FCStats reports the work one FULLY_CONNECTED invocation performed.
+type FCStats struct {
+	Cycles uint64
+	MACs   uint64
+	TilesK int // tiles along the contraction (depth) axis
+	TilesU int // tiles along the output-unit axis
+}
+
+// fcCycles models the dataflow cost of one FULLY_CONNECTED execution.
+// For each of TilesK×TilesU weight tiles the array pays:
+//
+//	Rows cycles        shifting the weight tile in (column-parallel),
+//	batch cycles       streaming the activation rows through, and
+//	Rows+Cols cycles   pipeline fill/drain skew.
+//
+// Partial sums across depth tiles accumulate in the on-chip accumulators,
+// so no extra cycles are charged for reduction.
+func (a Array) fcCycles(batch, depth, units int) FCStats {
+	tilesK := (depth + a.Rows - 1) / a.Rows
+	tilesU := (units + a.Cols - 1) / a.Cols
+	perTile := uint64(a.Rows + batch + a.Rows + a.Cols)
+	return FCStats{
+		Cycles: uint64(tilesK) * uint64(tilesU) * perTile,
+		MACs:   uint64(batch) * uint64(depth) * uint64(units),
+		TilesK: tilesK,
+		TilesU: tilesU,
+	}
+}
+
+// lutCycles models an element-wise lookup pass (TANH): the activation
+// pipeline processes Cols elements per cycle.
+func (a Array) lutCycles(elems int) uint64 {
+	return uint64((elems + a.Cols - 1) / a.Cols)
+}
+
+// RunFullyConnected executes the quantized FC functionally in tiled
+// systolic order and returns its stats. The arithmetic is bit-exact with
+// the tflite reference kernel: int32 accumulation of
+// (in-zpIn)·w plus the int32 bias, then fixed-point requantization.
+func (a Array) RunFullyConnected(in, w, bias, out *tensor.Tensor) (FCStats, error) {
+	if in.DType != tensor.Int8 || w.DType != tensor.Int8 || bias.DType != tensor.Int32 || out.DType != tensor.Int8 {
+		return FCStats{}, fmt.Errorf("edgetpu: FC requires int8 tensors with int32 bias, got %v/%v/%v/%v",
+			in.DType, w.DType, bias.DType, out.DType)
+	}
+	if in.Quant == nil || w.Quant == nil || out.Quant == nil {
+		return FCStats{}, fmt.Errorf("edgetpu: FC tensors missing quantization")
+	}
+	if w.Quant.ZeroPoint != 0 {
+		return FCStats{}, fmt.Errorf("edgetpu: MXU requires symmetric weights")
+	}
+	batch, depth := in.Shape[0], in.Shape[1]
+	units := w.Shape[0]
+	if w.Shape[1] != depth {
+		return FCStats{}, fmt.Errorf("edgetpu: FC depth mismatch: input %v, weights %v", in.Shape, w.Shape)
+	}
+
+	qm, err := tflite.QuantizeMultiplier(in.Quant.Scale * w.Quant.Scale / out.Quant.Scale)
+	if err != nil {
+		return FCStats{}, err
+	}
+	zpIn := in.Quant.ZeroPoint
+	zpOut := out.Quant.ZeroPoint
+
+	// On-chip accumulators, initialized with the bias (TFLite folds the
+	// bias into the accumulator before the MAC stream).
+	acc := make([]int32, batch*units)
+	for b := 0; b < batch; b++ {
+		copy(acc[b*units:(b+1)*units], bias.I32)
+	}
+
+	// Walk weight tiles exactly as the hardware schedules them: for each
+	// (depth tile, unit tile), stream all activation rows through the
+	// resident tile and accumulate partial sums. Unit tiles touch
+	// disjoint accumulator columns, so the simulation parallelizes over
+	// them without changing the (exact integer) results.
+	unitTiles := (units + a.Cols - 1) / a.Cols
+	tensor.ParallelFor(unitTiles, 1, func(t0, t1 int) {
+		for k0 := 0; k0 < depth; k0 += a.Rows {
+			k1 := min(k0+a.Rows, depth)
+			for tu := t0; tu < t1; tu++ {
+				u0 := tu * a.Cols
+				u1 := min(u0+a.Cols, units)
+				for b := 0; b < batch; b++ {
+					inRow := in.I8[b*depth : (b+1)*depth]
+					accRow := acc[b*units : (b+1)*units]
+					for u := u0; u < u1; u++ {
+						wRow := w.I8[u*depth : (u+1)*depth]
+						var sum int32
+						for k := k0; k < k1; k++ {
+							sum += (int32(inRow[k]) - zpIn) * int32(wRow[k])
+						}
+						accRow[u] += sum
+					}
+				}
+			}
+		}
+	})
+
+	// Requantize through the activation pipeline.
+	tensor.ParallelFor(len(acc), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := zpOut + qm.Apply(acc[i])
+			if r > 127 {
+				r = 127
+			}
+			if r < -128 {
+				r = -128
+			}
+			out.I8[i] = int8(r)
+		}
+	})
+	return a.fcCycles(batch, depth, units), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,205 @@
+package edgetpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+	"hdcedge/internal/tflite"
+)
+
+// randFC builds a random quantized FC problem of the given dimensions.
+func randFC(r *rng.RNG, batch, depth, units int) (in, w, bias, out *tensor.Tensor) {
+	in = tensor.New(tensor.Int8, batch, depth)
+	in.Quant = &tensor.QuantParams{Scale: 0.02, ZeroPoint: int32(r.Intn(9) - 4)}
+	for i := range in.I8 {
+		in.I8[i] = int8(r.Intn(256) - 128)
+	}
+	w = tensor.New(tensor.Int8, units, depth)
+	w.Quant = &tensor.QuantParams{Scale: 0.015, ZeroPoint: 0}
+	for i := range w.I8 {
+		w.I8[i] = int8(r.Intn(256) - 128)
+	}
+	bias = tensor.New(tensor.Int32, units)
+	bias.Quant = &tensor.QuantParams{Scale: in.Quant.Scale * w.Quant.Scale}
+	for i := range bias.I32 {
+		bias.I32[i] = int32(r.Intn(2000) - 1000)
+	}
+	out = tensor.New(tensor.Int8, batch, units)
+	out.Quant = &tensor.QuantParams{Scale: 0.05, ZeroPoint: int32(r.Intn(5) - 2)}
+	return in, w, bias, out
+}
+
+// refFC runs the tflite reference int8 kernel on the same problem.
+func refFC(t *testing.T, in, w, bias, out *tensor.Tensor) []int8 {
+	t.Helper()
+	b := tflite.NewBuilder("ref")
+	inIdx := b.AddInput("in", tensor.Int8, in.Shape...)
+	b.SetQuant(inIdx, *in.Quant)
+	outIdx := b.FullyConnected(inIdx, b.AddConstI8("w", w), b.AddConstI32("bias", bias), "out")
+	b.SetQuant(outIdx, *out.Quant)
+	b.MarkOutput(outIdx)
+	it, err := tflite.NewInterpreter(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(it.Input(0).I8, in.I8)
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	return append([]int8(nil), it.Output(0).I8...)
+}
+
+func TestSystolicFCBitExactWithReference(t *testing.T) {
+	r := rng.New(21)
+	a := Array{Rows: 64, Cols: 64}
+	// Dimensions straddling tile boundaries in every combination.
+	dims := [][3]int{
+		{1, 1, 1}, {1, 64, 64}, {2, 63, 65}, {3, 65, 63},
+		{5, 128, 128}, {4, 130, 250}, {7, 27, 500}, {2, 700, 40},
+	}
+	for _, d := range dims {
+		in, w, bias, out := randFC(r, d[0], d[1], d[2])
+		want := refFC(t, in, w, bias, out)
+		if _, err := a.RunFullyConnected(in, w, bias, out); err != nil {
+			t.Fatalf("dims %v: %v", d, err)
+		}
+		for i := range want {
+			if out.I8[i] != want[i] {
+				t.Fatalf("dims %v: elem %d = %d, reference %d", d, i, out.I8[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSystolicFCTileIndependence(t *testing.T) {
+	// Results must not depend on array geometry, only timing does.
+	r := rng.New(5)
+	in, w, bias, out := randFC(r, 3, 100, 90)
+	a1 := Array{Rows: 64, Cols: 64}
+	a2 := Array{Rows: 8, Cols: 16}
+	if _, err := a1.RunFullyConnected(in, w, bias, out); err != nil {
+		t.Fatal(err)
+	}
+	got1 := append([]int8(nil), out.I8...)
+	if _, err := a2.RunFullyConnected(in, w, bias, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got1 {
+		if out.I8[i] != got1[i] {
+			t.Fatalf("geometry changed functional result at %d", i)
+		}
+	}
+}
+
+func TestSystolicFCRejectsAsymmetricWeights(t *testing.T) {
+	r := rng.New(6)
+	in, w, bias, out := randFC(r, 1, 8, 4)
+	w.Quant.ZeroPoint = 5
+	if _, err := (Array{Rows: 64, Cols: 64}).RunFullyConnected(in, w, bias, out); err == nil {
+		t.Fatal("asymmetric weights accepted")
+	}
+}
+
+func TestSystolicFCRejectsFloat(t *testing.T) {
+	in := tensor.New(tensor.Float32, 1, 4)
+	w := tensor.New(tensor.Int8, 2, 4)
+	bias := tensor.New(tensor.Int32, 2)
+	out := tensor.New(tensor.Int8, 1, 2)
+	if _, err := (Array{Rows: 8, Cols: 8}).RunFullyConnected(in, w, bias, out); err == nil {
+		t.Fatal("float input accepted")
+	}
+}
+
+func TestFCStatsTileCounts(t *testing.T) {
+	a := Array{Rows: 64, Cols: 64}
+	s := a.fcCycles(32, 784, 10000)
+	if s.TilesK != 13 {
+		t.Errorf("TilesK = %d, want 13", s.TilesK)
+	}
+	if s.TilesU != 157 {
+		t.Errorf("TilesU = %d, want 157", s.TilesU)
+	}
+	if s.MACs != 32*784*10000 {
+		t.Errorf("MACs = %d", s.MACs)
+	}
+	perTile := uint64(64 + 32 + 64 + 64)
+	if want := uint64(13*157) * perTile; s.Cycles != want {
+		t.Errorf("Cycles = %d, want %d", s.Cycles, want)
+	}
+}
+
+func TestFCCyclesMonotoneInBatch(t *testing.T) {
+	a := Array{Rows: 64, Cols: 64}
+	prev := uint64(0)
+	for batch := 1; batch <= 256; batch *= 2 {
+		c := a.fcCycles(batch, 600, 10000).Cycles
+		if c <= prev {
+			t.Fatalf("cycles not increasing with batch: %d at batch %d", c, batch)
+		}
+		prev = c
+	}
+}
+
+func TestFCBatchAmortization(t *testing.T) {
+	// Per-sample cycles must fall as batch grows (pipeline fill amortizes).
+	a := Array{Rows: 64, Cols: 64}
+	per1 := float64(a.fcCycles(1, 600, 10000).Cycles)
+	per64 := float64(a.fcCycles(64, 600, 10000).Cycles) / 64
+	if per64 >= per1 {
+		t.Fatalf("no batch amortization: %v per sample at batch 64 vs %v at batch 1", per64, per1)
+	}
+}
+
+func TestLUTCycles(t *testing.T) {
+	a := Array{Rows: 64, Cols: 64}
+	if got := a.lutCycles(64); got != 1 {
+		t.Errorf("lutCycles(64) = %d", got)
+	}
+	if got := a.lutCycles(65); got != 2 {
+		t.Errorf("lutCycles(65) = %d", got)
+	}
+	if got := a.lutCycles(0); got != 0 {
+		t.Errorf("lutCycles(0) = %d", got)
+	}
+}
+
+// Property: the systolic FC agrees with the reference kernel on random
+// shapes and data.
+func TestQuickSystolicMatchesReference(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16}
+	f := func(seed uint64, b8, d8, u8 uint8) bool {
+		batch := int(b8%4) + 1
+		depth := int(d8%70) + 1
+		units := int(u8%70) + 1
+		r := rng.New(seed)
+		in, w, bias, out := randFC(r, batch, depth, units)
+		refB := tflite.NewBuilder("q")
+		inIdx := refB.AddInput("in", tensor.Int8, batch, depth)
+		refB.SetQuant(inIdx, *in.Quant)
+		outIdx := refB.FullyConnected(inIdx, refB.AddConstI8("w", w), refB.AddConstI32("b", bias), "out")
+		refB.SetQuant(outIdx, *out.Quant)
+		refB.MarkOutput(outIdx)
+		it, err := tflite.NewInterpreter(refB.Finish())
+		if err != nil {
+			return false
+		}
+		copy(it.Input(0).I8, in.I8)
+		if err := it.Invoke(); err != nil {
+			return false
+		}
+		if _, err := a.RunFullyConnected(in, w, bias, out); err != nil {
+			return false
+		}
+		for i := range out.I8 {
+			if out.I8[i] != it.Output(0).I8[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

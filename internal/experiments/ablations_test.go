@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationEncodingNonlinearWins(t *testing.T) {
+	rows, err := AblationEncoding(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	wins := 0
+	for _, r := range rows {
+		if r.Nonlinear >= r.Linear-0.01 {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Fatalf("nonlinear encoding won on only %d/5 datasets", wins)
+	}
+	var buf bytes.Buffer
+	RenderAblationEncoding(&buf, rows)
+	if !strings.Contains(buf.String(), "tanh") {
+		t.Fatal("render missing columns")
+	}
+}
+
+func TestAblationFusedBeatsSerial(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Epochs = 20
+	rows, err := AblationFusedVsSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Serial <= r.Fused {
+			t.Errorf("%s: serial (%v) not slower than fused (%v)", r.Dataset, r.Serial, r.Fused)
+		}
+		if r.Overhead < 1.3 {
+			t.Errorf("%s: serial overhead %.2fx too small to motivate fusion", r.Dataset, r.Overhead)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblationFusedVsSerial(&buf, rows)
+	if !strings.Contains(buf.String(), "Serial/Fused") {
+		t.Fatal("render missing overhead column")
+	}
+}
+
+func TestAblationSubWidthTradeoff(t *testing.T) {
+	rows, err := AblationSubWidth(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	divided, full := rows[0], rows[1]
+	if full.UpdateTime <= divided.UpdateTime {
+		t.Fatalf("full-width update (%v) not more expensive than d/M (%v)", full.UpdateTime, divided.UpdateTime)
+	}
+	if divided.Accuracy < full.Accuracy-0.06 {
+		t.Fatalf("d/M accuracy %.3f collapsed vs full-width %.3f", divided.Accuracy, full.Accuracy)
+	}
+	var buf bytes.Buffer
+	RenderAblationSubWidth(&buf, rows)
+	if !strings.Contains(buf.String(), "d/M") {
+		t.Fatal("render missing policy")
+	}
+}
+
+func TestAblationBatchAmortizes(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Epochs = 20
+	points, err := AblationBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].PerSample >= points[i-1].PerSample {
+			t.Errorf("per-sample cost not falling at batch %d", points[i].Batch)
+		}
+	}
+	if points[0].Batch != 1 || points[0].RelativeTo32 < 4 {
+		t.Errorf("batch-1 penalty %.2f too small; fixed costs must dominate", points[0].RelativeTo32)
+	}
+	var buf bytes.Buffer
+	RenderAblationBatch(&buf, points)
+	if !strings.Contains(buf.String(), "Per-sample") {
+		t.Fatal("render missing column")
+	}
+}
+
+func TestAblationDimTradeoff(t *testing.T) {
+	points, err := AblationDim(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Runtime must grow with d; accuracy must broadly improve from the
+	// smallest width to the larger ones.
+	for i := 1; i < len(points); i++ {
+		if points[i].TrainTime <= points[i-1].TrainTime {
+			t.Errorf("training time not increasing at d=%d", points[i].Dim)
+		}
+	}
+	if points[len(points)-1].Accuracy < points[0].Accuracy {
+		t.Errorf("largest width (%.3f) worse than smallest (%.3f)",
+			points[len(points)-1].Accuracy, points[0].Accuracy)
+	}
+	var buf bytes.Buffer
+	RenderAblationDim(&buf, points)
+	if !strings.Contains(buf.String(), "4096") {
+		t.Fatal("render missing sweep")
+	}
+}
+
+func TestAblationOverlapGains(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Epochs = 20
+	rows, err := AblationOverlap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Pipelined > r.Sequential {
+			t.Errorf("%s: pipelining slowed encoding (%v vs %v)", r.Dataset, r.Pipelined, r.Sequential)
+		}
+		if r.Gain > 2.05 {
+			t.Errorf("%s: double buffering gained %.2fx; it can at most double throughput", r.Dataset, r.Gain)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblationOverlap(&buf, rows)
+	if !strings.Contains(buf.String(), "Pipelined") {
+		t.Fatal("render missing column")
+	}
+}
+
+func TestAblationScaleOutSaturation(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Epochs = 20
+	points, err := AblationScaleOut(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("%d points", len(points))
+	}
+	byLink := map[string][]ScaleOutPoint{}
+	for _, p := range points {
+		byLink[p.Link] = append(byLink[p.Link], p)
+	}
+	usb := byLink["edgetpu-usb"]
+	pcie := byLink["edgetpu-pcie"]
+	// USB: link-bound — extra devices must not help at all.
+	if usb[3].Speedup > 1.05 {
+		t.Errorf("USB scale-out gained %.2fx; the shared link should cap it", usb[3].Speedup)
+	}
+	// PCIe: must gain from a second device, then saturate.
+	if pcie[1].Speedup <= 1.05 {
+		t.Errorf("PCIe gained nothing from a second device: %.2fx", pcie[1].Speedup)
+	}
+	if pcie[3].Speedup > pcie[1].Speedup*1.6 {
+		t.Errorf("PCIe kept scaling to 8 devices (%.2fx); link should saturate it", pcie[3].Speedup)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// EnergyRow compares modeled energy per dataset across the three
+// platforms. The paper picks the Raspberry Pi 3 as the comparison point
+// *because* it draws similar power to the Edge TPU platform — this table
+// quantifies that claim and derives energy-efficiency factors.
+type EnergyRow struct {
+	Dataset string
+	// Training energy in joules.
+	TrainCPU, TrainTPUB, TrainPi float64
+	// Inference energy in joules (full test split).
+	InfCPU, InfTPU, InfPi float64
+}
+
+// TrainEnergyGainVsPi returns how many times less energy the proposed
+// platform uses than the Pi for training.
+func (r EnergyRow) TrainEnergyGainVsPi() float64 {
+	if r.TrainTPUB == 0 {
+		return 0
+	}
+	return r.TrainPi / r.TrainTPUB
+}
+
+// InfEnergyGainVsPi returns the inference energy factor vs the Pi.
+func (r EnergyRow) InfEnergyGainVsPi() float64 {
+	if r.InfTPU == 0 {
+		return 0
+	}
+	return r.InfPi / r.InfTPU
+}
+
+// TableEnergy models training and inference energy for every dataset.
+func TableEnergy(cfg Config) ([]EnergyRow, error) {
+	cpu := pipeline.CPUBaseline()
+	tpu := pipeline.EdgeTPU()
+	pi := pipeline.RaspberryPi()
+	bcfg := bagging.DefaultConfig()
+	var rows []EnergyRow
+	for _, name := range DatasetNames() {
+		spec, err := dataset.CatalogSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		w := pipeline.FromSpec(spec, cfg.Epochs)
+		row := EnergyRow{Dataset: name}
+
+		e, err := pipeline.CPUTrainingEnergy(cpu, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: energy %s: %w", name, err)
+		}
+		row.TrainCPU = e.Total()
+		e, err = pipeline.BaggingTrainingEnergy(tpu, w, bcfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: energy %s: %w", name, err)
+		}
+		row.TrainTPUB = e.Total()
+		e, err = pipeline.CPUTrainingEnergy(pi, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: energy %s: %w", name, err)
+		}
+		row.TrainPi = e.Total()
+
+		e, err = pipeline.CPUInferenceEnergy(cpu, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: energy %s: %w", name, err)
+		}
+		row.InfCPU = e.Total()
+		e, err = pipeline.TPUInferenceEnergy(tpu, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: energy %s: %w", name, err)
+		}
+		row.InfTPU = e.Total()
+		e, err = pipeline.CPUInferenceEnergy(pi, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: energy %s: %w", name, err)
+		}
+		row.InfPi = e.Total()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTableEnergy prints the energy comparison.
+func RenderTableEnergy(w io.Writer, rows []EnergyRow) {
+	t := &metrics.Table{
+		Title: "Energy (modeled, joules): laptop CPU vs Edge TPU platform vs Raspberry Pi 3",
+		Headers: []string{"Dataset", "Train CPU", "Train TPU_B", "Train Pi", "Inf CPU", "Inf TPU", "Inf Pi",
+			"Train vs Pi", "Inf vs Pi"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Dataset,
+			fmt.Sprintf("%.1f", r.TrainCPU), fmt.Sprintf("%.1f", r.TrainTPUB), fmt.Sprintf("%.1f", r.TrainPi),
+			fmt.Sprintf("%.2f", r.InfCPU), fmt.Sprintf("%.2f", r.InfTPU), fmt.Sprintf("%.2f", r.InfPi),
+			metrics.FmtX(r.TrainEnergyGainVsPi()), metrics.FmtX(r.InfEnergyGainVsPi()))
+	}
+	fprintf(w, "%s\n", t)
+}

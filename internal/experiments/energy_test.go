@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableEnergyShapes(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Epochs = 20
+	rows, err := TableEnergy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TrainCPU <= 0 || r.TrainTPUB <= 0 || r.TrainPi <= 0 {
+			t.Fatalf("%s: non-positive training energy %+v", r.Dataset, r)
+		}
+		// The proposed platform must use less training energy than both
+		// CPU-only platforms: it is faster AND offloads to a 2 W device.
+		if r.TrainTPUB >= r.TrainCPU {
+			t.Errorf("%s: TPU_B training energy %.1f not below CPU %.1f", r.Dataset, r.TrainTPUB, r.TrainCPU)
+		}
+		if r.TrainEnergyGainVsPi() < 1.5 {
+			t.Errorf("%s: training energy gain vs Pi %.2f too small", r.Dataset, r.TrainEnergyGainVsPi())
+		}
+		// Inference: feature-rich datasets must win on energy; PAMAP2 may
+		// win only modestly.
+		if r.Dataset != "PAMAP2" && r.InfEnergyGainVsPi() < 3 {
+			t.Errorf("%s: inference energy gain vs Pi %.2f too small", r.Dataset, r.InfEnergyGainVsPi())
+		}
+	}
+	var buf bytes.Buffer
+	RenderTableEnergy(&buf, rows)
+	if !strings.Contains(buf.String(), "joules") {
+		t.Fatal("render missing units")
+	}
+}
+
+func TestAblationRobustnessShapes(t *testing.T) {
+	res, err := AblationRobustness(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise sweep: accuracy must degrade monotonically-ish (allow small
+	// wiggle) and gracefully — no cliff at the first noise step.
+	clean := res.FeatureNoise[0].Accuracy
+	if clean < 0.8 {
+		t.Fatalf("clean accuracy %.3f too low for the sweep to be meaningful", clean)
+	}
+	firstStep := res.FeatureNoise[1].Accuracy
+	if firstStep < clean-0.10 {
+		t.Errorf("accuracy cliff at σ=0.25: %.3f -> %.3f", clean, firstStep)
+	}
+	last := res.FeatureNoise[len(res.FeatureNoise)-1].Accuracy
+	if last >= clean {
+		t.Error("heavy noise did not reduce accuracy at all; sweep is vacuous")
+	}
+
+	// Corruption sweep: the large-d model must tolerate corruption better
+	// at every nonzero level (the HDC robustness claim).
+	for i := 1; i < len(CorruptionLevels); i++ {
+		small := res.CorruptSmallD[i].Accuracy
+		large := res.CorruptLargeD[i].Accuracy
+		if large < small-0.02 {
+			t.Errorf("at corruption %.2f, d=%d (%.3f) not more robust than d=%d (%.3f)",
+				CorruptionLevels[i], res.LargeD, large, res.SmallD, small)
+		}
+	}
+	// 10% corruption must leave the large-d model largely intact.
+	if res.CorruptLargeD[2].Accuracy < res.CorruptLargeD[0].Accuracy-0.15 {
+		t.Errorf("d=%d lost %.3f -> %.3f at 10%% corruption: not graceful",
+			res.LargeD, res.CorruptLargeD[0].Accuracy, res.CorruptLargeD[2].Accuracy)
+	}
+	var buf bytes.Buffer
+	RenderAblationRobustness(&buf, res)
+	if !strings.Contains(buf.String(), "sign flips") {
+		t.Fatal("render missing corruption table")
+	}
+}
+
+func TestTableVarianceStable(t *testing.T) {
+	rows, err := TableVariance(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Accuracies) != VarianceSeeds {
+			t.Fatalf("%s: %d runs", r.Dataset, len(r.Accuracies))
+		}
+		// HDC in high dimension must be seed-stable: std below 3 points.
+		if r.Std > 0.03 {
+			t.Errorf("%s: seed std %.3f too high (%v)", r.Dataset, r.Std, r.Accuracies)
+		}
+		if r.Mean < 0.5 {
+			t.Errorf("%s: mean accuracy %.3f", r.Dataset, r.Mean)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTableVariance(&buf, rows)
+	if !strings.Contains(buf.String(), "Std") {
+		t.Fatal("render missing columns")
+	}
+}

@@ -1,0 +1,73 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section IV). Each driver returns structured rows
+// that the benchmark harness, the hdc-bench command, and the tests consume,
+// plus a renderer that prints the same series the paper reports.
+//
+// Runtime artifacts (Figs 5, 6, 10, Table II) are modeled at the paper's
+// full Table I scale through the platform cost models. Accuracy artifacts
+// (Figs 4, 7, 8, 9) execute functionally on subsampled catalog datasets at
+// a reduced hypervector width; Config controls that scale.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/rng"
+)
+
+// Config scales the functional (actually executed) parts of the suite.
+type Config struct {
+	// FunctionalSamples caps how many rows of each catalog dataset are
+	// generated for functional runs.
+	FunctionalSamples int
+	// FunctionalDim is the hypervector width for functional runs.
+	// Runtime models always use the paper's d = 10,000.
+	FunctionalDim int
+	// Epochs is the fully-trained iteration count (paper: 20).
+	Epochs int
+	// Seed drives every random choice in the suite.
+	Seed uint64
+}
+
+// DefaultConfig returns the scale used by the benchmark harness: large
+// enough for stable accuracy ordering, small enough to run in seconds per
+// experiment.
+func DefaultConfig() Config {
+	return Config{
+		FunctionalSamples: 1500,
+		FunctionalDim:     2000,
+		Epochs:            20,
+		Seed:              7,
+	}
+}
+
+// loadSplit generates the (possibly capped) catalog dataset and splits it.
+func loadSplit(name string, cfg Config) (train, test *dataset.Dataset, err error) {
+	spec, err := dataset.CatalogSpec(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := dataset.Generate(spec, cfg.FunctionalSamples)
+	if err != nil {
+		return nil, nil, err
+	}
+	train, test = ds.Split(0.25, rng.New(cfg.Seed^spec.Seed))
+	return train, test, nil
+}
+
+// DatasetNames lists the catalog in the paper's order.
+func DatasetNames() []string {
+	names := make([]string, 0, 5)
+	for _, s := range dataset.Catalog() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/metrics"
+)
+
+// This file holds the extension studies beyond the paper's evaluation:
+// single-pass OnlineHD-style training (the paper's reference [17], a
+// natural future-work direction for even cheaper host-side updates) and
+// bipolar model quantization (the microcontroller-class deployment form).
+
+// OnlineRow compares single-pass confidence-weighted training against the
+// paper's 20-iteration perceptron on one dataset.
+type OnlineRow struct {
+	Dataset     string
+	Iterative   float64 // fully-trained accuracy
+	OnlineOne   float64 // one adaptive pass
+	OnlineThree float64 // three adaptive passes
+}
+
+// AblationOnline runs both trainers on every catalog dataset.
+func AblationOnline(cfg Config) ([]OnlineRow, error) {
+	var rows []OnlineRow
+	for _, name := range DatasetNames() {
+		train, test, err := loadSplit(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		iter, _, err := hdc.Train(train, nil, hdc.TrainConfig{
+			Dim: cfg.FunctionalDim, Epochs: cfg.Epochs, LearningRate: 1,
+			Nonlinear: true, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: online %s: %w", name, err)
+		}
+		one, _, err := hdc.TrainOnline(train, cfg.FunctionalDim, 1, hdc.OnlineConfig{LearningRate: 1}, true, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: online %s: %w", name, err)
+		}
+		three, _, err := hdc.TrainOnline(train, cfg.FunctionalDim, 3, hdc.OnlineConfig{LearningRate: 1}, true, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: online %s: %w", name, err)
+		}
+		one.Metric = hdc.CosineSimilarity
+		three.Metric = hdc.CosineSimilarity
+		rows = append(rows, OnlineRow{
+			Dataset:     name,
+			Iterative:   iter.Accuracy(test),
+			OnlineOne:   one.Accuracy(test),
+			OnlineThree: three.Accuracy(test),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationOnline prints the comparison.
+func RenderAblationOnline(w io.Writer, rows []OnlineRow) {
+	t := &metrics.Table{
+		Title:   "Extension: single-pass OnlineHD-style training vs iterative perceptron",
+		Headers: []string{"Dataset", "Iterative (20it)", "Online (1 pass)", "Online (3 passes)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Dataset, metrics.FmtPct(r.Iterative), metrics.FmtPct(r.OnlineOne), metrics.FmtPct(r.OnlineThree))
+	}
+	fprintf(w, "%s\n", t)
+}
+
+// BinaryRow compares the float model against its bipolar quantization.
+type BinaryRow struct {
+	Dataset    string
+	FloatAcc   float64
+	BinaryAcc  float64
+	FloatBytes int
+	PackedByte int
+}
+
+// AblationBinary quantizes trained models to bipolar form per dataset.
+func AblationBinary(cfg Config) ([]BinaryRow, error) {
+	var rows []BinaryRow
+	for _, name := range DatasetNames() {
+		train, test, err := loadSplit(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m, _, err := hdc.Train(train, nil, hdc.TrainConfig{
+			Dim: cfg.FunctionalDim, Epochs: cfg.Epochs, LearningRate: 1,
+			Nonlinear: true, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: binary %s: %w", name, err)
+		}
+		bm := m.Binarize()
+		preds := bm.PredictBatch(test.X)
+		rows = append(rows, BinaryRow{
+			Dataset:    name,
+			FloatAcc:   m.Accuracy(test),
+			BinaryAcc:  metrics.Accuracy(preds, test.Y),
+			FloatBytes: m.K() * m.Dim() * 4,
+			PackedByte: bm.Bytes(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationBinary prints the quantization comparison.
+func RenderAblationBinary(w io.Writer, rows []BinaryRow) {
+	t := &metrics.Table{
+		Title:   "Extension: bipolar (1-bit) class hypervectors vs float",
+		Headers: []string{"Dataset", "float acc", "bipolar acc", "float bytes", "packed bytes", "shrink"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Dataset, metrics.FmtPct(r.FloatAcc), metrics.FmtPct(r.BinaryAcc),
+			fmt.Sprint(r.FloatBytes), fmt.Sprint(r.PackedByte),
+			metrics.FmtX(float64(r.FloatBytes)/float64(r.PackedByte)))
+	}
+	fprintf(w, "%s\n", t)
+}
+
+// EncoderCompareRow compares the paper's non-linear projection encoding
+// against the classic record-based (ID–level) encoding. Only the
+// projection form maps to the accelerator (it is a matmul); ID–level
+// binding is element-wise with a per-value gather, so it stays on the
+// CPU — the comparison quantifies what the co-design choice gives up
+// (nothing) and gains (delegability).
+type EncoderCompareRow struct {
+	Dataset    string
+	Projection float64
+	IDLevel    float64
+}
+
+// AblationEncoderCompare trains both encoders on every catalog dataset.
+func AblationEncoderCompare(cfg Config) ([]EncoderCompareRow, error) {
+	var rows []EncoderCompareRow
+	for _, name := range DatasetNames() {
+		train, test, err := loadSplit(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		proj, _, err := hdc.Train(train, nil, hdc.TrainConfig{
+			Dim: cfg.FunctionalDim, Epochs: cfg.Epochs, LearningRate: 1,
+			Nonlinear: true, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: encoder-compare %s: %w", name, err)
+		}
+		idl, _, err := hdc.TrainIDLevel(train, hdc.IDLevelConfig{
+			Dim: cfg.FunctionalDim, Levels: 32, Epochs: cfg.Epochs, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: encoder-compare %s: %w", name, err)
+		}
+		rows = append(rows, EncoderCompareRow{
+			Dataset:    name,
+			Projection: proj.Accuracy(test),
+			IDLevel:    idl.Accuracy(test),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationEncoderCompare prints the comparison.
+func RenderAblationEncoderCompare(w io.Writer, rows []EncoderCompareRow) {
+	t := &metrics.Table{
+		Title:   "Extension: projection (TPU-mappable) vs ID-level (CPU-only) encoding",
+		Headers: []string{"Dataset", "projection", "ID-level", "Δ"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Dataset, metrics.FmtPct(r.Projection), metrics.FmtPct(r.IDLevel),
+			fmt.Sprintf("%+.1f pts", 100*(r.Projection-r.IDLevel)))
+	}
+	fprintf(w, "%s\n", t)
+}

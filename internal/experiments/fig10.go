@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// Fig10Point is one synthetic feature count's encoding runtime comparison.
+type Fig10Point struct {
+	Features  int
+	CPUEncode time.Duration
+	TPUEncode time.Duration
+	Speedup   float64
+}
+
+// Fig10Features is the sweep grid, spanning the paper's 20–700 range.
+var Fig10Features = []int{20, 50, 100, 200, 300, 400, 500, 600, 700}
+
+// Fig10 models training-set encoding runtime on synthetic datasets with
+// varying input feature counts (10,000 samples each, d = 10,000).
+func Fig10(cfg Config) ([]Fig10Point, error) {
+	cpu := pipeline.CPUBaseline()
+	tpu := pipeline.EdgeTPU()
+	var points []Fig10Point
+	for _, n := range Fig10Features {
+		spec := dataset.SyntheticSpec(n, 10000, 8, cfg.Seed)
+		w := pipeline.FromSpec(spec, cfg.Epochs)
+		cb, err := pipeline.CPUTraining(cpu.Host, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 n=%d: %w", n, err)
+		}
+		tb, err := pipeline.TPUTraining(tpu, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 n=%d: %w", n, err)
+		}
+		points = append(points, Fig10Point{
+			Features:  n,
+			CPUEncode: cb.Encode,
+			TPUEncode: tb.Encode,
+			Speedup:   metrics.Speedup(cb.Encode, tb.Encode),
+		})
+	}
+	return points, nil
+}
+
+// RenderFig10 prints the encoding scalability sweep.
+func RenderFig10(w io.Writer, points []Fig10Point) {
+	t := &metrics.Table{
+		Title:   "Fig 10: Encoding runtime speedup on TPU vs CPU baseline by feature count",
+		Headers: []string{"# Features", "CPU encode", "TPU encode", "Speedup"},
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprint(p.Features), metrics.FmtDur(p.CPUEncode),
+			metrics.FmtDur(p.TPUEncode), metrics.FmtX(p.Speedup))
+	}
+	fprintf(w, "%s\n", t)
+}

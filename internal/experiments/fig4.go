@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdcedge/internal/hdc"
+)
+
+// Fig4Series is one dataset's training curve: per-epoch training and
+// validation accuracy over the fully-trained schedule (Fig 4).
+type Fig4Series struct {
+	Dataset            string
+	TrainAccuracy      []float64
+	ValidationAccuracy []float64
+	// UpdateFracs are the measured per-epoch misclassification fractions,
+	// fed into the runtime models of Fig 5.
+	UpdateFracs []float64
+}
+
+// Fig4 trains the CPU float model on every catalog dataset and records the
+// accuracy-vs-epoch curves.
+func Fig4(cfg Config) ([]Fig4Series, error) {
+	var out []Fig4Series
+	for _, name := range DatasetNames() {
+		train, test, err := loadSplit(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		_, stats, err := hdc.Train(train, test, hdc.TrainConfig{
+			Dim: cfg.FunctionalDim, Epochs: cfg.Epochs, LearningRate: 1,
+			Nonlinear: true, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 %s: %w", name, err)
+		}
+		s := Fig4Series{Dataset: name}
+		for _, e := range stats.Epochs {
+			s.TrainAccuracy = append(s.TrainAccuracy, e.TrainAccuracy)
+			s.ValidationAccuracy = append(s.ValidationAccuracy, e.ValidationAccuracy)
+			s.UpdateFracs = append(s.UpdateFracs, float64(e.Updates)/float64(train.Samples()))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RenderFig4 prints the training curves.
+func RenderFig4(w io.Writer, series []Fig4Series) {
+	fprintf(w, "Fig 4: Training and validation accuracy for CPU experiments\n")
+	for _, s := range series {
+		fprintf(w, "  %s\n    epoch:", s.Dataset)
+		for e := range s.TrainAccuracy {
+			fprintf(w, " %5d", e+1)
+		}
+		fprintf(w, "\n    train:")
+		for _, a := range s.TrainAccuracy {
+			fprintf(w, " %5.3f", a)
+		}
+		fprintf(w, "\n    valid:")
+		for _, a := range s.ValidationAccuracy {
+			fprintf(w, " %5.3f", a)
+		}
+		fprintf(w, "\n")
+	}
+}

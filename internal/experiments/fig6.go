@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// Fig6Row is one dataset's inference-runtime comparison. TPU_B equals the
+// TPU setting by construction: the fused bagging model has the same
+// dimensions as the single full model, which is the paper's zero-overhead
+// claim — the row carries both so the renderer can show it.
+type Fig6Row struct {
+	Dataset string
+	CPU     time.Duration
+	TPU     time.Duration
+	TPUB    time.Duration
+}
+
+// Speedup returns CPU / TPU_B.
+func (r Fig6Row) Speedup() float64 { return metrics.Speedup(r.CPU, r.TPUB) }
+
+// Fig6 models inference runtime over each dataset's full test split.
+func Fig6(cfg Config) ([]Fig6Row, error) {
+	cpu := pipeline.CPUBaseline()
+	tpu := pipeline.EdgeTPU()
+	var rows []Fig6Row
+	for _, name := range DatasetNames() {
+		spec, err := dataset.CatalogSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		w := pipeline.FromSpec(spec, cfg.Epochs)
+		ci, err := pipeline.CPUInference(cpu.Host, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6 %s: %w", name, err)
+		}
+		ti, err := pipeline.TPUInference(tpu, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6 %s: %w", name, err)
+		}
+		// The fused bagging model is dimension-identical to the full
+		// model, so its modeled inference cost is the same invocation
+		// stream.
+		rows = append(rows, Fig6Row{Dataset: name, CPU: ci, TPU: ti, TPUB: ti})
+	}
+	return rows, nil
+}
+
+// RenderFig6 prints normalized inference runtimes.
+func RenderFig6(w io.Writer, rows []Fig6Row) {
+	t := &metrics.Table{
+		Title:   "Fig 6: Inference runtime (normalized to CPU baseline per dataset)",
+		Headers: []string{"Dataset", "CPU", "TPU", "TPU_B", "Speedup", "AbsCPU", "AbsTPU"},
+	}
+	for _, r := range rows {
+		n := metrics.Normalize(r.CPU, r.CPU, r.TPU, r.TPUB)
+		t.AddRow(r.Dataset,
+			fmt.Sprintf("%.3f", n[0]), fmt.Sprintf("%.3f", n[1]), fmt.Sprintf("%.3f", n[2]),
+			metrics.FmtX(r.Speedup()), metrics.FmtDur(r.CPU), metrics.FmtDur(r.TPUB))
+	}
+	fprintf(w, "%s\n", t)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// Fig7Row is one dataset's inference accuracy under the three settings:
+// the CPU float baseline, the quantized full model on the accelerator, and
+// the quantized fused bagging model on the accelerator.
+type Fig7Row struct {
+	Dataset string
+	CPU     float64
+	TPU     float64
+	TPUB    float64
+}
+
+// Fig7 runs the three settings functionally on every catalog dataset.
+func Fig7(cfg Config) ([]Fig7Row, error) {
+	plat := pipeline.EdgeTPU()
+	var rows []Fig7Row
+	for _, name := range DatasetNames() {
+		train, test, err := loadSplit(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// CPU baseline: fully-trained float model.
+		full, _, err := hdc.Train(train, nil, hdc.TrainConfig{
+			Dim: cfg.FunctionalDim, Epochs: cfg.Epochs, LearningRate: 1,
+			Nonlinear: true, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 %s: %w", name, err)
+		}
+		row := Fig7Row{Dataset: name, CPU: full.Accuracy(test)}
+
+		// TPU: the same model quantized and classified on the device.
+		preds, _, err := pipeline.InferOnDevice(plat, full, test, train, pipeline.DefaultInferBatch)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 %s tpu: %w", name, err)
+		}
+		row.TPU = metrics.Accuracy(preds, test.Y)
+
+		// TPU_B: bagging-trained, fused, quantized, classified on device.
+		bcfg := bagging.DefaultConfig()
+		bcfg.Dim = cfg.FunctionalDim
+		bcfg.Seed = cfg.Seed
+		ens, _, err := bagging.Train(train, bcfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 %s bagging: %w", name, err)
+		}
+		fused := ens.Fuse()
+		predsB, _, err := pipeline.InferOnDevice(plat, fused, test, train, pipeline.DefaultInferBatch)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 %s tpu_b: %w", name, err)
+		}
+		row.TPUB = metrics.Accuracy(predsB, test.Y)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig7 prints the accuracy comparison.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	t := &metrics.Table{
+		Title:   "Fig 7: Inference accuracy for different framework settings",
+		Headers: []string{"Dataset", "CPU", "TPU", "TPU_B"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Dataset, metrics.FmtPct(r.CPU), metrics.FmtPct(r.TPU), metrics.FmtPct(r.TPUB))
+	}
+	fprintf(w, "%s\n", t)
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// Fig8Point is one (α, β) setting of the bagging parameter search on
+// ISOLET: fused-model accuracy (functional) and modeled training runtime
+// normalized to α = β = 1.
+type Fig8Point struct {
+	DatasetRatio float64 // α
+	FeatureRatio float64 // β
+	Accuracy     float64
+	Runtime      time.Duration
+	Normalized   float64
+}
+
+// Fig8Alphas and Fig8Betas are the searched grids.
+var (
+	Fig8Alphas = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	Fig8Betas  = []float64{0.4, 0.6, 0.8, 1.0}
+)
+
+// Fig8 sweeps the dataset-sampling ratio (with β = 1) and the
+// feature-sampling ratio (with α = 0.6) on ISOLET at 6 iterations,
+// mirroring the paper's search.
+func Fig8(cfg Config) ([]Fig8Point, error) {
+	train, test, err := loadSplit("ISOLET", cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := dataset.CatalogSpec("ISOLET")
+	if err != nil {
+		return nil, err
+	}
+	w := pipeline.FromSpec(spec, cfg.Epochs)
+	tpu := pipeline.EdgeTPU()
+
+	evalPoint := func(alpha, beta float64) (Fig8Point, error) {
+		bcfg := bagging.DefaultConfig()
+		bcfg.Dim = cfg.FunctionalDim
+		bcfg.DatasetRatio = alpha
+		bcfg.FeatureRatio = beta
+		bcfg.Seed = cfg.Seed
+		ens, _, err := bagging.Train(train, bcfg)
+		if err != nil {
+			return Fig8Point{}, err
+		}
+		acc := ens.Accuracy(test)
+
+		modelCfg := bcfg
+		modelCfg.Dim = w.Dim // runtime modeled at full width
+		bb, err := pipeline.BaggingTraining(tpu, w, modelCfg, nil)
+		if err != nil {
+			return Fig8Point{}, err
+		}
+		return Fig8Point{
+			DatasetRatio: alpha, FeatureRatio: beta,
+			Accuracy: acc, Runtime: bb.Total(),
+		}, nil
+	}
+
+	var points []Fig8Point
+	for _, alpha := range Fig8Alphas {
+		p, err := evalPoint(alpha, 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig8 α=%v: %w", alpha, err)
+		}
+		points = append(points, p)
+	}
+	for _, beta := range Fig8Betas {
+		if beta == 1.0 {
+			continue // already covered by the α sweep's endpoint pattern
+		}
+		p, err := evalPoint(0.6, beta)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig8 β=%v: %w", beta, err)
+		}
+		points = append(points, p)
+	}
+
+	// Normalize runtimes to the α = β = 1 point.
+	var base time.Duration
+	for _, p := range points {
+		if p.DatasetRatio == 1.0 && p.FeatureRatio == 1.0 {
+			base = p.Runtime
+		}
+	}
+	for i := range points {
+		points[i].Normalized = float64(points[i].Runtime) / float64(base)
+	}
+	return points, nil
+}
+
+// RenderFig8 prints the ratio search.
+func RenderFig8(w io.Writer, points []Fig8Point) {
+	t := &metrics.Table{
+		Title:   "Fig 8: Bagging ratio search on ISOLET (runtime normalized to α=1, β=1)",
+		Headers: []string{"α (dataset)", "β (feature)", "Accuracy", "Norm. runtime"},
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%.1f", p.DatasetRatio), fmt.Sprintf("%.1f", p.FeatureRatio),
+			metrics.FmtPct(p.Accuracy), fmt.Sprintf("%.3f", p.Normalized))
+	}
+	fprintf(w, "%s\n", t)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// Fig9Point is one iteration-count setting of the bagging search on
+// ISOLET: fused accuracy and modeled update-phase runtime normalized to
+// 8 iterations.
+type Fig9Point struct {
+	Iterations int
+	Accuracy   float64
+	Update     time.Duration
+	Normalized float64
+}
+
+// Fig9 sweeps the sub-model training iterations 3–8 with α = 0.6, β = 1.
+func Fig9(cfg Config) ([]Fig9Point, error) {
+	train, test, err := loadSplit("ISOLET", cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := dataset.CatalogSpec("ISOLET")
+	if err != nil {
+		return nil, err
+	}
+	w := pipeline.FromSpec(spec, cfg.Epochs)
+	tpu := pipeline.EdgeTPU()
+
+	var points []Fig9Point
+	for iters := 3; iters <= 8; iters++ {
+		bcfg := bagging.DefaultConfig()
+		bcfg.Dim = cfg.FunctionalDim
+		bcfg.Iterations = iters
+		bcfg.Seed = cfg.Seed
+		ens, _, err := bagging.Train(train, bcfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig9 I'=%d: %w", iters, err)
+		}
+		modelCfg := bcfg
+		modelCfg.Dim = w.Dim
+		bb, err := pipeline.BaggingTraining(tpu, w, modelCfg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig9 I'=%d: %w", iters, err)
+		}
+		points = append(points, Fig9Point{
+			Iterations: iters,
+			Accuracy:   ens.Accuracy(test),
+			Update:     bb.Update,
+		})
+	}
+	base := points[len(points)-1].Update // 8 iterations
+	for i := range points {
+		points[i].Normalized = float64(points[i].Update) / float64(base)
+	}
+	return points, nil
+}
+
+// RenderFig9 prints the iteration sweep.
+func RenderFig9(w io.Writer, points []Fig9Point) {
+	t := &metrics.Table{
+		Title:   "Fig 9: Bagging iterations on ISOLET (update runtime normalized to 8 iterations)",
+		Headers: []string{"Iterations", "Accuracy", "Norm. update runtime"},
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprint(p.Iterations), metrics.FmtPct(p.Accuracy), fmt.Sprintf("%.3f", p.Normalized))
+	}
+	fprintf(w, "%s\n", t)
+}

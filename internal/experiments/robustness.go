@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/rng"
+)
+
+// RobustnessPoint is one stress level of a degradation sweep.
+type RobustnessPoint struct {
+	Level    float64
+	Accuracy float64
+}
+
+// RobustnessResult collects the HDC noise-tolerance sweeps the paper's
+// introduction appeals to: accuracy under input feature noise, and under
+// sign-flip corruption of the trained class hypervectors at a small and a
+// large hypervector width (high dimension should degrade more gracefully).
+type RobustnessResult struct {
+	Dataset       string
+	FeatureNoise  []RobustnessPoint
+	CorruptSmallD []RobustnessPoint
+	CorruptLargeD []RobustnessPoint
+	SmallD        int
+	LargeD        int
+}
+
+// NoiseLevels and CorruptionLevels are the sweep grids.
+var (
+	NoiseLevels      = []float64{0, 0.25, 0.5, 1.0, 1.5, 2.0}
+	CorruptionLevels = []float64{0, 0.05, 0.10, 0.20, 0.30, 0.40}
+)
+
+// AblationRobustness runs both sweeps on ISOLET.
+func AblationRobustness(cfg Config) (*RobustnessResult, error) {
+	train, test, err := loadSplit("ISOLET", cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &RobustnessResult{
+		Dataset: "ISOLET",
+		SmallD:  cfg.FunctionalDim / 8,
+		LargeD:  cfg.FunctionalDim,
+	}
+
+	model, _, err := hdc.Train(train, nil, hdc.TrainConfig{
+		Dim: cfg.FunctionalDim, Epochs: cfg.Epochs, LearningRate: 1,
+		Nonlinear: true, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: robustness: %w", err)
+	}
+
+	r := rng.New(cfg.Seed + 99)
+	for _, lvl := range NoiseLevels {
+		noisy := test.WithNoise(lvl, r.Split())
+		res.FeatureNoise = append(res.FeatureNoise, RobustnessPoint{
+			Level: lvl, Accuracy: model.Accuracy(noisy),
+		})
+	}
+
+	sweep := func(dim int) ([]RobustnessPoint, error) {
+		m, _, err := hdc.Train(train, nil, hdc.TrainConfig{
+			Dim: dim, Epochs: cfg.Epochs, LearningRate: 1,
+			Nonlinear: true, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var points []RobustnessPoint
+		for _, lvl := range CorruptionLevels {
+			probe := m.Clone()
+			probe.CorruptClasses(lvl, rng.New(cfg.Seed+uint64(1000*lvl)))
+			points = append(points, RobustnessPoint{Level: lvl, Accuracy: probe.Accuracy(test)})
+		}
+		return points, nil
+	}
+	if res.CorruptSmallD, err = sweep(res.SmallD); err != nil {
+		return nil, fmt.Errorf("experiments: robustness small-d: %w", err)
+	}
+	if res.CorruptLargeD, err = sweep(res.LargeD); err != nil {
+		return nil, fmt.Errorf("experiments: robustness large-d: %w", err)
+	}
+	return res, nil
+}
+
+// RenderAblationRobustness prints both sweeps.
+func RenderAblationRobustness(w io.Writer, res *RobustnessResult) {
+	t1 := &metrics.Table{
+		Title:   fmt.Sprintf("Robustness: accuracy under test-feature noise (%s)", res.Dataset),
+		Headers: []string{"Noise σ", "Accuracy"},
+	}
+	for _, p := range res.FeatureNoise {
+		t1.AddRow(fmt.Sprintf("%.2f", p.Level), metrics.FmtPct(p.Accuracy))
+	}
+	fprintf(w, "%s\n", t1)
+
+	t2 := &metrics.Table{
+		Title: fmt.Sprintf("Robustness: accuracy under class-hypervector sign flips (%s)", res.Dataset),
+		Headers: []string{"Corrupted frac",
+			fmt.Sprintf("d=%d", res.SmallD), fmt.Sprintf("d=%d", res.LargeD)},
+	}
+	for i := range res.CorruptSmallD {
+		t2.AddRow(fmt.Sprintf("%.2f", res.CorruptSmallD[i].Level),
+			metrics.FmtPct(res.CorruptSmallD[i].Accuracy),
+			metrics.FmtPct(res.CorruptLargeD[i].Accuracy))
+	}
+	fprintf(w, "%s\n", t2)
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Runner names used by RunOne and the hdc-bench command.
+var AllExperiments = []string{
+	"table1", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "fig10",
+	"table-energy",
+	"ablation-encoding", "ablation-fused", "ablation-subwidth", "ablation-batch",
+	"ablation-robustness", "ablation-online", "ablation-binary",
+	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
+	"ablation-scaleout", "table-variance",
+}
+
+// RunOne executes the named experiment and renders it to w.
+func RunOne(name string, cfg Config, w io.Writer) error {
+	switch name {
+	case "table1":
+		rows, err := TableI()
+		if err != nil {
+			return err
+		}
+		RenderTableI(w, rows)
+	case "fig4":
+		series, err := Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		RenderFig4(w, series)
+	case "fig5":
+		rows, err := Fig5(cfg, nil)
+		if err != nil {
+			return err
+		}
+		RenderFig5(w, rows)
+	case "fig6":
+		rows, err := Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		RenderFig6(w, rows)
+	case "fig7":
+		rows, err := Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		RenderFig7(w, rows)
+	case "table2":
+		rows, err := TableII(cfg)
+		if err != nil {
+			return err
+		}
+		RenderTableII(w, rows)
+	case "fig8":
+		points, err := Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		RenderFig8(w, points)
+	case "fig9":
+		points, err := Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		RenderFig9(w, points)
+	case "fig10":
+		points, err := Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		RenderFig10(w, points)
+	case "table-variance":
+		rows, err := TableVariance(cfg)
+		if err != nil {
+			return err
+		}
+		RenderTableVariance(w, rows)
+	case "table-energy":
+		rows, err := TableEnergy(cfg)
+		if err != nil {
+			return err
+		}
+		RenderTableEnergy(w, rows)
+	case "ablation-robustness":
+		res, err := AblationRobustness(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationRobustness(w, res)
+	case "ablation-encoding":
+		rows, err := AblationEncoding(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationEncoding(w, rows)
+	case "ablation-fused":
+		rows, err := AblationFusedVsSerial(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationFusedVsSerial(w, rows)
+	case "ablation-subwidth":
+		rows, err := AblationSubWidth(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationSubWidth(w, rows)
+	case "ablation-batch":
+		points, err := AblationBatch(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationBatch(w, points)
+	case "ablation-encoder-compare":
+		rows, err := AblationEncoderCompare(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationEncoderCompare(w, rows)
+	case "ablation-overlap":
+		rows, err := AblationOverlap(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationOverlap(w, rows)
+	case "ablation-scaleout":
+		points, err := AblationScaleOut(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationScaleOut(w, points)
+	case "ablation-dim":
+		points, err := AblationDim(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationDim(w, points)
+	case "ablation-link":
+		rows, err := AblationLink(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationLink(w, rows)
+	case "ablation-online":
+		rows, err := AblationOnline(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationOnline(w, rows)
+	case "ablation-binary":
+		rows, err := AblationBinary(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationBinary(w, rows)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, AllExperiments)
+	}
+	return nil
+}
+
+// RunAll executes every experiment in order. It runs Fig 4 first and
+// feeds its measured per-epoch misclassification fractions into Fig 5's
+// runtime model, as the paper's setup implies (the update-phase cost is
+// whatever training actually did).
+func RunAll(cfg Config, w io.Writer) error {
+	fprintf(w, "=== fig4 ===\n")
+	series, err := Fig4(cfg)
+	if err != nil {
+		return fmt.Errorf("experiments: fig4: %w", err)
+	}
+	RenderFig4(w, series)
+	measured := map[string][]float64{}
+	for _, s := range series {
+		measured[s.Dataset] = s.UpdateFracs
+	}
+	for _, name := range AllExperiments {
+		if name == "fig4" {
+			continue
+		}
+		fprintf(w, "=== %s ===\n", name)
+		if name == "fig5" {
+			rows, err := Fig5(cfg, measured)
+			if err != nil {
+				return fmt.Errorf("experiments: fig5: %w", err)
+			}
+			RenderFig5(w, rows)
+			continue
+		}
+		if err := RunOne(name, cfg, w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// TableIIRow is one dataset's speedup of the proposed Edge-TPU platform
+// over the Raspberry Pi 3 (Table II).
+type TableIIRow struct {
+	Dataset          string
+	TrainingSpeedup  float64
+	InferenceSpeedup float64
+}
+
+// TableII models full training and inference on the Pi and divides by the
+// proposed platform's (bagging) training and (fused-model) inference.
+func TableII(cfg Config) ([]TableIIRow, error) {
+	pi := pipeline.RaspberryPi()
+	tpu := pipeline.EdgeTPU()
+	bcfg := bagging.DefaultConfig()
+	var rows []TableIIRow
+	for _, name := range DatasetNames() {
+		spec, err := dataset.CatalogSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		w := pipeline.FromSpec(spec, cfg.Epochs)
+		piTrain, err := pipeline.CPUTraining(pi.Host, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tableII %s: %w", name, err)
+		}
+		ourTrain, err := pipeline.BaggingTraining(tpu, w, bcfg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tableII %s: %w", name, err)
+		}
+		piInf, err := pipeline.CPUInference(pi.Host, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tableII %s: %w", name, err)
+		}
+		ourInf, err := pipeline.TPUInference(tpu, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tableII %s: %w", name, err)
+		}
+		rows = append(rows, TableIIRow{
+			Dataset:          name,
+			TrainingSpeedup:  metrics.Speedup(piTrain.Total(), ourTrain.Total()),
+			InferenceSpeedup: metrics.Speedup(piInf, ourInf),
+		})
+	}
+	return rows, nil
+}
+
+// MeanSpeedups returns the averages the paper's abstract quotes
+// (19.4x training, 8.9x inference).
+func MeanSpeedups(rows []TableIIRow) (train, inf float64) {
+	for _, r := range rows {
+		train += r.TrainingSpeedup
+		inf += r.InferenceSpeedup
+	}
+	n := float64(len(rows))
+	return train / n, inf / n
+}
+
+// RenderTableII prints the Pi comparison.
+func RenderTableII(w io.Writer, rows []TableIIRow) {
+	t := &metrics.Table{
+		Title:   "Table II: Edge TPU-based efficiency vs. Raspberry Pi 3",
+		Headers: []string{"", "FACE", "ISOLET", "UCIHAR", "MNIST", "PAMAP2", "Mean"},
+	}
+	trainCells := []string{"Training"}
+	infCells := []string{"Inference"}
+	for _, r := range rows {
+		trainCells = append(trainCells, metrics.FmtX(r.TrainingSpeedup))
+		infCells = append(infCells, metrics.FmtX(r.InferenceSpeedup))
+	}
+	mt, mi := MeanSpeedups(rows)
+	trainCells = append(trainCells, metrics.FmtX(mt))
+	infCells = append(infCells, metrics.FmtX(mi))
+	t.AddRow(trainCells...)
+	t.AddRow(infCells...)
+	fprintf(w, "%s\n", t)
+}

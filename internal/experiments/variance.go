@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/metrics"
+)
+
+// VarianceRow summarizes accuracy stability across random seeds for one
+// dataset — base hypervectors, shuffling and generators all re-draw, so
+// this is the run-to-run variance a user of the framework should expect.
+type VarianceRow struct {
+	Dataset    string
+	Accuracies []float64
+	Mean       float64
+	Std        float64
+}
+
+// VarianceSeeds is how many independent runs the table averages.
+const VarianceSeeds = 3
+
+// TableVariance retrains the CPU float model under VarianceSeeds seeds
+// per dataset.
+func TableVariance(cfg Config) ([]VarianceRow, error) {
+	var rows []VarianceRow
+	for _, name := range DatasetNames() {
+		train, test, err := loadSplit(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := VarianceRow{Dataset: name}
+		for s := 0; s < VarianceSeeds; s++ {
+			m, _, err := hdc.Train(train, nil, hdc.TrainConfig{
+				Dim: cfg.FunctionalDim, Epochs: cfg.Epochs, LearningRate: 1,
+				Nonlinear: true, Seed: cfg.Seed + uint64(100*s) + 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: variance %s seed %d: %w", name, s, err)
+			}
+			row.Accuracies = append(row.Accuracies, m.Accuracy(test))
+		}
+		for _, a := range row.Accuracies {
+			row.Mean += a
+		}
+		row.Mean /= float64(len(row.Accuracies))
+		for _, a := range row.Accuracies {
+			row.Std += (a - row.Mean) * (a - row.Mean)
+		}
+		row.Std = math.Sqrt(row.Std / float64(len(row.Accuracies)))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTableVariance prints the stability table.
+func RenderTableVariance(w io.Writer, rows []VarianceRow) {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Seed stability: accuracy over %d independent runs", VarianceSeeds),
+		Headers: []string{"Dataset", "Mean", "Std", "Runs"},
+	}
+	for _, r := range rows {
+		runs := ""
+		for i, a := range r.Accuracies {
+			if i > 0 {
+				runs += " "
+			}
+			runs += metrics.FmtPct(a)
+		}
+		t.AddRow(r.Dataset, metrics.FmtPct(r.Mean), fmt.Sprintf("%.2f pts", 100*r.Std), runs)
+	}
+	fprintf(w, "%s\n", t)
+}

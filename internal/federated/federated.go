@@ -1,0 +1,209 @@
+// Package federated implements collaborative HDC training across edge
+// nodes — the deployment the paper's introduction motivates (federated
+// learning over unreliable IoT devices) and its reference [21] develops
+// (collaborative learning in high-dimensional space).
+//
+// HDC makes federation unusually clean: when every node shares the same
+// base hypervectors (distributed as a seed, not data), a trained model is
+// just a sum of ±λ·E update vectors. Class hypervectors therefore
+// aggregate by plain addition, and one round of "train locally, sum the
+// models" is mathematically identical to training once over the union of
+// the shards (up to sample order). The package simulates nodes, IID and
+// label-skewed sharding, multi-round training with per-round model
+// aggregation, and communication-cost accounting.
+package federated
+
+import (
+	"fmt"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+// Config controls a federated training run.
+type Config struct {
+	// Nodes is the number of participating edge devices.
+	Nodes int
+	// Rounds is how many aggregate-and-redistribute cycles run.
+	Rounds int
+	// LocalEpochs is each node's training passes per round.
+	LocalEpochs int
+	// Dim is the hypervector width; the base hypervectors derive from
+	// Seed on every node, so only class matrices ever travel.
+	Dim          int
+	LearningRate float32
+	Nonlinear    bool
+	Seed         uint64
+}
+
+// DefaultConfig returns a 8-node, 4-round setup.
+func DefaultConfig() Config {
+	return Config{
+		Nodes: 8, Rounds: 4, LocalEpochs: 2,
+		Dim: hdc.DefaultDim, LearningRate: 1, Nonlinear: true, Seed: 1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("federated: need at least one node, got %d", c.Nodes)
+	case c.Rounds < 1:
+		return fmt.Errorf("federated: need at least one round, got %d", c.Rounds)
+	case c.LocalEpochs < 1:
+		return fmt.Errorf("federated: need at least one local epoch, got %d", c.LocalEpochs)
+	case c.Dim <= 0:
+		return fmt.Errorf("federated: non-positive dim %d", c.Dim)
+	}
+	return nil
+}
+
+// ShardIID deals samples round-robin after a shuffle: every node sees
+// every class.
+func ShardIID(ds *dataset.Dataset, nodes int, r *rng.RNG) []*dataset.Dataset {
+	perm := r.Perm(ds.Samples())
+	buckets := make([][]int, nodes)
+	for i, idx := range perm {
+		buckets[i%nodes] = append(buckets[i%nodes], idx)
+	}
+	out := make([]*dataset.Dataset, nodes)
+	for i, b := range buckets {
+		out[i] = ds.Subset(b)
+	}
+	return out
+}
+
+// ShardByLabel gives each node a skewed label distribution: samples are
+// sorted by class and dealt in contiguous runs, the classic pathological
+// non-IID split.
+func ShardByLabel(ds *dataset.Dataset, nodes int) []*dataset.Dataset {
+	byClass := make([][]int, ds.Classes)
+	for i, y := range ds.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	var ordered []int
+	for _, members := range byClass {
+		ordered = append(ordered, members...)
+	}
+	per := (len(ordered) + nodes - 1) / nodes
+	out := make([]*dataset.Dataset, nodes)
+	for i := 0; i < nodes; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(ordered) {
+			hi = len(ordered)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		out[i] = ds.Subset(ordered[lo:hi])
+	}
+	return out
+}
+
+// Result is the outcome of a federated run.
+type Result struct {
+	// Global is the aggregated model after the final round.
+	Global *hdc.Model
+	// RoundAccuracy is the global model's accuracy on the evaluation set
+	// after each round.
+	RoundAccuracy []float64
+	// UploadBytesPerRound is what each node sends per round (its class
+	// matrix); the base hypervectors never travel.
+	UploadBytesPerRound int
+	// RawDataBytes is the counterfactual cost of centralizing the shards.
+	RawDataBytes int
+}
+
+// Train runs federated HDC training over the shards, evaluating the
+// global model on eval after each round (eval may be nil).
+func Train(shards []*dataset.Dataset, eval *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(shards) != cfg.Nodes {
+		return nil, fmt.Errorf("federated: %d shards for %d nodes", len(shards), cfg.Nodes)
+	}
+	features, classes := -1, -1
+	totalSamples := 0
+	for i, s := range shards {
+		if s == nil || s.Samples() == 0 {
+			return nil, fmt.Errorf("federated: shard %d is empty", i)
+		}
+		if features == -1 {
+			features, classes = s.Features(), s.Classes
+		} else if s.Features() != features || s.Classes != classes {
+			return nil, fmt.Errorf("federated: shard %d shape mismatch", i)
+		}
+		totalSamples += s.Samples()
+	}
+
+	// Every node regenerates the same encoder from the shared seed; only
+	// the class matrices are exchanged.
+	baseRNG := rng.New(cfg.Seed)
+	enc := hdc.NewEncoder(features, cfg.Dim, cfg.Nonlinear, baseRNG.Split())
+	global := hdc.NewModel(enc, classes)
+	// Pre-encode each shard once (base HVs are fixed across rounds).
+	encoded := make([]*tensor.Tensor, cfg.Nodes)
+	for i, s := range shards {
+		encoded[i] = global.Encoder.EncodeBatch(s.X)
+	}
+	var evalEncoded *tensor.Tensor
+	if eval != nil {
+		evalEncoded = global.Encoder.EncodeBatch(eval.X)
+	}
+
+	res := &Result{
+		UploadBytesPerRound: classes * cfg.Dim * 4,
+		RawDataBytes:        totalSamples * features * 4,
+	}
+	nodeRNGs := make([]*rng.RNG, cfg.Nodes)
+	for i := range nodeRNGs {
+		nodeRNGs[i] = baseRNG.Split()
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		// Each node copies the global class matrix, trains locally, and
+		// uploads its delta. Deltas are additive, so aggregation averages
+		// them into the global model (federated averaging; plain summing
+		// would apply N× the effective step each round and oscillate once
+		// the model is warm).
+		agg := global.Classes.Clone()
+		invN := float32(1) / float32(len(shards))
+		for i := range shards {
+			local := &hdc.Model{Encoder: global.Encoder, Classes: global.Classes.Clone()}
+			if _, err := local.FitEncoded(encoded[i], shards[i].Y, nil, nil,
+				cfg.LocalEpochs, cfg.LearningRate, nodeRNGs[i].Split()); err != nil {
+				return nil, fmt.Errorf("federated: node %d round %d: %w", i, round, err)
+			}
+			for j := range agg.F32 {
+				agg.F32[j] += (local.Classes.F32[j] - global.Classes.F32[j]) * invN
+			}
+		}
+		global.Classes = agg
+		if evalEncoded != nil {
+			preds := global.ClassifyEncodedBatch(evalEncoded)
+			correct := 0
+			for i, p := range preds {
+				if p == eval.Y[i] {
+					correct++
+				}
+			}
+			res.RoundAccuracy = append(res.RoundAccuracy, float64(correct)/float64(eval.Samples()))
+		}
+	}
+	res.Global = global
+	return res, nil
+}
+
+// CommunicationSavings returns how many times cheaper shipping models is
+// than shipping the raw shards once: rawBytes / (rounds · nodes · upload).
+func (r *Result) CommunicationSavings(cfg Config) float64 {
+	modelTraffic := cfg.Rounds * cfg.Nodes * r.UploadBytesPerRound
+	if modelTraffic == 0 {
+		return 0
+	}
+	return float64(r.RawDataBytes) / float64(modelTraffic)
+}

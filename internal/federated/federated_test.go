@@ -1,0 +1,192 @@
+package federated
+
+import (
+	"testing"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/rng"
+)
+
+func fedData(t *testing.T, seed uint64) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.SyntheticSpec(32, 2400, 4, seed), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Split(0.25, rng.New(seed+1))
+}
+
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Dim = 1024
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.LocalEpochs = 0 },
+		func(c *Config) { c.Dim = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestShardIIDCoversAllSamples(t *testing.T) {
+	train, _ := fedData(t, 10)
+	shards := ShardIID(train, 8, rng.New(11))
+	total := 0
+	for _, s := range shards {
+		total += s.Samples()
+	}
+	if total != train.Samples() {
+		t.Fatalf("shards cover %d of %d samples", total, train.Samples())
+	}
+	// IID: every shard should see every class.
+	for i, s := range shards {
+		for c, n := range s.ClassCounts() {
+			if n == 0 {
+				t.Fatalf("IID shard %d missing class %d", i, c)
+			}
+		}
+	}
+}
+
+func TestShardByLabelIsSkewed(t *testing.T) {
+	train, _ := fedData(t, 12)
+	shards := ShardByLabel(train, 8)
+	// With 4 classes over 8 contiguous shards, most shards must miss at
+	// least one class.
+	skewed := 0
+	for _, s := range shards {
+		missing := 0
+		for _, n := range s.ClassCounts() {
+			if n == 0 {
+				missing++
+			}
+		}
+		if missing > 0 {
+			skewed++
+		}
+	}
+	if skewed < 6 {
+		t.Fatalf("only %d/8 label shards are skewed", skewed)
+	}
+}
+
+func TestFederatedIIDMatchesCentralized(t *testing.T) {
+	train, test := fedData(t, 13)
+	cfg := fastCfg()
+	shards := ShardIID(train, cfg.Nodes, rng.New(14))
+	res, err := Train(shards, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, _, err := hdc.Train(train, nil, hdc.TrainConfig{
+		Dim: cfg.Dim, Epochs: cfg.Rounds * cfg.LocalEpochs, LearningRate: 1,
+		Nonlinear: true, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fedAcc := res.RoundAccuracy[len(res.RoundAccuracy)-1]
+	centralAcc := central.Accuracy(test)
+	if fedAcc < centralAcc-0.05 {
+		t.Fatalf("federated IID accuracy %.3f too far below centralized %.3f", fedAcc, centralAcc)
+	}
+}
+
+func TestFederatedAccuracyImprovesOverRounds(t *testing.T) {
+	train, test := fedData(t, 15)
+	cfg := fastCfg()
+	cfg.Rounds = 5
+	cfg.LocalEpochs = 1
+	shards := ShardIID(train, cfg.Nodes, rng.New(16))
+	res, err := Train(shards, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundAccuracy) != 5 {
+		t.Fatalf("%d round accuracies", len(res.RoundAccuracy))
+	}
+	first, last := res.RoundAccuracy[0], res.RoundAccuracy[4]
+	if last < first-0.02 {
+		t.Fatalf("accuracy degraded over rounds: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestFederatedSurvivesLabelSkew(t *testing.T) {
+	// The robustness claim: additive HDC aggregation tolerates
+	// pathologically skewed shards far better than chance.
+	train, test := fedData(t, 17)
+	cfg := fastCfg()
+	shards := ShardByLabel(train, cfg.Nodes)
+	res, err := Train(shards, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.RoundAccuracy[len(res.RoundAccuracy)-1]; acc < 0.6 {
+		t.Fatalf("label-skew accuracy %.3f (chance 0.25)", acc)
+	}
+}
+
+func TestFederatedDeterministic(t *testing.T) {
+	train, test := fedData(t, 18)
+	cfg := fastCfg()
+	shards := ShardIID(train, cfg.Nodes, rng.New(19))
+	a, err := Train(shards, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(shards, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Global.Classes.F32 {
+		if a.Global.Classes.F32[i] != b.Global.Classes.F32[i] {
+			t.Fatal("same seed produced different global models")
+		}
+	}
+}
+
+func TestCommunicationSavings(t *testing.T) {
+	train, test := fedData(t, 20)
+	cfg := fastCfg()
+	shards := ShardIID(train, cfg.Nodes, rng.New(21))
+	res, err := Train(shards, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UploadBytesPerRound != train.Classes*cfg.Dim*4 {
+		t.Fatalf("upload bytes %d", res.UploadBytesPerRound)
+	}
+	if res.RawDataBytes != train.Samples()*train.Features()*4 {
+		t.Fatalf("raw bytes %d", res.RawDataBytes)
+	}
+	if s := res.CommunicationSavings(cfg); s <= 0 {
+		t.Fatalf("savings %v", s)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	train, _ := fedData(t, 22)
+	cfg := fastCfg()
+	if _, err := Train(ShardIID(train, 3, rng.New(23)), nil, cfg); err == nil {
+		t.Fatal("shard/node mismatch accepted")
+	}
+	shards := ShardIID(train, cfg.Nodes, rng.New(24))
+	shards[2] = shards[2].Subset(nil)
+	if _, err := Train(shards, nil, cfg); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+}

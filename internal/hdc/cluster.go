@@ -1,0 +1,141 @@
+package hdc
+
+import (
+	"fmt"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+// This file implements HDC clustering in the style the paper's reference
+// [30] (DUAL, MICRO 2020) accelerates: k-means in the hyperdimensional
+// space. Samples are encoded once; centroids are hypervectors updated by
+// bundling their assigned members; assignment uses cosine similarity,
+// which in HD space behaves like a well-conditioned distance.
+
+// ClusterConfig controls HD k-means.
+type ClusterConfig struct {
+	K             int
+	Dim           int
+	MaxIterations int
+	Nonlinear     bool
+	Seed          uint64
+}
+
+// ClusterResult holds the outcome.
+type ClusterResult struct {
+	Encoder *Encoder
+	// Centroids is the [K, d] matrix of cluster hypervectors.
+	Centroids *tensor.Tensor
+	// Assignments maps each input row to its cluster.
+	Assignments []int
+	// Iterations actually run before convergence.
+	Iterations int
+}
+
+// Cluster runs HD k-means over the rows of x.
+func Cluster(x *tensor.Tensor, cfg ClusterConfig) (*ClusterResult, error) {
+	if x == nil || x.DType != tensor.Float32 || len(x.Shape) != 2 {
+		return nil, fmt.Errorf("hdc: clustering needs a 2-D float design matrix")
+	}
+	s := x.Shape[0]
+	if cfg.K < 2 || cfg.K > s {
+		return nil, fmt.Errorf("hdc: cluster count %d outside [2, %d]", cfg.K, s)
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = DefaultDim
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 32
+	}
+	r := rng.New(cfg.Seed)
+	enc := NewEncoder(x.Shape[1], cfg.Dim, cfg.Nonlinear, r.Split())
+	encoded := enc.EncodeBatch(x)
+
+	res := &ClusterResult{
+		Encoder:     enc,
+		Centroids:   tensor.New(tensor.Float32, cfg.K, cfg.Dim),
+		Assignments: make([]int, s),
+	}
+	// Initialize centroids from distinct random samples.
+	for c, idx := range r.SampleWithoutReplacement(s, cfg.K) {
+		copy(res.Centroids.Row(c), encoded.Row(idx))
+	}
+
+	norms := make([]float32, cfg.K)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		for c := 0; c < cfg.K; c++ {
+			norms[c] = tensor.Norm(res.Centroids.Row(c))
+		}
+		changed := 0
+		for i := 0; i < s; i++ {
+			e := encoded.Row(i)
+			best, bestSim := 0, float32(-2)
+			for c := 0; c < cfg.K; c++ {
+				sim := tensor.Dot(e, res.Centroids.Row(c))
+				if norms[c] > 0 {
+					sim /= norms[c]
+				}
+				if sim > bestSim {
+					best, bestSim = c, sim
+				}
+			}
+			if res.Assignments[i] != best || iter == 0 {
+				if res.Assignments[i] != best {
+					changed++
+				}
+				res.Assignments[i] = best
+			}
+		}
+		res.Iterations = iter + 1
+		if iter > 0 && changed == 0 {
+			break
+		}
+		// Rebuild centroids by bundling members; empty clusters re-seed
+		// from a random sample.
+		counts := make([]int, cfg.K)
+		next := tensor.New(tensor.Float32, cfg.K, cfg.Dim)
+		for i := 0; i < s; i++ {
+			c := res.Assignments[i]
+			counts[c]++
+			tensor.Axpy(1, encoded.Row(i), next.Row(c))
+		}
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				copy(next.Row(c), encoded.Row(r.Intn(s)))
+			}
+		}
+		res.Centroids = next
+	}
+	return res, nil
+}
+
+// Purity scores a clustering against ground-truth labels: for each
+// cluster, the fraction of members sharing its majority label, weighted
+// by cluster size. 1.0 means every cluster is label-pure.
+func (res *ClusterResult) Purity(labels []int, numLabels int) float64 {
+	if len(labels) != len(res.Assignments) {
+		panic(fmt.Sprintf("hdc: %d labels for %d assignments", len(labels), len(res.Assignments)))
+	}
+	k := res.Centroids.Shape[0]
+	counts := make([][]int, k)
+	for c := range counts {
+		counts[c] = make([]int, numLabels)
+	}
+	for i, c := range res.Assignments {
+		if labels[i] >= 0 && labels[i] < numLabels {
+			counts[c][labels[i]]++
+		}
+	}
+	majority := 0
+	for c := range counts {
+		best := 0
+		for _, n := range counts[c] {
+			if n > best {
+				best = n
+			}
+		}
+		majority += best
+	}
+	return float64(majority) / float64(len(labels))
+}

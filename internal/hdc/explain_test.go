@@ -1,0 +1,110 @@
+package hdc
+
+import (
+	"testing"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+// noiseAugmented builds a dataset where only the first `signal` features
+// carry class information; the rest are pure noise.
+func noiseAugmented(t *testing.T, signal, noise, samples, classes int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	base, err := dataset.Generate(dataset.SyntheticSpec(signal, samples, classes, seed), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed + 1)
+	x := tensor.New(tensor.Float32, samples, signal+noise)
+	for i := 0; i < samples; i++ {
+		copy(x.Row(i)[:signal], base.X.Row(i))
+		for j := signal; j < signal+noise; j++ {
+			x.Row(i)[j] = float32(r.NormFloat64())
+		}
+	}
+	return &dataset.Dataset{Name: "augmented", Classes: classes, X: x, Y: base.Y}
+}
+
+func TestExplainConcentratesOnSignalFeatures(t *testing.T) {
+	const signal, noise = 16, 48
+	ds := noiseAugmented(t, signal, noise, 1600, 4, 950)
+	m, _, err := Train(ds, nil, TrainConfig{Dim: 2048, Epochs: 8, LearningRate: 1, Nonlinear: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signalSet := map[int]bool{}
+	for i := 0; i < signal; i++ {
+		signalSet[i] = true
+	}
+	// Averaged over samples, attribution mass must concentrate on the
+	// 16 informative features well beyond their 25% count share. (The
+	// trained class hypervectors also absorb some noise-feature
+	// contributions from the training samples, so concentration is
+	// roughly 2x the count share rather than total.)
+	var mass float64
+	const probes = 50
+	for i := 0; i < probes; i++ {
+		_, attrs := m.Explain(ds.X.Row(i))
+		mass += SaliencyMass(attrs, signalSet)
+	}
+	mass /= probes
+	if mass < 0.4 {
+		t.Fatalf("signal features carry only %.2f of attribution (share by count: 0.25)", mass)
+	}
+}
+
+func TestExplainReturnsPrediction(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SyntheticSpec(20, 800, 3, 951), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := Train(ds, nil, TrainConfig{Dim: 1024, Epochs: 5, LearningRate: 1, Nonlinear: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		pred, attrs := m.Explain(ds.X.Row(i))
+		if pred != m.Predict(ds.X.Row(i)) {
+			t.Fatalf("Explain prediction %d differs from Predict", pred)
+		}
+		if len(attrs) != ds.Features() {
+			t.Fatalf("%d attributions", len(attrs))
+		}
+		// Sorted by |score|.
+		for j := 1; j < len(attrs); j++ {
+			a, b := attrs[j-1].Score, attrs[j].Score
+			if a < 0 {
+				a = -a
+			}
+			if b < 0 {
+				b = -b
+			}
+			if b > a {
+				t.Fatal("attributions not sorted")
+			}
+		}
+	}
+}
+
+func TestExplainPanicsOnBadLength(t *testing.T) {
+	enc := NewEncoder(4, 64, true, rng.New(1))
+	m := NewModel(enc, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Explain(make([]float32, 3))
+}
+
+func TestSaliencyMassEdge(t *testing.T) {
+	if SaliencyMass(nil, nil) != 0 {
+		t.Fatal("empty mass nonzero")
+	}
+	attrs := []Attribution{{Feature: 0, Score: 2}, {Feature: 1, Score: -2}}
+	if m := SaliencyMass(attrs, map[int]bool{0: true}); m != 0.5 {
+		t.Fatalf("mass %v", m)
+	}
+}

@@ -1,0 +1,210 @@
+package hdc
+
+import (
+	"fmt"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+// This file implements the classic record-based (ID–level) HDC encoding
+// that most prior work used before non-linear random projection (VoiceHD
+// and the linear-mapping line the paper contrasts against in §III-A):
+// each feature position gets a random bipolar ID hypervector, each
+// quantized feature magnitude gets a level hypervector from a correlated
+// chain, and a sample encodes as
+//
+//	E = Σ_i  ID_i ⊙ L(q(f_i))
+//
+// where ⊙ is element-wise binding. The encoding exists here as a
+// comparison substrate: it cannot be expressed as a fully-connected layer
+// (binding is element-wise and the level lookup is a gather), so unlike
+// the paper's projection encoder it has no hyper-wide-NN form and cannot
+// be delegated to the Edge TPU — which is precisely the
+// algorithm-hardware co-design argument for the projection encoder.
+
+// LevelEncoder is a record-based HDC encoder.
+type LevelEncoder struct {
+	// IDs holds one bipolar (±1) hypervector per feature, [n, d].
+	IDs *tensor.Tensor
+	// Levels holds the correlated level chain, [L, d]: adjacent rows
+	// differ in a fixed number of flipped positions so nearby magnitudes
+	// encode to similar hypervectors.
+	Levels *tensor.Tensor
+	// Lo and Hi bound the quantization range; values outside clamp.
+	Lo, Hi float32
+}
+
+// NewLevelEncoder draws ID hypervectors and a level chain with `levels`
+// steps over [lo, hi].
+func NewLevelEncoder(nFeatures, dim, levels int, lo, hi float32, r *rng.RNG) *LevelEncoder {
+	if nFeatures <= 0 || dim <= 0 || levels < 2 || hi <= lo {
+		panic(fmt.Sprintf("hdc: invalid level encoder (n=%d d=%d L=%d range [%v,%v])",
+			nFeatures, dim, levels, lo, hi))
+	}
+	ids := tensor.New(tensor.Float32, nFeatures, dim)
+	for i := range ids.F32 {
+		if r.Uint64()&1 == 1 {
+			ids.F32[i] = 1
+		} else {
+			ids.F32[i] = -1
+		}
+	}
+	lv := tensor.New(tensor.Float32, levels, dim)
+	// First level: random bipolar. Each subsequent level flips
+	// d/(2(L-1)) fresh positions, so level 0 and level L-1 are
+	// near-orthogonal while neighbors stay highly similar.
+	row0 := lv.Row(0)
+	for j := range row0 {
+		if r.Uint64()&1 == 1 {
+			row0[j] = 1
+		} else {
+			row0[j] = -1
+		}
+	}
+	flipsPerStep := dim / (2 * (levels - 1))
+	if flipsPerStep < 1 {
+		flipsPerStep = 1
+	}
+	perm := r.Perm(dim)
+	next := 0
+	for l := 1; l < levels; l++ {
+		copy(lv.Row(l), lv.Row(l-1))
+		for f := 0; f < flipsPerStep && next < dim; f++ {
+			j := perm[next]
+			lv.Row(l)[j] = -lv.Row(l)[j]
+			next++
+		}
+	}
+	return &LevelEncoder{IDs: ids, Levels: lv, Lo: lo, Hi: hi}
+}
+
+// Features returns the input dimensionality n.
+func (e *LevelEncoder) Features() int { return e.IDs.Shape[0] }
+
+// Dim returns the hypervector width d.
+func (e *LevelEncoder) Dim() int { return e.IDs.Shape[1] }
+
+// NumLevels returns the quantization depth L.
+func (e *LevelEncoder) NumLevels() int { return e.Levels.Shape[0] }
+
+// quantize maps a feature value to its level index.
+func (e *LevelEncoder) quantize(v float32) int {
+	if v <= e.Lo {
+		return 0
+	}
+	if v >= e.Hi {
+		return e.NumLevels() - 1
+	}
+	frac := float64(v-e.Lo) / float64(e.Hi-e.Lo)
+	idx := int(frac * float64(e.NumLevels()))
+	if idx >= e.NumLevels() {
+		idx = e.NumLevels() - 1
+	}
+	return idx
+}
+
+// Encode writes Σ IDᵢ ⊙ L(q(fᵢ)) into dst.
+func (e *LevelEncoder) Encode(dst, features []float32) {
+	if len(features) != e.Features() || len(dst) != e.Dim() {
+		panic(fmt.Sprintf("hdc: level encode dims: features %d, dst %d, encoder %d→%d",
+			len(features), len(dst), e.Features(), e.Dim()))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	d := e.Dim()
+	for i, v := range features {
+		id := e.IDs.F32[i*d : (i+1)*d]
+		lvl := e.Levels.Row(e.quantize(v))
+		for j := range dst {
+			dst[j] += id[j] * lvl[j]
+		}
+	}
+}
+
+// EncodeBatch encodes every row of an [s, n] matrix.
+func (e *LevelEncoder) EncodeBatch(x *tensor.Tensor) *tensor.Tensor {
+	if x.DType != tensor.Float32 || len(x.Shape) != 2 || x.Shape[1] != e.Features() {
+		panic(fmt.Sprintf("hdc: EncodeBatch input %v, want [*, %d]", x.Shape, e.Features()))
+	}
+	out := tensor.New(tensor.Float32, x.Shape[0], e.Dim())
+	tensor.ParallelFor(x.Shape[0], 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.Encode(out.Row(i), x.Row(i))
+		}
+	})
+	return out
+}
+
+// IDLevelModel is an HDC classifier over the record-based encoding.
+type IDLevelModel struct {
+	Enc     *LevelEncoder
+	Classes *tensor.Tensor // [k, d]
+}
+
+// IDLevelConfig controls record-based training.
+type IDLevelConfig struct {
+	Dim          int
+	Levels       int
+	Epochs       int
+	LearningRate float32
+	Seed         uint64
+}
+
+// TrainIDLevel trains a record-based classifier with the same
+// perceptron-style update loop as the projection model.
+func TrainIDLevel(train *dataset.Dataset, cfg IDLevelConfig) (*IDLevelModel, *TrainStats, error) {
+	if train == nil || train.Samples() == 0 {
+		return nil, nil, fmt.Errorf("hdc: empty training set")
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = DefaultDim
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 32
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 1
+	}
+	r := rng.New(cfg.Seed)
+	// Generated datasets are standardized; ±3σ covers the mass.
+	enc := NewLevelEncoder(train.Features(), cfg.Dim, cfg.Levels, -3, 3, r.Split())
+	m := &IDLevelModel{
+		Enc:     enc,
+		Classes: tensor.New(tensor.Float32, train.Classes, cfg.Dim),
+	}
+	encoded := enc.EncodeBatch(train.X)
+	stats, err := fitClasses(m.Classes, encoded, train.Y, cfg.Epochs, cfg.LearningRate, r.Split())
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, stats, nil
+}
+
+// Predict classifies one raw feature vector.
+func (m *IDLevelModel) Predict(features []float32) int {
+	e := make([]float32, m.Enc.Dim())
+	m.Enc.Encode(e, features)
+	scores := make([]float32, m.Classes.Shape[0])
+	tensor.MatVec(scores, m.Classes, e)
+	return tensor.ArgMax(scores)
+}
+
+// Accuracy evaluates on a labelled dataset.
+func (m *IDLevelModel) Accuracy(ds *dataset.Dataset) float64 {
+	enc := m.Enc.EncodeBatch(ds.X)
+	scores := make([]float32, m.Classes.Shape[0])
+	correct := 0
+	for i := 0; i < ds.Samples(); i++ {
+		tensor.MatVec(scores, m.Classes, enc.Row(i))
+		if tensor.ArgMax(scores) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Samples())
+}

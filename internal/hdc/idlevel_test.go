@@ -1,0 +1,150 @@
+package hdc
+
+import (
+	"testing"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+func TestLevelEncoderConstruction(t *testing.T) {
+	e := NewLevelEncoder(10, 1024, 16, -3, 3, rng.New(1))
+	if e.Features() != 10 || e.Dim() != 1024 || e.NumLevels() != 16 {
+		t.Fatalf("dims %d/%d/%d", e.Features(), e.Dim(), e.NumLevels())
+	}
+	// ID hypervectors must be bipolar.
+	for _, v := range e.IDs.F32 {
+		if v != 1 && v != -1 {
+			t.Fatalf("non-bipolar ID entry %v", v)
+		}
+	}
+	for _, v := range e.Levels.F32 {
+		if v != 1 && v != -1 {
+			t.Fatalf("non-bipolar level entry %v", v)
+		}
+	}
+}
+
+func TestLevelChainCorrelationStructure(t *testing.T) {
+	// Adjacent levels must be highly similar; the chain endpoints must
+	// not be.
+	e := NewLevelEncoder(4, 8192, 16, -3, 3, rng.New(2))
+	adj := tensor.CosineSimilarity(e.Levels.Row(7), e.Levels.Row(8))
+	if adj < 0.8 {
+		t.Fatalf("adjacent levels cosine %v; want high similarity", adj)
+	}
+	ends := tensor.CosineSimilarity(e.Levels.Row(0), e.Levels.Row(15))
+	if ends > 0.2 {
+		t.Fatalf("chain endpoints cosine %v; want near-orthogonal", ends)
+	}
+	// Similarity must decay monotonically-ish with level distance.
+	s1 := tensor.CosineSimilarity(e.Levels.Row(0), e.Levels.Row(4))
+	s2 := tensor.CosineSimilarity(e.Levels.Row(0), e.Levels.Row(12))
+	if s2 >= s1 {
+		t.Fatalf("similarity did not decay: d=4 %v vs d=12 %v", s1, s2)
+	}
+}
+
+func TestLevelQuantize(t *testing.T) {
+	e := NewLevelEncoder(2, 64, 8, -1, 1, rng.New(3))
+	if e.quantize(-5) != 0 {
+		t.Error("below-range value should clamp to level 0")
+	}
+	if e.quantize(5) != 7 {
+		t.Error("above-range value should clamp to the top level")
+	}
+	if e.quantize(-1) != 0 || e.quantize(0.9999) != 7 {
+		t.Error("boundary levels wrong")
+	}
+	prev := -1
+	for v := float32(-1); v <= 1; v += 0.01 {
+		l := e.quantize(v)
+		if l < prev {
+			t.Fatalf("quantize not monotone at %v", v)
+		}
+		prev = l
+	}
+}
+
+func TestLevelEncodeDefinition(t *testing.T) {
+	// E must equal the explicit Σ ID⊙L sum.
+	e := NewLevelEncoder(3, 128, 4, -2, 2, rng.New(4))
+	f := []float32{-2, 0, 2}
+	got := make([]float32, 128)
+	e.Encode(got, f)
+	for j := 0; j < 128; j++ {
+		var want float32
+		for i, v := range f {
+			want += e.IDs.Row(i)[j] * e.Levels.Row(e.quantize(v))[j]
+		}
+		if got[j] != want {
+			t.Fatalf("elem %d: %v, want %v", j, got[j], want)
+		}
+	}
+}
+
+func TestLevelEncodeBatchMatchesSingle(t *testing.T) {
+	e := NewLevelEncoder(6, 256, 8, -3, 3, rng.New(5))
+	x := tensor.New(tensor.Float32, 5, 6)
+	rng.New(6).FillNormal(x.F32)
+	batch := e.EncodeBatch(x)
+	single := make([]float32, 256)
+	for i := 0; i < 5; i++ {
+		e.Encode(single, x.Row(i))
+		for j := range single {
+			if batch.Row(i)[j] != single[j] {
+				t.Fatalf("row %d elem %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestTrainIDLevelLearns(t *testing.T) {
+	train, test := synthTrainTest(t, 24, 1600, 4, 800)
+	m, stats, err := TrainIDLevel(train, IDLevelConfig{Dim: 4096, Levels: 32, Epochs: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test); acc < 0.6 {
+		t.Fatalf("ID-level accuracy %.3f (chance 0.25)", acc)
+	}
+	if len(stats.Epochs) != 10 {
+		t.Fatalf("%d epochs", len(stats.Epochs))
+	}
+}
+
+func TestTrainIDLevelRejectsEmpty(t *testing.T) {
+	if _, _, err := TrainIDLevel(nil, IDLevelConfig{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestProjectionBeatsIDLevelOnDenseFeatures(t *testing.T) {
+	// The paper's §III-A claim: the non-linear projection encoding
+	// achieves higher learning accuracy than record-based mappings on
+	// dense real-valued features (and, unlike ID-level, it maps to the
+	// accelerator). Allow a small tolerance — the claim is "not worse".
+	train, test := synthTrainTest(t, 32, 2000, 5, 801)
+	proj, _, err := Train(train, nil, TrainConfig{Dim: 4096, Epochs: 10, LearningRate: 1, Nonlinear: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idl, _, err := TrainIDLevel(train, IDLevelConfig{Dim: 4096, Levels: 32, Epochs: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAcc := proj.Accuracy(test)
+	iAcc := idl.Accuracy(test)
+	if pAcc < iAcc-0.03 {
+		t.Fatalf("projection %.3f worse than ID-level %.3f", pAcc, iAcc)
+	}
+}
+
+func TestLevelEncoderPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for L=1")
+		}
+	}()
+	NewLevelEncoder(4, 64, 1, -1, 1, rng.New(1))
+}

@@ -1,0 +1,135 @@
+package hdc
+
+import (
+	"fmt"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+// Similarity selects the associative-search metric.
+type Similarity uint8
+
+const (
+	// DotSimilarity is the paper's accelerator-friendly approximation of
+	// cosine similarity: δ(E, C) = E · C.
+	DotSimilarity Similarity = iota
+	// CosineSimilarity normalizes by both vector norms.
+	CosineSimilarity
+)
+
+// Model is a trained HDC classifier: an encoder plus k class hypervectors.
+type Model struct {
+	Encoder *Encoder
+	// Classes holds the class hypervectors as a [k, d] matrix.
+	Classes *tensor.Tensor
+	// Metric selects the similarity used by Predict.
+	Metric Similarity
+}
+
+// NewModel returns a model with zero-initialized class hypervectors, as
+// the paper's training starts.
+func NewModel(enc *Encoder, k int) *Model {
+	if k < 2 {
+		panic(fmt.Sprintf("hdc: need at least 2 classes, got %d", k))
+	}
+	return &Model{
+		Encoder: enc,
+		Classes: tensor.New(tensor.Float32, k, enc.Dim()),
+	}
+}
+
+// K returns the class count.
+func (m *Model) K() int { return m.Classes.Shape[0] }
+
+// Dim returns the hypervector width.
+func (m *Model) Dim() int { return m.Classes.Shape[1] }
+
+// Scores writes the similarity of the encoded hypervector e against every
+// class into scores (length K).
+func (m *Model) Scores(scores, e []float32) {
+	tensor.MatVec(scores, m.Classes, e)
+	if m.Metric == CosineSimilarity {
+		ne := tensor.Norm(e)
+		if ne == 0 {
+			return
+		}
+		for c := range scores {
+			nc := tensor.Norm(m.Classes.Row(c))
+			if nc > 0 {
+				scores[c] /= ne * nc
+			}
+		}
+	}
+}
+
+// ClassifyEncoded returns the class with the highest similarity to the
+// already-encoded hypervector e.
+func (m *Model) ClassifyEncoded(e []float32) int {
+	scores := make([]float32, m.K())
+	m.Scores(scores, e)
+	return tensor.ArgMax(scores)
+}
+
+// Predict encodes the raw feature vector and classifies it.
+func (m *Model) Predict(features []float32) int {
+	e := make([]float32, m.Dim())
+	m.Encoder.Encode(e, features)
+	return m.ClassifyEncoded(e)
+}
+
+// PredictBatch classifies every row of an [s, n] design matrix.
+func (m *Model) PredictBatch(x *tensor.Tensor) []int {
+	enc := m.Encoder.EncodeBatch(x)
+	return m.ClassifyEncodedBatch(enc)
+}
+
+// ClassifyEncodedBatch classifies every row of an [s, d] matrix of
+// hypervectors.
+func (m *Model) ClassifyEncodedBatch(enc *tensor.Tensor) []int {
+	s := enc.Shape[0]
+	out := make([]int, s)
+	scores := make([]float32, m.K())
+	for i := 0; i < s; i++ {
+		m.Scores(scores, enc.Row(i))
+		out[i] = tensor.ArgMax(scores)
+	}
+	return out
+}
+
+// Bundle adds λ·e into class c's hypervector.
+func (m *Model) Bundle(c int, lambda float32, e []float32) {
+	tensor.Axpy(lambda, e, m.Classes.Row(c))
+}
+
+// Detach subtracts λ·e from class c's hypervector.
+func (m *Model) Detach(c int, lambda float32, e []float32) {
+	tensor.Axpy(-lambda, e, m.Classes.Row(c))
+}
+
+// Clone returns a deep copy of the model (sharing no storage).
+func (m *Model) Clone() *Model {
+	return &Model{
+		Encoder: &Encoder{Base: m.Encoder.Base.Clone(), Nonlinear: m.Encoder.Nonlinear},
+		Classes: m.Classes.Clone(),
+		Metric:  m.Metric,
+	}
+}
+
+// CorruptClasses flips the sign of a uniformly-chosen fraction of the
+// class-hypervector elements in place — a hardware-fault model (stuck or
+// flipped memory cells) for studying HDC's graceful degradation. It
+// returns the number of corrupted elements.
+func (m *Model) CorruptClasses(fraction float64, r *rng.RNG) int {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	n := int(fraction * float64(len(m.Classes.F32)))
+	for _, idx := range r.SampleWithoutReplacement(len(m.Classes.F32), n) {
+		m.Classes.F32[idx] = -m.Classes.F32[idx]
+	}
+	return n
+}

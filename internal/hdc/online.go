@@ -1,0 +1,134 @@
+package hdc
+
+import (
+	"fmt"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+// This file implements the single-pass, confidence-weighted training rule
+// of OnlineHD (Hernandez-Cane et al., DAC 2021 — reference [17] of the
+// paper), which the paper's introduction positions as the
+// frequent-model-update workload that motivates training at the edge.
+// Updates are scaled by (1 − similarity): confidently-correct samples
+// barely move the model, borderline ones move it a lot, so one pass over
+// the data approaches the quality of several perceptron epochs.
+
+// OnlineConfig controls single-pass adaptive training.
+type OnlineConfig struct {
+	// LearningRate is the base step size (1 when zero).
+	LearningRate float32
+	// Margin updates even correctly-classified samples whose normalized
+	// similarity falls below it (0 disables reinforcement of correct
+	// predictions).
+	Margin float32
+}
+
+// FitOnline performs one confidence-weighted pass over pre-encoded
+// samples. It uses cosine-normalized similarities so the (1 − δ) weights
+// are scale-free.
+func (m *Model) FitOnline(enc *tensor.Tensor, y []int, cfg OnlineConfig, r *rng.RNG) (*TrainStats, error) {
+	s := enc.Shape[0]
+	if s != len(y) {
+		return nil, fmt.Errorf("hdc: %d encoded samples, %d labels", s, len(y))
+	}
+	if enc.Shape[1] != m.Dim() {
+		return nil, fmt.Errorf("hdc: encoded width %d, model dim %d", enc.Shape[1], m.Dim())
+	}
+	for _, label := range y {
+		if label < 0 || label >= m.K() {
+			return nil, fmt.Errorf("hdc: label %d out of range [0,%d)", label, m.K())
+		}
+	}
+	lr := cfg.LearningRate
+	if lr == 0 {
+		lr = 1
+	}
+	order := r.Perm(s)
+	scores := make([]float32, m.K())
+	updates := 0
+	for _, idx := range order {
+		e := enc.Row(idx)
+		m.cosineScores(scores, e)
+		pred := tensor.ArgMax(scores)
+		truth := y[idx]
+		if pred != truth {
+			m.Bundle(truth, lr*(1-scores[truth]), e)
+			m.Detach(pred, lr*(1-scores[pred]), e)
+			updates++
+		} else if cfg.Margin > 0 && scores[truth] < cfg.Margin {
+			m.Bundle(truth, lr*(cfg.Margin-scores[truth]), e)
+			updates++
+		}
+	}
+	return &TrainStats{Epochs: []EpochStats{{
+		Epoch:         0,
+		Updates:       updates,
+		TrainAccuracy: 1 - float64(updates)/float64(s),
+	}}}, nil
+}
+
+// cosineScores fills scores with cosine similarities regardless of the
+// model's configured inference metric.
+func (m *Model) cosineScores(scores, e []float32) {
+	tensor.MatVec(scores, m.Classes, e)
+	ne := tensor.Norm(e)
+	if ne == 0 {
+		return
+	}
+	for c := range scores {
+		nc := tensor.Norm(m.Classes.Row(c))
+		if nc > 0 {
+			scores[c] /= ne * nc
+		} else {
+			scores[c] = 0
+		}
+	}
+}
+
+// TrainOnline builds a model and trains it with one confidence-weighted
+// pass (plus optional extra refinement passes).
+func TrainOnline(train *dataset.Dataset, dim int, passes int, cfg OnlineConfig, nonlinear bool, seed uint64) (*Model, *TrainStats, error) {
+	if train == nil || train.Samples() == 0 {
+		return nil, nil, fmt.Errorf("hdc: empty training set")
+	}
+	if passes < 1 {
+		passes = 1
+	}
+	r := rng.New(seed)
+	enc := NewEncoder(train.Features(), dim, nonlinear, r.Split())
+	model := NewModel(enc, train.Classes)
+	encoded := enc.EncodeBatch(train.X)
+	all := &TrainStats{}
+	for p := 0; p < passes; p++ {
+		stats, err := model.FitOnline(encoded, train.Y, cfg, r.Split())
+		if err != nil {
+			return nil, nil, err
+		}
+		es := stats.Epochs[0]
+		es.Epoch = p
+		all.Epochs = append(all.Epochs, es)
+	}
+	return model, all, nil
+}
+
+// Adapt applies one streaming update: the sample is encoded, classified,
+// and on a misprediction the class hypervectors are corrected with rate
+// lr. It returns the prediction made before the update. This is the
+// "frequent model update" primitive of the paper's IoT motivation.
+func (m *Model) Adapt(features []float32, label int, lr float32) (pred int, updated bool) {
+	if label < 0 || label >= m.K() {
+		panic(fmt.Sprintf("hdc: Adapt label %d out of range [0,%d)", label, m.K()))
+	}
+	e := make([]float32, m.Dim())
+	m.Encoder.Encode(e, features)
+	pred = m.ClassifyEncoded(e)
+	if pred != label {
+		m.Bundle(label, lr, e)
+		m.Detach(pred, lr, e)
+		return pred, true
+	}
+	return pred, false
+}

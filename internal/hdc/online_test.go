@@ -1,0 +1,137 @@
+package hdc
+
+import (
+	"testing"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+func TestTrainOnlineSinglePassCompetitive(t *testing.T) {
+	// One confidence-weighted pass must get within a few points of a
+	// multi-epoch perceptron — the OnlineHD claim.
+	train, test := synthTrainTest(t, 32, 1600, 5, 600)
+	online, _, err := TrainOnline(train, 2048, 1, OnlineConfig{LearningRate: 1}, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, _, err := Train(train, nil, TrainConfig{Dim: 2048, Epochs: 10, LearningRate: 1, Nonlinear: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Online models have scaled class norms; evaluate with cosine.
+	online.Metric = CosineSimilarity
+	accOnline := online.Accuracy(test)
+	accMulti := multi.Accuracy(test)
+	if accOnline < accMulti-0.08 {
+		t.Fatalf("single-pass accuracy %.3f too far below 10-epoch %.3f", accOnline, accMulti)
+	}
+}
+
+func TestTrainOnlineExtraPassesHelp(t *testing.T) {
+	train, test := synthTrainTest(t, 28, 1400, 6, 601)
+	one, _, err := TrainOnline(train, 1024, 1, OnlineConfig{LearningRate: 1}, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, _, err := TrainOnline(train, 1024, 3, OnlineConfig{LearningRate: 1}, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Metric = CosineSimilarity
+	three.Metric = CosineSimilarity
+	if three.Accuracy(test) < one.Accuracy(test)-0.03 {
+		t.Fatalf("extra passes hurt: %.3f vs %.3f", three.Accuracy(test), one.Accuracy(test))
+	}
+}
+
+func TestFitOnlineValidation(t *testing.T) {
+	enc := NewEncoder(4, 64, true, rng.New(1))
+	m := NewModel(enc, 3)
+	e := tensor.New(tensor.Float32, 2, 64)
+	if _, err := m.FitOnline(e, []int{0}, OnlineConfig{}, rng.New(2)); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, err := m.FitOnline(e, []int{0, 9}, OnlineConfig{}, rng.New(2)); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	bad := tensor.New(tensor.Float32, 2, 32)
+	if _, err := m.FitOnline(bad, []int{0, 1}, OnlineConfig{}, rng.New(2)); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestFitOnlineConfidenceWeighting(t *testing.T) {
+	// A confidently-classified sample must produce a smaller update than
+	// a borderline one.
+	enc := NewEncoder(2, 128, true, rng.New(9))
+	m := NewModel(enc, 2)
+	r := rng.New(10)
+	proto := make([]float32, 128)
+	r.FillNormal(proto)
+	// Make class 1 strongly aligned with proto, class 0 its negation.
+	copy(m.Classes.Row(1), proto)
+	for j, v := range proto {
+		m.Classes.Row(0)[j] = -v
+	}
+	encT := tensor.New(tensor.Float32, 1, 128)
+	copy(encT.Row(0), proto)
+	before := append([]float32(nil), m.Classes.Row(0)...)
+	// Sample labelled 0 but maximally similar to class 1: a large
+	// (1 − δ) misprediction update must fire.
+	if _, err := m.FitOnline(encT, []int{0}, OnlineConfig{LearningRate: 1}, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0.0
+	for j := range before {
+		d := float64(m.Classes.Row(0)[j] - before[j])
+		moved += d * d
+	}
+	if moved == 0 {
+		t.Fatal("misprediction produced no update")
+	}
+}
+
+func TestAdaptStreamingImproves(t *testing.T) {
+	train, test := synthTrainTest(t, 24, 1500, 4, 602)
+	// Start with an untrained model and stream the training set through
+	// Adapt once.
+	r := rng.New(7)
+	enc := NewEncoder(train.Features(), 1024, true, r)
+	m := NewModel(enc, train.Classes)
+	for i := 0; i < train.Samples(); i++ {
+		m.Adapt(train.X.Row(i), train.Y[i], 1)
+	}
+	if acc := m.Accuracy(test); acc < 0.65 {
+		t.Fatalf("streamed accuracy %.3f (chance 0.25)", acc)
+	}
+}
+
+func TestAdaptReturnsUpdatedFlag(t *testing.T) {
+	train, _ := synthTrainTest(t, 16, 400, 3, 603)
+	enc := NewEncoder(train.Features(), 256, true, rng.New(8))
+	m := NewModel(enc, train.Classes)
+	// First sample on a zero model: argmax of zeros is class 0.
+	pred, updated := m.Adapt(train.X.Row(0), train.Y[0], 1)
+	if train.Y[0] != 0 {
+		if !updated || pred == train.Y[0] {
+			t.Fatalf("first adapt on zero model: pred %d, updated %v", pred, updated)
+		}
+	}
+	// Re-presenting the same sample immediately must now be correct.
+	pred2, updated2 := m.Adapt(train.X.Row(0), train.Y[0], 1)
+	if pred2 != train.Y[0] && !updated2 {
+		t.Fatal("second adapt neither correct nor updated")
+	}
+}
+
+func TestAdaptPanicsOnBadLabel(t *testing.T) {
+	enc := NewEncoder(4, 64, true, rng.New(1))
+	m := NewModel(enc, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad label did not panic")
+		}
+	}()
+	m.Adapt(make([]float32, 4), 5, 1)
+}

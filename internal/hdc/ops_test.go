@@ -1,0 +1,190 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hdcedge/internal/rng"
+)
+
+const opsDim = 4096
+
+func TestBundlePreservesCosine(t *testing.T) {
+	// The defining property: a bundle is similar to each of its members.
+	r := rng.New(1)
+	a := RandomHypervector(opsDim, r)
+	b := RandomHypervector(opsDim, r)
+	c := RandomHypervector(opsDim, r)
+	s := Bundle(a, b, c)
+	for i, m := range [][]float32{a, b, c} {
+		if sim := Cosine(s, m); sim < 0.4 {
+			t.Fatalf("bundle similarity to member %d = %v", i, sim)
+		}
+	}
+	unrelated := RandomHypervector(opsDim, r)
+	if sim := Cosine(s, unrelated); math.Abs(float64(sim)) > 0.1 {
+		t.Fatalf("bundle similar to unrelated vector: %v", sim)
+	}
+}
+
+func TestBindDecorrelates(t *testing.T) {
+	// Binding produces a vector dissimilar to both operands.
+	r := rng.New(2)
+	a := RandomBipolar(opsDim, r)
+	b := RandomBipolar(opsDim, r)
+	ab := Bind(a, b)
+	if sim := Cosine(ab, a); math.Abs(float64(sim)) > 0.1 {
+		t.Fatalf("bound vector similar to operand: %v", sim)
+	}
+	if sim := Cosine(ab, b); math.Abs(float64(sim)) > 0.1 {
+		t.Fatalf("bound vector similar to operand: %v", sim)
+	}
+}
+
+func TestBipolarBindSelfInverse(t *testing.T) {
+	// For bipolar vectors, bind(bind(a, b), b) == a exactly.
+	r := rng.New(3)
+	a := RandomBipolar(opsDim, r)
+	b := RandomBipolar(opsDim, r)
+	back := Bind(Bind(a, b), b)
+	for j := range a {
+		if back[j] != a[j] {
+			t.Fatalf("unbinding failed at %d", j)
+		}
+	}
+}
+
+func TestPermuteDecorrelatesAndInverts(t *testing.T) {
+	r := rng.New(4)
+	a := RandomHypervector(opsDim, r)
+	rot := Permute(a, 1)
+	if sim := Cosine(a, rot); math.Abs(float64(sim)) > 0.1 {
+		t.Fatalf("single rotation kept similarity %v", sim)
+	}
+	back := Permute(rot, -1)
+	for j := range a {
+		if back[j] != a[j] {
+			t.Fatalf("inverse rotation failed at %d", j)
+		}
+	}
+}
+
+func TestPermutePreservesDistances(t *testing.T) {
+	r := rng.New(5)
+	a := RandomHypervector(opsDim, r)
+	b := RandomHypervector(opsDim, r)
+	before := Cosine(a, b)
+	after := Cosine(Permute(a, 17), Permute(b, 17))
+	if math.Abs(float64(before-after)) > 1e-5 {
+		t.Fatalf("permutation changed similarity: %v -> %v", before, after)
+	}
+}
+
+func TestSign(t *testing.T) {
+	s := Sign([]float32{2, -3, 0, 0.1})
+	want := []float32{1, -1, -1, 1}
+	for j := range want {
+		if s[j] != want[j] {
+			t.Fatalf("Sign = %v", s)
+		}
+	}
+}
+
+func TestBundlePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Bundle([]float32{1}, []float32{1, 2})
+}
+
+// Property: Bind is commutative and associative.
+func TestQuickBindAlgebra(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := RandomBipolar(256, r)
+		b := RandomBipolar(256, r)
+		c := RandomBipolar(256, r)
+		ab := Bind(a, b)
+		ba := Bind(b, a)
+		abc1 := Bind(Bind(a, b), c)
+		abc2 := Bind(a, Bind(b, c))
+		for j := range ab {
+			if ab[j] != ba[j] || abc1[j] != abc2[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bind distributes over Permute: ρ(a ⊙ b) = ρ(a) ⊙ ρ(b).
+func TestQuickPermuteDistributesOverBind(t *testing.T) {
+	f := func(seed uint64, k int16) bool {
+		r := rng.New(seed)
+		a := RandomBipolar(128, r)
+		b := RandomBipolar(128, r)
+		lhs := Permute(Bind(a, b), int(k))
+		rhs := Bind(Permute(a, int(k)), Permute(b, int(k)))
+		for j := range lhs {
+			if lhs[j] != rhs[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Permute composes additively: ρ^j(ρ^k(a)) = ρ^{j+k}(a).
+func TestQuickPermuteComposition(t *testing.T) {
+	f := func(seed uint64, j, k int16) bool {
+		r := rng.New(seed)
+		a := RandomHypervector(97, r) // prime length stresses the modulo
+		lhs := Permute(Permute(a, int(j)), int(k))
+		rhs := Permute(a, int(j)+int(k))
+		for i := range lhs {
+			if lhs[i] != rhs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bundling then unbinding recovers an associated value —
+// the record (key-value) retrieval identity HDC data structures build on.
+func TestRecordRetrieval(t *testing.T) {
+	r := rng.New(9)
+	keys := make([][]float32, 4)
+	vals := make([][]float32, 4)
+	pairs := make([][]float32, 4)
+	for i := range keys {
+		keys[i] = RandomBipolar(opsDim, r)
+		vals[i] = RandomBipolar(opsDim, r)
+		pairs[i] = Bind(keys[i], vals[i])
+	}
+	record := Bundle(pairs...)
+	for i := range keys {
+		// Unbind with the key: record ⊙ key ≈ value (plus crosstalk).
+		probe := Bind(record, keys[i])
+		if sim := Cosine(probe, vals[i]); sim < 0.35 {
+			t.Fatalf("retrieval %d similarity %v", i, sim)
+		}
+		// And not similar to another pair's value.
+		other := vals[(i+1)%4]
+		if sim := Cosine(probe, other); float64(sim) > 0.2 {
+			t.Fatalf("retrieval %d leaked to other value: %v", i, sim)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package hdc
+
+import (
+	"fmt"
+	"sort"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+// Regenerate implements dimension regeneration (the OnlineHD refinement
+// the paper's reference [17] describes): dimensions whose class
+// hypervector entries carry the least discriminative power — the smallest
+// variance across classes — contribute noise rather than signal. This
+// routine re-draws the base hypervector rows of the weakest `fraction` of
+// dimensions, zeroes those class entries, and returns how many dimensions
+// were regenerated. Callers then run a few refinement epochs so the fresh
+// dimensions pick up signal.
+func (m *Model) Regenerate(fraction float64, r *rng.RNG) int {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	d := m.Dim()
+	k := m.K()
+	// Variance of each dimension's entries across classes.
+	type dimVar struct {
+		idx int
+		v   float64
+	}
+	vars := make([]dimVar, d)
+	for j := 0; j < d; j++ {
+		var sum, sumSq float64
+		for c := 0; c < k; c++ {
+			v := float64(m.Classes.Row(c)[j])
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / float64(k)
+		vars[j] = dimVar{idx: j, v: sumSq/float64(k) - mean*mean}
+	}
+	sort.Slice(vars, func(a, b int) bool { return vars[a].v < vars[b].v })
+
+	n := int(fraction * float64(d))
+	base := m.Encoder.Base
+	nf := m.Encoder.Features()
+	for _, dv := range vars[:n] {
+		j := dv.idx
+		for f := 0; f < nf; f++ {
+			base.F32[f*base.Shape[1]+j] = float32(r.NormFloat64())
+		}
+		for c := 0; c < k; c++ {
+			m.Classes.Row(c)[j] = 0
+		}
+	}
+	return n
+}
+
+// RegenerateAndRefine regenerates the weakest dimensions and runs
+// refinement epochs on the (re-encoded) training data.
+func (m *Model) RegenerateAndRefine(x *tensor.Tensor, y []int, fraction float64,
+	epochs int, lr float32, r *rng.RNG) (int, *TrainStats, error) {
+	if epochs < 1 {
+		return 0, nil, fmt.Errorf("hdc: refinement needs at least one epoch")
+	}
+	n := m.Regenerate(fraction, r)
+	encoded := m.Encoder.EncodeBatch(x)
+	stats, err := m.FitEncoded(encoded, y, nil, nil, epochs, lr, r)
+	if err != nil {
+		return n, nil, err
+	}
+	return n, stats, nil
+}

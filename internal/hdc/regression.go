@@ -1,0 +1,101 @@
+package hdc
+
+import (
+	"fmt"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+// This file implements HDC regression in the style of RegHD
+// (Hernández-Cano et al., DAC 2021 — the paper's reference [28]): a
+// single model hypervector M is trained so that the prediction for an
+// encoded sample E is ŷ = M · E / d, with error-proportional bundling
+//
+//	M += λ · (y − ŷ) · E
+//
+// which is LMS/Widrow-Hoff in the hyperdimensional space. The non-linear
+// encoder makes the regressor capable of fitting non-linear targets.
+
+// Regressor is a trained HDC regression model.
+type Regressor struct {
+	Encoder *Encoder
+	// W is the model hypervector (length d).
+	W []float32
+}
+
+// RegressionConfig controls regression training.
+type RegressionConfig struct {
+	Dim          int
+	Epochs       int
+	LearningRate float32
+	Nonlinear    bool
+	Seed         uint64
+}
+
+// RegressionStats records per-epoch mean-squared error.
+type RegressionStats struct {
+	MSE []float64
+}
+
+// TrainRegressor fits an HDC regressor to (x, y) pairs. x has shape
+// [s, n]; y has length s.
+func TrainRegressor(x *tensor.Tensor, y []float32, cfg RegressionConfig) (*Regressor, *RegressionStats, error) {
+	if x == nil || x.DType != tensor.Float32 || len(x.Shape) != 2 {
+		return nil, nil, fmt.Errorf("hdc: regression needs a 2-D float design matrix")
+	}
+	s := x.Shape[0]
+	if s == 0 || s != len(y) {
+		return nil, nil, fmt.Errorf("hdc: %d samples, %d targets", s, len(y))
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = DefaultDim
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.02
+	}
+	r := rng.New(cfg.Seed)
+	enc := NewEncoder(x.Shape[1], cfg.Dim, cfg.Nonlinear, r.Split())
+	reg := &Regressor{Encoder: enc, W: make([]float32, cfg.Dim)}
+	encoded := enc.EncodeBatch(x)
+
+	stats := &RegressionStats{}
+	order := r.Perm(s)
+	invD := 1 / float32(cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(s, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		var sse float64
+		for _, idx := range order {
+			e := encoded.Row(idx)
+			pred := tensor.Dot(reg.W, e) * invD
+			err := y[idx] - pred
+			sse += float64(err) * float64(err)
+			tensor.Axpy(cfg.LearningRate*err*invD*float32(cfg.Dim), e, reg.W)
+		}
+		stats.MSE = append(stats.MSE, sse/float64(s))
+	}
+	return reg, stats, nil
+}
+
+// Predict returns the regression output for one feature vector.
+func (r *Regressor) Predict(features []float32) float32 {
+	e := make([]float32, len(r.W))
+	r.Encoder.Encode(e, features)
+	return tensor.Dot(r.W, e) / float32(len(r.W))
+}
+
+// MSE evaluates mean-squared error over a design matrix.
+func (r *Regressor) MSE(x *tensor.Tensor, y []float32) float64 {
+	enc := r.Encoder.EncodeBatch(x)
+	invD := 1 / float32(len(r.W))
+	var sse float64
+	for i := 0; i < x.Shape[0]; i++ {
+		pred := tensor.Dot(r.W, enc.Row(i)) * invD
+		diff := float64(y[i] - pred)
+		sse += diff * diff
+	}
+	return sse / float64(x.Shape[0])
+}

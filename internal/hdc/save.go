@@ -1,0 +1,128 @@
+package hdc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"hdcedge/internal/tensor"
+)
+
+// Model binary format (little endian): magic "HDM1", nonlinear u8,
+// metric u8, n u32, d u32, k u32, base [n*d]f32, classes [k*d]f32.
+
+const modelMagic = "HDM1"
+
+// Save writes the model to a file.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := m.writeTo(w); err != nil {
+		f.Close()
+		return fmt.Errorf("hdc: writing %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (m *Model) writeTo(w *bufio.Writer) error {
+	if _, err := w.WriteString(modelMagic); err != nil {
+		return err
+	}
+	if m.Encoder.Nonlinear {
+		w.WriteByte(1)
+	} else {
+		w.WriteByte(0)
+	}
+	w.WriteByte(byte(m.Metric))
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		w.Write(b[:])
+	}
+	putU32(uint32(m.Encoder.Features()))
+	putU32(uint32(m.Dim()))
+	putU32(uint32(m.K()))
+	for _, v := range m.Encoder.Base.F32 {
+		putU32(math.Float32bits(v))
+	}
+	for _, v := range m.Classes.F32 {
+		putU32(math.Float32bits(v))
+	}
+	return nil
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var mg [4]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		return nil, err
+	}
+	if string(mg[:]) != modelMagic {
+		return nil, fmt.Errorf("hdc: bad model magic %q in %s", mg, path)
+	}
+	flags := make([]byte, 2)
+	if _, err := io.ReadFull(r, flags); err != nil {
+		return nil, err
+	}
+	getU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	n, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	d, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	k, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || d == 0 || k < 2 || n > 1<<20 || d > 1<<24 || k > 1<<16 {
+		return nil, fmt.Errorf("hdc: implausible model dims n=%d d=%d k=%d", n, d, k)
+	}
+	readF32s := func(dst []float32) error {
+		for i := range dst {
+			bits, err := getU32()
+			if err != nil {
+				return err
+			}
+			dst[i] = math.Float32frombits(bits)
+		}
+		return nil
+	}
+	base := tensor.New(tensor.Float32, int(n), int(d))
+	if err := readF32s(base.F32); err != nil {
+		return nil, err
+	}
+	classes := tensor.New(tensor.Float32, int(k), int(d))
+	if err := readF32s(classes.F32); err != nil {
+		return nil, err
+	}
+	return &Model{
+		Encoder: &Encoder{Base: base, Nonlinear: flags[0] == 1},
+		Classes: classes,
+		Metric:  Similarity(flags[1]),
+	}, nil
+}

@@ -1,0 +1,137 @@
+package hdc
+
+import (
+	"fmt"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+// This file implements HDC sequence encoding with permutation binding —
+// the mechanism behind the DNA pattern-matching systems the paper cites
+// as HDC applications (GenieHD [26], correlative genome encoding [27]).
+// A sequence window s₁s₂…s_g encodes as
+//
+//	H(window) = ρ^{g-1}(V[s₁]) ⊙ ρ^{g-2}(V[s₂]) ⊙ … ⊙ V[s_g]
+//
+// where V is a random bipolar item memory over the symbol alphabet, ρ is
+// a fixed cyclic shift (the permutation that injects order), and ⊙ is
+// element-wise binding. A whole sequence bundles its n-gram window
+// hypervectors; similar sequences share windows and therefore bundle to
+// similar hypervectors.
+
+// SequenceEncoder encodes discrete symbol sequences.
+type SequenceEncoder struct {
+	// Items is the bipolar item memory, [alphabet, d].
+	Items *tensor.Tensor
+	// N is the n-gram window length.
+	N int
+}
+
+// NewSequenceEncoder draws an item memory for `alphabet` symbols at width
+// dim, with n-gram windows of length n.
+func NewSequenceEncoder(alphabet, dim, n int, r *rng.RNG) *SequenceEncoder {
+	if alphabet < 2 || dim <= 0 || n < 1 {
+		panic(fmt.Sprintf("hdc: invalid sequence encoder (alphabet=%d d=%d n=%d)", alphabet, dim, n))
+	}
+	items := tensor.New(tensor.Float32, alphabet, dim)
+	for i := range items.F32 {
+		if r.Uint64()&1 == 1 {
+			items.F32[i] = 1
+		} else {
+			items.F32[i] = -1
+		}
+	}
+	return &SequenceEncoder{Items: items, N: n}
+}
+
+// Alphabet returns the symbol count.
+func (e *SequenceEncoder) Alphabet() int { return e.Items.Shape[0] }
+
+// Dim returns the hypervector width.
+func (e *SequenceEncoder) Dim() int { return e.Items.Shape[1] }
+
+// rotated writes ρ^k(V[sym]) into dst: a cyclic right shift by k.
+func (e *SequenceEncoder) rotated(dst []float32, sym, k int) {
+	d := e.Dim()
+	src := e.Items.Row(sym)
+	k %= d
+	copy(dst[k:], src[:d-k])
+	copy(dst[:k], src[d-k:])
+}
+
+// EncodeWindow writes the bound n-gram hypervector of window into dst.
+// The window must have exactly N symbols, each within the alphabet.
+func (e *SequenceEncoder) EncodeWindow(dst []float32, window []int) {
+	if len(window) != e.N {
+		panic(fmt.Sprintf("hdc: window length %d, want %d", len(window), e.N))
+	}
+	d := e.Dim()
+	tmp := make([]float32, d)
+	for j := range dst {
+		dst[j] = 1
+	}
+	for pos, sym := range window {
+		if sym < 0 || sym >= e.Alphabet() {
+			panic(fmt.Sprintf("hdc: symbol %d outside alphabet [0,%d)", sym, e.Alphabet()))
+		}
+		e.rotated(tmp, sym, e.N-1-pos)
+		for j := range dst {
+			dst[j] *= tmp[j]
+		}
+	}
+}
+
+// EncodeSequence bundles all n-gram windows of seq into dst. Sequences
+// shorter than N encode to the zero vector.
+func (e *SequenceEncoder) EncodeSequence(dst []float32, seq []int) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	if len(seq) < e.N {
+		return
+	}
+	window := make([]float32, e.Dim())
+	for start := 0; start+e.N <= len(seq); start++ {
+		e.EncodeWindow(window, seq[start:start+e.N])
+		for j := range dst {
+			dst[j] += window[j]
+		}
+	}
+}
+
+// SequenceMatcher is a reference-library search: reference sequences are
+// encoded once; queries match by cosine similarity, the GenieHD pattern.
+type SequenceMatcher struct {
+	Enc  *SequenceEncoder
+	Refs *tensor.Tensor // [refs, d]
+}
+
+// NewSequenceMatcher encodes the reference library.
+func NewSequenceMatcher(enc *SequenceEncoder, refs [][]int) *SequenceMatcher {
+	m := &SequenceMatcher{
+		Enc:  enc,
+		Refs: tensor.New(tensor.Float32, len(refs), enc.Dim()),
+	}
+	for i, ref := range refs {
+		enc.EncodeSequence(m.Refs.Row(i), ref)
+	}
+	return m
+}
+
+// Match returns the index of the reference most similar to query and the
+// cosine similarity. An empty library returns (-1, 0).
+func (m *SequenceMatcher) Match(query []int) (int, float32) {
+	if m.Refs.Shape[0] == 0 {
+		return -1, 0
+	}
+	q := make([]float32, m.Enc.Dim())
+	m.Enc.EncodeSequence(q, query)
+	best, bestSim := -1, float32(-2)
+	for i := 0; i < m.Refs.Shape[0]; i++ {
+		if sim := tensor.CosineSimilarity(q, m.Refs.Row(i)); sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	return best, bestSim
+}

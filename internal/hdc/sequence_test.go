@@ -1,0 +1,173 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+func TestSequenceEncoderConstruction(t *testing.T) {
+	e := NewSequenceEncoder(4, 2048, 3, rng.New(1))
+	if e.Alphabet() != 4 || e.Dim() != 2048 || e.N != 3 {
+		t.Fatalf("dims %d/%d/%d", e.Alphabet(), e.Dim(), e.N)
+	}
+	for _, v := range e.Items.F32 {
+		if v != 1 && v != -1 {
+			t.Fatalf("non-bipolar item %v", v)
+		}
+	}
+}
+
+func TestRotationIsCyclic(t *testing.T) {
+	e := NewSequenceEncoder(2, 64, 2, rng.New(2))
+	a := make([]float32, 64)
+	e.rotated(a, 0, 0)
+	for j, v := range a {
+		if v != e.Items.Row(0)[j] {
+			t.Fatal("rotation by 0 changed the vector")
+		}
+	}
+	b := make([]float32, 64)
+	e.rotated(b, 0, 5)
+	for j := range b {
+		if b[(j+5)%64] != e.Items.Row(0)[(j+0)%64] {
+			// Equivalent check: b[k] == src[(k-5) mod 64].
+			t.Fatalf("rotation wrong at %d", j)
+		}
+	}
+}
+
+func TestWindowOrderMatters(t *testing.T) {
+	// Permutation binding must distinguish "AB" from "BA".
+	e := NewSequenceEncoder(4, 8192, 2, rng.New(3))
+	ab := make([]float32, e.Dim())
+	ba := make([]float32, e.Dim())
+	e.EncodeWindow(ab, []int{0, 1})
+	e.EncodeWindow(ba, []int{1, 0})
+	if sim := tensor.CosineSimilarity(ab, ba); math.Abs(float64(sim)) > 0.1 {
+		t.Fatalf("reversed windows similar: %v", sim)
+	}
+}
+
+func TestWindowDeterministic(t *testing.T) {
+	e := NewSequenceEncoder(4, 1024, 3, rng.New(4))
+	a := make([]float32, 1024)
+	b := make([]float32, 1024)
+	e.EncodeWindow(a, []int{2, 0, 3})
+	e.EncodeWindow(b, []int{2, 0, 3})
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("window encoding not deterministic")
+		}
+	}
+	// Bound windows stay bipolar (products of ±1).
+	for _, v := range a {
+		if v != 1 && v != -1 {
+			t.Fatalf("window value %v not bipolar", v)
+		}
+	}
+}
+
+func TestSimilarSequencesSimilarEncodings(t *testing.T) {
+	// n = 6 over a 4-symbol alphabet gives 4096 window types, so two
+	// independent 200-symbol sequences share almost no windows. (At
+	// small n the bundle encodes the n-gram histogram and two uniform
+	// random sequences look alike — correct but not what this test
+	// probes.)
+	e := NewSequenceEncoder(4, 8192, 6, rng.New(5))
+	r := rng.New(6)
+	seq := make([]int, 200)
+	for i := range seq {
+		seq[i] = r.Intn(4)
+	}
+	// One point mutation: most windows are shared.
+	mutated := append([]int(nil), seq...)
+	mutated[100] = (mutated[100] + 1) % 4
+	// An unrelated sequence shares nothing systematically.
+	random := make([]int, 200)
+	for i := range random {
+		random[i] = r.Intn(4)
+	}
+	a := make([]float32, e.Dim())
+	b := make([]float32, e.Dim())
+	c := make([]float32, e.Dim())
+	e.EncodeSequence(a, seq)
+	e.EncodeSequence(b, mutated)
+	e.EncodeSequence(c, random)
+	simMut := tensor.CosineSimilarity(a, b)
+	simRand := tensor.CosineSimilarity(a, c)
+	if simMut < 0.85 {
+		t.Fatalf("point mutation dropped similarity to %v", simMut)
+	}
+	if float64(simRand) > 0.3 {
+		t.Fatalf("random sequence similarity %v; want near zero", simRand)
+	}
+}
+
+func TestShortSequenceEncodesZero(t *testing.T) {
+	e := NewSequenceEncoder(4, 128, 5, rng.New(7))
+	dst := make([]float32, 128)
+	dst[0] = 42
+	e.EncodeSequence(dst, []int{1, 2})
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("short sequence did not encode to zero")
+		}
+	}
+}
+
+func TestSequenceMatcherFindsMutatedReference(t *testing.T) {
+	// The GenieHD scenario: match noisy reads against a reference
+	// library.
+	e := NewSequenceEncoder(4, 8192, 4, rng.New(8))
+	r := rng.New(9)
+	refs := make([][]int, 8)
+	for i := range refs {
+		refs[i] = make([]int, 300)
+		for j := range refs[i] {
+			refs[i][j] = r.Intn(4)
+		}
+	}
+	m := NewSequenceMatcher(e, refs)
+	correct := 0
+	const trials = 24
+	for trial := 0; trial < trials; trial++ {
+		src := trial % len(refs)
+		query := append([]int(nil), refs[src]...)
+		// 3% point mutations.
+		for k := 0; k < 9; k++ {
+			pos := r.Intn(len(query))
+			query[pos] = (query[pos] + 1 + r.Intn(3)) % 4
+		}
+		got, sim := m.Match(query)
+		if got == src {
+			correct++
+		}
+		if sim <= 0 {
+			t.Fatalf("matched with non-positive similarity %v", sim)
+		}
+	}
+	if correct < trials-1 {
+		t.Fatalf("matched %d/%d mutated reads", correct, trials)
+	}
+}
+
+func TestSequenceMatcherEmpty(t *testing.T) {
+	e := NewSequenceEncoder(4, 128, 2, rng.New(10))
+	m := NewSequenceMatcher(e, nil)
+	if idx, _ := m.Match([]int{1, 2, 3}); idx != -1 {
+		t.Fatal("empty library matched something")
+	}
+}
+
+func TestEncodeWindowPanicsOnBadSymbol(t *testing.T) {
+	e := NewSequenceEncoder(4, 64, 2, rng.New(11))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad symbol did not panic")
+		}
+	}()
+	e.EncodeWindow(make([]float32, 64), []int{0, 9})
+}

@@ -1,0 +1,267 @@
+package hdc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+func synthTrainTest(t *testing.T, features, samples, classes int, seed uint64) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.SyntheticSpec(features, samples, classes, seed), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.25, rng.New(seed+1))
+	return train, test
+}
+
+func TestTrainLearnsSynthetic(t *testing.T) {
+	train, test := synthTrainTest(t, 40, 1600, 5, 100)
+	cfg := TrainConfig{Dim: 2048, Epochs: 10, LearningRate: 1, Nonlinear: true, Seed: 7}
+	model, stats, err := Train(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := model.Accuracy(test)
+	if acc < 0.75 {
+		t.Fatalf("test accuracy %.3f; want ≥ 0.75 (chance 0.2)", acc)
+	}
+	if len(stats.Epochs) != 10 {
+		t.Fatalf("%d epoch stats", len(stats.Epochs))
+	}
+}
+
+func TestTrainingAccuracyImproves(t *testing.T) {
+	// Fig 4's qualitative shape: early epochs must be worse than late.
+	train, test := synthTrainTest(t, 30, 1200, 6, 200)
+	cfg := TrainConfig{Dim: 2048, Epochs: 12, LearningRate: 1, Nonlinear: true, Seed: 3}
+	_, stats, err := Train(train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := stats.Epochs[0].TrainAccuracy
+	lastAvg := (stats.Epochs[10].TrainAccuracy + stats.Epochs[11].TrainAccuracy) / 2
+	if lastAvg <= first {
+		t.Fatalf("training accuracy did not improve: %.3f -> %.3f", first, lastAvg)
+	}
+	if stats.Epochs[0].Updates <= stats.Epochs[11].Updates {
+		t.Fatalf("updates did not decrease: %d -> %d", stats.Epochs[0].Updates, stats.Epochs[11].Updates)
+	}
+}
+
+func TestNonlinearBeatsLinearOnMultiModal(t *testing.T) {
+	// The paper motivates tanh encoding with linearly-inseparable data:
+	// multi-modal classes must favor the nonlinear encoder.
+	spec := dataset.SyntheticSpec(24, 2400, 4, 42)
+	spec.ModesPerClass = 4
+	spec.ClusterSpread = 0.4
+	ds, err := dataset.Generate(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.25, rng.New(43))
+	base := TrainConfig{Dim: 4096, Epochs: 12, LearningRate: 1, Seed: 9}
+
+	nl := base
+	nl.Nonlinear = true
+	mNL, _, err := Train(train, nil, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := base
+	lin.Nonlinear = false
+	mLin, _, err := Train(train, nil, lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accNL := mNL.Accuracy(test)
+	accLin := mLin.Accuracy(test)
+	if accNL < accLin-0.02 {
+		t.Fatalf("nonlinear %.3f worse than linear %.3f on multi-modal data", accNL, accLin)
+	}
+}
+
+func TestTrainRejectsEmpty(t *testing.T) {
+	if _, _, err := Train(nil, nil, DefaultTrainConfig()); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestFitEncodedRejectsBadLabels(t *testing.T) {
+	enc := NewEncoder(4, 64, true, rng.New(1))
+	m := NewModel(enc, 3)
+	e := tensor.New(tensor.Float32, 2, 64)
+	if _, err := m.FitEncoded(e, []int{0, 7}, nil, nil, 1, 1, rng.New(2)); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := m.FitEncoded(e, []int{0}, nil, nil, 1, 1, rng.New(2)); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+}
+
+func TestFitEncodedRejectsDimMismatch(t *testing.T) {
+	enc := NewEncoder(4, 64, true, rng.New(1))
+	m := NewModel(enc, 3)
+	e := tensor.New(tensor.Float32, 2, 32)
+	if _, err := m.FitEncoded(e, []int{0, 1}, nil, nil, 1, 1, rng.New(2)); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestBundleDetachInverse(t *testing.T) {
+	enc := NewEncoder(4, 32, true, rng.New(5))
+	m := NewModel(enc, 2)
+	e := make([]float32, 32)
+	rng.New(6).FillNormal(e)
+	before := append([]float32(nil), m.Classes.Row(0)...)
+	m.Bundle(0, 0.5, e)
+	m.Detach(0, 0.5, e)
+	for j, v := range m.Classes.Row(0) {
+		if v != before[j] {
+			t.Fatalf("bundle+detach not identity at %d", j)
+		}
+	}
+}
+
+func TestUpdateRule(t *testing.T) {
+	// A misprediction must move the true class toward E and the predicted
+	// class away, by exactly λE.
+	enc := NewEncoder(4, 16, true, rng.New(7))
+	m := NewModel(enc, 2)
+	e := make([]float32, 16)
+	rng.New(8).FillNormal(e)
+	lambda := float32(0.25)
+	m.Bundle(1, lambda, e)
+	m.Detach(0, lambda, e)
+	for j := range e {
+		if m.Classes.Row(1)[j] != lambda*e[j] {
+			t.Fatal("bundle wrong")
+		}
+		if m.Classes.Row(0)[j] != -lambda*e[j] {
+			t.Fatal("detach wrong")
+		}
+	}
+}
+
+func TestCosineMetricAgreesOnNormalizedClasses(t *testing.T) {
+	enc := NewEncoder(8, 256, true, rng.New(9))
+	m := NewModel(enc, 3)
+	r := rng.New(10)
+	// Give classes equal norms; then dot and cosine must rank equally.
+	for c := 0; c < 3; c++ {
+		row := m.Classes.Row(c)
+		r.FillNormal(row)
+		n := tensor.Norm(row)
+		for j := range row {
+			row[j] /= n
+		}
+	}
+	e := make([]float32, 256)
+	r.FillNormal(e)
+	m.Metric = DotSimilarity
+	dot := m.ClassifyEncoded(e)
+	m.Metric = CosineSimilarity
+	cos := m.ClassifyEncoded(e)
+	if dot != cos {
+		t.Fatalf("metrics disagree on equal-norm classes: dot %d, cos %d", dot, cos)
+	}
+}
+
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	train, test := synthTrainTest(t, 16, 600, 3, 300)
+	m, _, err := Train(train, nil, TrainConfig{Dim: 1024, Epochs: 5, LearningRate: 1, Nonlinear: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictBatch(test.X)
+	for i := 0; i < test.Samples(); i++ {
+		if single := m.Predict(test.X.Row(i)); single != batch[i] {
+			t.Fatalf("sample %d: batch %d vs single %d", i, batch[i], single)
+		}
+	}
+}
+
+func TestHigherDimHelps(t *testing.T) {
+	// HDC accuracy should not degrade as d grows (and typically improves).
+	train, test := synthTrainTest(t, 30, 1200, 6, 400)
+	small, _, err := Train(train, nil, TrainConfig{Dim: 128, Epochs: 8, LearningRate: 1, Nonlinear: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _, err := Train(train, nil, TrainConfig{Dim: 4096, Epochs: 8, LearningRate: 1, Nonlinear: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Accuracy(test) < small.Accuracy(test)-0.05 {
+		t.Fatalf("d=4096 accuracy %.3f much worse than d=128 %.3f", big.Accuracy(test), small.Accuracy(test))
+	}
+}
+
+func TestTotalUpdates(t *testing.T) {
+	s := &TrainStats{Epochs: []EpochStats{{Updates: 3}, {Updates: 5}}}
+	if s.TotalUpdates() != 8 {
+		t.Fatalf("TotalUpdates = %d", s.TotalUpdates())
+	}
+}
+
+func TestModelClone(t *testing.T) {
+	enc := NewEncoder(4, 32, true, rng.New(11))
+	m := NewModel(enc, 2)
+	c := m.Clone()
+	c.Classes.F32[0] = 42
+	c.Encoder.Base.F32[0] = 42
+	if m.Classes.F32[0] == 42 || m.Encoder.Base.F32[0] == 42 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestModelSaveLoad(t *testing.T) {
+	train, _ := synthTrainTest(t, 12, 400, 3, 500)
+	m, _, err := Train(train, nil, TrainConfig{Dim: 256, Epochs: 3, LearningRate: 1, Nonlinear: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.hdm")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != m.Dim() || got.K() != m.K() || got.Encoder.Features() != m.Encoder.Features() {
+		t.Fatal("dims changed in round trip")
+	}
+	if got.Encoder.Nonlinear != m.Encoder.Nonlinear || got.Metric != m.Metric {
+		t.Fatal("flags changed in round trip")
+	}
+	for i := range m.Classes.F32 {
+		if got.Classes.F32[i] != m.Classes.F32[i] {
+			t.Fatal("classes changed in round trip")
+		}
+	}
+	// The loaded model must classify identically.
+	probe := train.X.Row(0)
+	if got.Predict(probe) != m.Predict(probe) {
+		t.Fatal("loaded model predicts differently")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := writeJunk(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(path); err == nil {
+		t.Fatal("garbage model accepted")
+	}
+}
+
+func writeJunk(path string) error {
+	return os.WriteFile(path, []byte("garbage bytes"), 0o644)
+}

@@ -1,0 +1,203 @@
+// Package metrics provides the evaluation plumbing shared by the
+// experiment drivers: classification metrics, runtime normalization, and
+// plain-text rendering of the paper's tables and figure series.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Accuracy returns the fraction of predictions matching labels.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d predictions vs %d labels", len(pred), len(labels)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// ConfusionMatrix counts label→prediction pairs; rows are true classes.
+type ConfusionMatrix struct {
+	K      int
+	Counts [][]int
+}
+
+// NewConfusionMatrix builds the matrix from predictions and labels.
+func NewConfusionMatrix(k int, pred, labels []int) *ConfusionMatrix {
+	cm := &ConfusionMatrix{K: k, Counts: make([][]int, k)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, k)
+	}
+	for i, p := range pred {
+		y := labels[i]
+		if y >= 0 && y < k && p >= 0 && p < k {
+			cm.Counts[y][p]++
+		}
+	}
+	return cm
+}
+
+// Accuracy returns the trace fraction.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	diag, total := 0, 0
+	for i := range cm.Counts {
+		for j, c := range cm.Counts[i] {
+			total += c
+			if i == j {
+				diag += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// PerClassRecall returns recall per true class (zero for empty classes).
+func (cm *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, cm.K)
+	for i := range cm.Counts {
+		total := 0
+		for _, c := range cm.Counts[i] {
+			total += c
+		}
+		if total > 0 {
+			out[i] = float64(cm.Counts[i][i]) / float64(total)
+		}
+	}
+	return out
+}
+
+// Normalize divides every duration by base, yielding the paper's
+// "normalized runtime" bars. A zero base yields zeros.
+func Normalize(base time.Duration, values ...time.Duration) []float64 {
+	out := make([]float64, len(values))
+	if base == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = float64(v) / float64(base)
+	}
+	return out
+}
+
+// Speedup returns base/new as a factor (the paper's "N.NN×" numbers).
+// A zero new duration yields +Inf-like large output guarded to zero base.
+func Speedup(base, new time.Duration) float64 {
+	if new == 0 {
+		return 0
+	}
+	return float64(base) / float64(new)
+}
+
+// Table renders an aligned plain-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// FmtX formats a speedup factor as the paper prints them, e.g. "4.49x".
+func FmtX(f float64) string { return fmt.Sprintf("%.2fx", f) }
+
+// FmtPct formats an accuracy as a percentage, e.g. "93.1%".
+func FmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// FmtDur formats a duration with three significant digits.
+func FmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3gms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.3gus", float64(d)/1e3)
+	}
+}
+
+// PerClassPrecision returns precision per predicted class (zero when the
+// class was never predicted).
+func (cm *ConfusionMatrix) PerClassPrecision() []float64 {
+	out := make([]float64, cm.K)
+	for p := 0; p < cm.K; p++ {
+		total := 0
+		for y := 0; y < cm.K; y++ {
+			total += cm.Counts[y][p]
+		}
+		if total > 0 {
+			out[p] = float64(cm.Counts[p][p]) / float64(total)
+		}
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores — the metric
+// of choice when classes are imbalanced. Classes with zero precision and
+// recall contribute zero.
+func (cm *ConfusionMatrix) MacroF1() float64 {
+	prec := cm.PerClassPrecision()
+	rec := cm.PerClassRecall()
+	var sum float64
+	for c := 0; c < cm.K; c++ {
+		if prec[c]+rec[c] > 0 {
+			sum += 2 * prec[c] * rec[c] / (prec[c] + rec[c])
+		}
+	}
+	return sum / float64(cm.K)
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); a != 2.0/3 {
+		t.Fatalf("Accuracy = %v", a)
+	}
+	if a := Accuracy(nil, nil); a != 0 {
+		t.Fatalf("empty Accuracy = %v", a)
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := NewConfusionMatrix(3, []int{0, 1, 1, 2}, []int{0, 1, 2, 2})
+	if cm.Counts[0][0] != 1 || cm.Counts[1][1] != 1 || cm.Counts[2][1] != 1 || cm.Counts[2][2] != 1 {
+		t.Fatalf("counts %v", cm.Counts)
+	}
+	if acc := cm.Accuracy(); acc != 0.75 {
+		t.Fatalf("Accuracy = %v", acc)
+	}
+	recall := cm.PerClassRecall()
+	if recall[0] != 1 || recall[1] != 1 || recall[2] != 0.5 {
+		t.Fatalf("recall %v", recall)
+	}
+}
+
+func TestConfusionMatrixIgnoresOutOfRange(t *testing.T) {
+	cm := NewConfusionMatrix(2, []int{0, 9}, []int{0, 1})
+	if cm.Accuracy() != 1 { // the out-of-range pair is dropped
+		t.Fatalf("accuracy %v", cm.Accuracy())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize(10*time.Second, 5*time.Second, 20*time.Second)
+	if out[0] != 0.5 || out[1] != 2 {
+		t.Fatalf("Normalize = %v", out)
+	}
+	if z := Normalize(0, time.Second); z[0] != 0 {
+		t.Fatal("zero base should yield zeros")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10*time.Second, 2*time.Second); s != 5 {
+		t.Fatalf("Speedup = %v", s)
+	}
+	if s := Speedup(time.Second, 0); s != 0 {
+		t.Fatal("zero denominator must not divide")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Demo", Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long", "23456")
+	s := tb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta-long", "23456", "---"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FmtX(4.487) != "4.49x" {
+		t.Fatalf("FmtX = %q", FmtX(4.487))
+	}
+	if FmtPct(0.931) != "93.1%" {
+		t.Fatalf("FmtPct = %q", FmtPct(0.931))
+	}
+	if !strings.HasSuffix(FmtDur(2*time.Second), "s") {
+		t.Fatal("FmtDur seconds")
+	}
+	if !strings.HasSuffix(FmtDur(3*time.Millisecond), "ms") {
+		t.Fatal("FmtDur millis")
+	}
+	if !strings.HasSuffix(FmtDur(40*time.Microsecond), "us") {
+		t.Fatal("FmtDur micros")
+	}
+}
+
+func TestPerClassPrecision(t *testing.T) {
+	cm := NewConfusionMatrix(2, []int{0, 0, 1, 1}, []int{0, 1, 1, 1})
+	prec := cm.PerClassPrecision()
+	// Class 0 predicted twice, once correct; class 1 predicted twice,
+	// both correct.
+	if prec[0] != 0.5 || prec[1] != 1.0 {
+		t.Fatalf("precision %v", prec)
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	// Perfect predictions → F1 = 1.
+	cm := NewConfusionMatrix(3, []int{0, 1, 2}, []int{0, 1, 2})
+	if f1 := cm.MacroF1(); f1 != 1 {
+		t.Fatalf("perfect MacroF1 = %v", f1)
+	}
+	// Degenerate: always predict class 0 over a 2-class balanced set.
+	cm = NewConfusionMatrix(2, []int{0, 0, 0, 0}, []int{0, 0, 1, 1})
+	f1 := cm.MacroF1()
+	// Class 0: prec 0.5, rec 1 → F1 2/3. Class 1: 0. Macro = 1/3.
+	if f1 < 0.32 || f1 > 0.34 {
+		t.Fatalf("degenerate MacroF1 = %v", f1)
+	}
+}
+
+func TestMacroF1EmptyClassSafe(t *testing.T) {
+	cm := NewConfusionMatrix(3, []int{0, 1}, []int{0, 1})
+	if f1 := cm.MacroF1(); f1 <= 0 || f1 > 1 {
+		t.Fatalf("MacroF1 with empty class = %v", f1)
+	}
+}

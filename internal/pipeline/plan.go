@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/metrics"
+)
+
+// DeploymentPlan is the full co-design picture for one workload: what
+// each framework setting costs in time and energy, where the phases go,
+// and whether the accelerator is worth attaching at all. It is the
+// "should I deploy this on an Edge TPU?" answer the paper's analysis
+// enables.
+type DeploymentPlan struct {
+	Workload Workload
+
+	CPUTrain     TrainingBreakdown
+	TPUTrain     TrainingBreakdown
+	BaggingTrain TrainingBreakdown
+
+	CPUInfer time.Duration
+	TPUInfer time.Duration
+
+	CPUTrainEnergy     EnergyBreakdown
+	BaggingTrainEnergy EnergyBreakdown
+	CPUInferEnergy     EnergyBreakdown
+	TPUInferEnergy     EnergyBreakdown
+
+	// Recommended reports whether the accelerator path wins end to end.
+	Recommended bool
+	// Reasons collects the human-readable judgement.
+	Reasons []string
+}
+
+// Plan evaluates a workload across the CPU baseline and the accelerator
+// platform with the paper's bagging configuration.
+func Plan(host, accel Platform, w Workload, bcfg bagging.Config) (*DeploymentPlan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p := &DeploymentPlan{Workload: w}
+	var err error
+	if p.CPUTrain, err = CPUTraining(host.Host, w); err != nil {
+		return nil, err
+	}
+	if p.TPUTrain, err = TPUTraining(accel, w); err != nil {
+		return nil, err
+	}
+	if p.BaggingTrain, err = BaggingTraining(accel, w, bcfg, nil); err != nil {
+		return nil, err
+	}
+	if p.CPUInfer, err = CPUInference(host.Host, w); err != nil {
+		return nil, err
+	}
+	if p.TPUInfer, err = TPUInference(accel, w); err != nil {
+		return nil, err
+	}
+	if p.CPUTrainEnergy, err = CPUTrainingEnergy(host, w); err != nil {
+		return nil, err
+	}
+	if p.BaggingTrainEnergy, err = BaggingTrainingEnergy(accel, w, bcfg); err != nil {
+		return nil, err
+	}
+	if p.CPUInferEnergy, err = CPUInferenceEnergy(host, w); err != nil {
+		return nil, err
+	}
+	if p.TPUInferEnergy, err = TPUInferenceEnergy(accel, w); err != nil {
+		return nil, err
+	}
+
+	trainGain := metrics.Speedup(p.CPUTrain.Total(), p.BaggingTrain.Total())
+	inferGain := metrics.Speedup(p.CPUInfer, p.TPUInfer)
+	switch {
+	case w.Features < 50 && inferGain < 1.1:
+		p.Reasons = append(p.Reasons, fmt.Sprintf(
+			"%d input features cannot amortize per-invoke host/link costs (inference gain %.2fx)",
+			w.Features, inferGain))
+	case inferGain < 1.1 && trainGain < 1.3:
+		p.Reasons = append(p.Reasons, fmt.Sprintf(
+			"accelerator gains are marginal (train %.2fx, inference %.2fx)", trainGain, inferGain))
+	default:
+		p.Recommended = true
+		p.Reasons = append(p.Reasons, fmt.Sprintf(
+			"training %.2fx and inference %.2fx faster than the host baseline", trainGain, inferGain))
+	}
+	if eGain := p.CPUInferEnergy.Total() / p.TPUInferEnergy.Total(); eGain > 1.5 {
+		p.Reasons = append(p.Reasons, fmt.Sprintf("inference energy drops %.1fx", eGain))
+	}
+	if w.Features < 50 {
+		p.Reasons = append(p.Reasons,
+			"consider batching more aggressively or keeping this workload on the CPU (see Fig 10)")
+	}
+	return p, nil
+}
+
+// Render prints the plan.
+func (p *DeploymentPlan) Render() string {
+	var sb strings.Builder
+	w := p.Workload
+	fmt.Fprintf(&sb, "Deployment plan for %s: %d train / %d test samples, %d features, %d classes, d=%d\n",
+		w.Name, w.TrainSamples, w.TestSamples, w.Features, w.Classes, w.Dim)
+
+	t := &metrics.Table{
+		Title:   "Training (modeled at full scale)",
+		Headers: []string{"Setting", "Encode", "Update", "ModelGen", "Total", "Speedup"},
+	}
+	base := p.CPUTrain.Total()
+	add := func(name string, b TrainingBreakdown) {
+		t.AddRow(name, metrics.FmtDur(b.Encode), metrics.FmtDur(b.Update),
+			metrics.FmtDur(b.ModelGen), metrics.FmtDur(b.Total()),
+			metrics.FmtX(metrics.Speedup(base, b.Total())))
+	}
+	add("CPU", p.CPUTrain)
+	add("TPU", p.TPUTrain)
+	add("TPU+bagging", p.BaggingTrain)
+	sb.WriteString(t.String())
+
+	t2 := &metrics.Table{
+		Title:   "Inference (full test split)",
+		Headers: []string{"Setting", "Total", "Per-sample", "Speedup", "Energy (J)"},
+	}
+	per := func(d time.Duration) time.Duration {
+		if w.TestSamples == 0 {
+			return 0
+		}
+		return d / time.Duration(w.TestSamples)
+	}
+	t2.AddRow("CPU", metrics.FmtDur(p.CPUInfer), metrics.FmtDur(per(p.CPUInfer)),
+		"1.00x", fmt.Sprintf("%.2f", p.CPUInferEnergy.Total()))
+	t2.AddRow("TPU", metrics.FmtDur(p.TPUInfer), metrics.FmtDur(per(p.TPUInfer)),
+		metrics.FmtX(metrics.Speedup(p.CPUInfer, p.TPUInfer)),
+		fmt.Sprintf("%.2f", p.TPUInferEnergy.Total()))
+	sb.WriteString(t2.String())
+
+	if p.Recommended {
+		sb.WriteString("verdict: ACCELERATOR RECOMMENDED\n")
+	} else {
+		sb.WriteString("verdict: KEEP ON CPU\n")
+	}
+	for _, r := range p.Reasons {
+		fmt.Fprintf(&sb, "  - %s\n", r)
+	}
+	return sb.String()
+}

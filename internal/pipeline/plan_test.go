@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"hdcedge/internal/bagging"
+)
+
+func TestPlanRecommendsAcceleratorForMNIST(t *testing.T) {
+	w := workloadFor(t, "MNIST")
+	p, err := Plan(CPUBaseline(), EdgeTPU(), w, bagging.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Recommended {
+		t.Fatalf("MNIST not recommended: %v", p.Reasons)
+	}
+	if p.BaggingTrain.Total() >= p.CPUTrain.Total() {
+		t.Fatal("bagging training not faster in plan")
+	}
+	r := p.Render()
+	for _, want := range []string{"ACCELERATOR RECOMMENDED", "TPU+bagging", "Per-sample", "Energy"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("render missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestPlanRejectsPAMAP2(t *testing.T) {
+	w := workloadFor(t, "PAMAP2")
+	p, err := Plan(CPUBaseline(), EdgeTPU(), w, bagging.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Recommended {
+		t.Fatalf("PAMAP2 recommended despite 27 features: %v", p.Reasons)
+	}
+	if !strings.Contains(p.Render(), "KEEP ON CPU") {
+		t.Fatal("render missing verdict")
+	}
+	found := false
+	for _, r := range p.Reasons {
+		if strings.Contains(r, "features") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reasons do not mention the feature count: %v", p.Reasons)
+	}
+}
+
+func TestPlanValidatesWorkload(t *testing.T) {
+	w := workloadFor(t, "ISOLET")
+	w.Batch = 0
+	if _, err := Plan(CPUBaseline(), EdgeTPU(), w, bagging.DefaultConfig()); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestPlanEnergyConsistency(t *testing.T) {
+	w := workloadFor(t, "FACE")
+	p, err := Plan(CPUBaseline(), EdgeTPU(), w, bagging.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUTrainEnergy.Total() <= 0 || p.TPUInferEnergy.Total() <= 0 {
+		t.Fatalf("unpriced energy: %+v", p)
+	}
+	// The accelerator platform must beat the CPU on inference energy for
+	// a feature-rich dataset.
+	if p.TPUInferEnergy.Total() >= p.CPUInferEnergy.Total() {
+		t.Fatal("accelerator inference energy not lower")
+	}
+}

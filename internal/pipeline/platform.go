@@ -1,0 +1,55 @@
+// Package pipeline is the paper's co-design framework (Figs 1 and 3): it
+// orchestrates HDC training and inference across a host CPU and the
+// simulated Edge TPU, producing both functional results (models,
+// predictions, accuracy) and phase-level runtime breakdowns (encoding,
+// class-hypervector update, model generation, inference).
+//
+// Runtime figures are evaluated analytically at the paper's full dataset
+// scale through the cost models in internal/cpuarch and the device's
+// EstimateInvoke, while accuracy figures come from functional runs (which
+// may use subsampled datasets).
+package pipeline
+
+import (
+	"hdcedge/internal/cpuarch"
+	"hdcedge/internal/edgetpu"
+)
+
+// Platform pairs a host CPU with an optional accelerator.
+type Platform struct {
+	Name  string
+	Host  cpuarch.Spec
+	Accel *edgetpu.Config
+}
+
+// CPUBaseline is the paper's baseline: the laptop host alone.
+func CPUBaseline() Platform {
+	return Platform{Name: "cpu-i5", Host: cpuarch.MobileI5()}
+}
+
+// EdgeTPU is the proposed platform: the laptop host plus the USB Edge TPU.
+func EdgeTPU() Platform {
+	cfg := edgetpu.DefaultUSB()
+	return Platform{Name: "i5+edgetpu", Host: cpuarch.MobileI5(), Accel: &cfg}
+}
+
+// RaspberryPi is the similar-power embedded comparison of Table II.
+func RaspberryPi() Platform {
+	return Platform{Name: "raspberry-pi-3", Host: cpuarch.CortexA53RPi3()}
+}
+
+// HasAccel reports whether the platform includes an accelerator.
+func (p Platform) HasAccel() bool { return p.Accel != nil }
+
+// EdgeTPUPCIe returns the host paired with the PCIe-attached accelerator
+// variant, for link-sensitivity studies.
+func EdgeTPUPCIe() Platform {
+	cfg := edgetpu.DefaultPCIe()
+	return Platform{Name: "i5+edgetpu-pcie", Host: cpuarch.MobileI5(), Accel: &cfg}
+}
+
+// DeviceTiming aliases the accelerator timing type for CLI consumers.
+type DeviceTiming = edgetpu.Timing
+
+// DeviceProfiler aliases the accelerator profiler type for CLI consumers.
+type DeviceProfiler = edgetpu.Profiler

@@ -1,0 +1,266 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/cpuarch"
+	"hdcedge/internal/edgetpu"
+)
+
+// TrainingBreakdown splits training runtime into the phases Fig 5 charts.
+type TrainingBreakdown struct {
+	// Encode is the training-set encoding time (CPU or accelerator).
+	Encode time.Duration
+	// Update is the host-CPU class-hypervector training time: per-epoch
+	// similarity search plus bundling/detaching of misclassified samples.
+	Update time.Duration
+	// ModelGen is the one-time cost of generating and compiling the
+	// accelerator models on the host (zero for the CPU baseline).
+	ModelGen time.Duration
+}
+
+// Total returns the end-to-end training time.
+func (b TrainingBreakdown) Total() time.Duration { return b.Encode + b.Update + b.ModelGen }
+
+// calibBatches is how many representative batches post-training
+// quantization runs during model generation.
+const calibBatches = 8
+
+// CPUTraining models full HDC training on the host alone: float encoding
+// of the training set, then Epochs passes of similarity search and
+// perceptron updates.
+func CPUTraining(host cpuarch.Spec, w Workload) (TrainingBreakdown, error) {
+	if err := w.Validate(); err != nil {
+		return TrainingBreakdown{}, err
+	}
+	var b TrainingBreakdown
+	b.Encode = host.GEMMTime(w.TrainSamples, w.Features, w.Dim) + host.TanhTime(w.TrainSamples*w.Dim)
+	b.Update = updateTime(host, w.TrainSamples, w.Dim, w.Classes, w.UpdateFracs)
+	return b, nil
+}
+
+// updateTime prices the host-side class-hypervector training: every epoch
+// scores all samples against the class matrix (GEMM + argmax scan) and
+// applies two λ·E vector updates per misclassified sample.
+func updateTime(host cpuarch.Spec, samples, d, k int, fracs []float64) time.Duration {
+	var total time.Duration
+	perUpdate := 2 * host.AxpyTime(d)
+	for _, f := range fracs {
+		total += host.GEMMTime(samples, d, k)
+		total += host.ArgMaxTime(samples * k)
+		updates := int(f * float64(samples))
+		total += time.Duration(updates) * perUpdate
+	}
+	return total
+}
+
+// modelGenTime prices generating one accelerator model on the host:
+// running the representative dataset through the float graph for
+// calibration, the quantization/serialization passes over the parameters,
+// and the accelerator compiler pass.
+func modelGenTime(host cpuarch.Spec, batch, n, d, paramBytes int) time.Duration {
+	calibSamples := calibBatches * batch
+	calib := host.GEMMTime(calibSamples, n, d) + host.TanhTime(calibSamples*d)
+	quantize := host.StreamTime(5 * paramBytes)
+	compile := host.StreamTime(3 * paramBytes)
+	return calib + quantize + compile
+}
+
+// acceleratorSweep compiles a skeleton with the given shape, loads it and
+// returns (per-invoke timing, parameter bytes).
+func acceleratorSweep(p Platform, name string, batch, n, d, k int, withClassifier bool) (edgetpu.Timing, int, error) {
+	if !p.HasAccel() {
+		return edgetpu.Timing{}, 0, fmt.Errorf("pipeline: platform %s has no accelerator", p.Name)
+	}
+	model, err := BuildSkeleton(name, batch, n, d, k, withClassifier)
+	if err != nil {
+		return edgetpu.Timing{}, 0, err
+	}
+	cm, err := edgetpu.Compile(model, *p.Accel)
+	if err != nil {
+		return edgetpu.Timing{}, 0, err
+	}
+	dev := edgetpu.NewDevice(*p.Accel)
+	if _, err := dev.LoadModel(cm); err != nil {
+		return edgetpu.Timing{}, 0, err
+	}
+	timing, err := dev.EstimateInvoke()
+	if err != nil {
+		return edgetpu.Timing{}, 0, err
+	}
+	return timing, cm.ParamBytes, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// TPUTraining models the co-design split without bagging: encoding on the
+// accelerator (batched invokes of the encoder model), class-hypervector
+// updates on the host, plus the one-time model-generation cost.
+func TPUTraining(p Platform, w Workload) (TrainingBreakdown, error) {
+	if err := w.Validate(); err != nil {
+		return TrainingBreakdown{}, err
+	}
+	perInvoke, paramBytes, err := acceleratorSweep(p, "encoder", w.Batch, w.Features, w.Dim, w.Classes, false)
+	if err != nil {
+		return TrainingBreakdown{}, err
+	}
+	var b TrainingBreakdown
+	invokes := ceilDiv(w.TrainSamples, w.Batch)
+	b.Encode = time.Duration(invokes) * perInvoke.Total()
+	b.Update = updateTime(p.Host, w.TrainSamples, w.Dim, w.Classes, w.UpdateFracs)
+	b.ModelGen = modelGenTime(p.Host, w.Batch, w.Features, w.Dim, paramBytes)
+	return b, nil
+}
+
+// BaggingTraining models the full proposed framework (TPU_B): M encoder
+// models of width d' = d/M encode bootstrap subsets on the accelerator,
+// the weak sub-models train on the host for I' iterations, and model
+// generation covers the M encoder models plus the fused inference model.
+// subFracs gives the per-iteration misclassification profile of the weak
+// learners (DefaultUpdateFracs(cfg.Iterations) when nil).
+func BaggingTraining(p Platform, w Workload, cfg bagging.Config, subFracs []float64) (TrainingBreakdown, error) {
+	if err := w.Validate(); err != nil {
+		return TrainingBreakdown{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return TrainingBreakdown{}, err
+	}
+	if subFracs == nil {
+		subFracs = DefaultUpdateFracs(cfg.Iterations)
+	}
+	if len(subFracs) != cfg.Iterations {
+		return TrainingBreakdown{}, fmt.Errorf("pipeline: %d sub-model fractions for %d iterations", len(subFracs), cfg.Iterations)
+	}
+	subDim := cfg.SubDim()
+	subSamples := int(float64(w.TrainSamples) * cfg.DatasetRatio)
+	keptFeatures := w.Features
+	if cfg.FeatureRatio < 1 {
+		keptFeatures = int(float64(w.Features) * cfg.FeatureRatio)
+		if keptFeatures < 1 {
+			keptFeatures = 1
+		}
+	}
+
+	perInvoke, subParamBytes, err := acceleratorSweep(p, "sub-encoder", w.Batch, w.Features, subDim, w.Classes, false)
+	if err != nil {
+		return TrainingBreakdown{}, err
+	}
+	var b TrainingBreakdown
+	invokesPerSub := ceilDiv(subSamples, w.Batch)
+	b.Encode = time.Duration(cfg.SubModels*invokesPerSub) * perInvoke.Total()
+	for m := 0; m < cfg.SubModels; m++ {
+		b.Update += updateTime(p.Host, subSamples, subDim, w.Classes, subFracs)
+	}
+	// Model generation: M sub-encoder models, then the fused inference
+	// model at full width. Calibration GEMM scales with the kept features.
+	subGen := modelGenTime(p.Host, w.Batch, keptFeatures, subDim, subParamBytes)
+	b.ModelGen = time.Duration(cfg.SubModels) * subGen
+
+	_, fusedParamBytes, err := acceleratorSweep(p, "fused-inference", w.Batch, w.Features, cfg.Dim, w.Classes, true)
+	if err != nil {
+		return TrainingBreakdown{}, err
+	}
+	b.ModelGen += modelGenTime(p.Host, w.Batch, w.Features, cfg.Dim, fusedParamBytes)
+	return b, nil
+}
+
+// CPUInference models classifying the test set on the host alone.
+func CPUInference(host cpuarch.Spec, w Workload) (time.Duration, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	total := host.GEMMTime(w.TestSamples, w.Features, w.Dim)
+	total += host.TanhTime(w.TestSamples * w.Dim)
+	total += host.GEMMTime(w.TestSamples, w.Dim, w.Classes)
+	total += host.ArgMaxTime(w.TestSamples * w.Classes)
+	return total, nil
+}
+
+// TPUInference models classifying the test set with the full inference
+// model on the accelerator. Model generation is a one-time cost excluded
+// here, as in Fig 6.
+func TPUInference(p Platform, w Workload) (time.Duration, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	perInvoke, _, err := acceleratorSweep(p, "inference", w.InferBatch, w.Features, w.Dim, w.Classes, true)
+	if err != nil {
+		return 0, err
+	}
+	invokes := ceilDiv(w.TestSamples, w.InferBatch)
+	return time.Duration(invokes) * perInvoke.Total(), nil
+}
+
+// PipelinedSeries models a double-buffered invocation stream: while the
+// accelerator computes batch i, the host prepares and transfers batch
+// i+1. Steady-state throughput is set by the slower of the two resources
+// (the link+host side vs the MXU); the faster side hides completely. The
+// first invocation pays both (pipeline fill).
+func PipelinedSeries(per edgetpu.Timing, invokes int) time.Duration {
+	if invokes <= 0 {
+		return 0
+	}
+	linkSide := per.Host + per.TransferIn + per.WeightStream + per.TransferOut + per.HostFallback
+	computeSide := per.Compute
+	bottleneck := linkSide
+	if computeSide > bottleneck {
+		bottleneck = computeSide
+	}
+	fill := per.Total() - bottleneck
+	return time.Duration(invokes)*bottleneck + fill
+}
+
+// TPUTrainingPipelined is TPUTraining with double-buffered encoding: the
+// extension the single-buffer TFLite runtime of the paper leaves on the
+// table.
+func TPUTrainingPipelined(p Platform, w Workload) (TrainingBreakdown, error) {
+	if err := w.Validate(); err != nil {
+		return TrainingBreakdown{}, err
+	}
+	perInvoke, paramBytes, err := acceleratorSweep(p, "encoder", w.Batch, w.Features, w.Dim, w.Classes, false)
+	if err != nil {
+		return TrainingBreakdown{}, err
+	}
+	var b TrainingBreakdown
+	b.Encode = PipelinedSeries(perInvoke, ceilDiv(w.TrainSamples, w.Batch))
+	b.Update = updateTime(p.Host, w.TrainSamples, w.Dim, w.Classes, w.UpdateFracs)
+	b.ModelGen = modelGenTime(p.Host, w.Batch, w.Features, w.Dim, paramBytes)
+	return b, nil
+}
+
+// MultiDeviceSeries models fanning an invocation stream across `devices`
+// accelerators that share the single host link: compute parallelizes, but
+// every batch still crosses the same USB/PCIe connection and pays its
+// host dispatch serially. Scaling therefore saturates once the link side
+// becomes the bottleneck — the practical ceiling of multi-dongle setups.
+func MultiDeviceSeries(per edgetpu.Timing, invokes, devices int) time.Duration {
+	if invokes <= 0 {
+		return 0
+	}
+	if devices < 1 {
+		devices = 1
+	}
+	linkSide := per.Host + per.TransferIn + per.WeightStream + per.TransferOut + per.HostFallback
+	computeSide := per.Compute / time.Duration(devices)
+	bottleneck := linkSide
+	if computeSide > bottleneck {
+		bottleneck = computeSide
+	}
+	fill := per.Total() - bottleneck
+	if fill < 0 {
+		fill = 0
+	}
+	return time.Duration(invokes)*bottleneck + fill
+}
+
+// AcceleratorEncodeTiming exposes the per-invoke encoder timing and
+// parameter bytes for a workload — the quantity scale-out and pipelining
+// studies reason over.
+func AcceleratorEncodeTiming(p Platform, w Workload) (edgetpu.Timing, int, error) {
+	if err := w.Validate(); err != nil {
+		return edgetpu.Timing{}, 0, err
+	}
+	return acceleratorSweep(p, "encoder", w.Batch, w.Features, w.Dim, w.Classes, false)
+}

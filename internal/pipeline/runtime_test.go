@@ -1,0 +1,362 @@
+package pipeline
+
+import (
+	"testing"
+
+	"hdcedge/internal/bagging"
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/edgetpu"
+)
+
+func workloadFor(t *testing.T, name string) Workload {
+	t.Helper()
+	spec, err := dataset.CatalogSpec(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromSpec(spec, 20)
+}
+
+func TestFromSpecShapes(t *testing.T) {
+	w := workloadFor(t, "MNIST")
+	if w.TrainSamples+w.TestSamples != 60000 {
+		t.Fatalf("split loses samples: %d + %d", w.TrainSamples, w.TestSamples)
+	}
+	if w.Features != 784 || w.Classes != 10 || w.Dim != 10000 {
+		t.Fatalf("dims %d/%d/%d", w.Features, w.Classes, w.Dim)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadValidateRejectsBad(t *testing.T) {
+	w := workloadFor(t, "ISOLET")
+	bad := []func(*Workload){
+		func(w *Workload) { w.TrainSamples = 0 },
+		func(w *Workload) { w.Classes = 1 },
+		func(w *Workload) { w.Batch = 0 },
+		func(w *Workload) { w.InferBatch = 0 },
+		func(w *Workload) { w.UpdateFracs = w.UpdateFracs[:3] },
+	}
+	for i, mutate := range bad {
+		c := w
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad workload %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultUpdateFracsDecay(t *testing.T) {
+	fracs := DefaultUpdateFracs(20)
+	if len(fracs) != 20 {
+		t.Fatalf("%d fracs", len(fracs))
+	}
+	for i := 1; i < len(fracs); i++ {
+		if fracs[i] >= fracs[i-1] {
+			t.Fatalf("fractions not decreasing at %d", i)
+		}
+	}
+	if fracs[0] > 1 || fracs[19] < 0.05 {
+		t.Fatalf("fractions out of plausible range: %v ... %v", fracs[0], fracs[19])
+	}
+}
+
+func TestCPUTrainingBreakdown(t *testing.T) {
+	w := workloadFor(t, "FACE")
+	b, err := CPUTraining(CPUBaseline().Host, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Encode <= 0 || b.Update <= 0 {
+		t.Fatalf("phases unpriced: %+v", b)
+	}
+	if b.ModelGen != 0 {
+		t.Fatal("CPU baseline should not pay model generation")
+	}
+	if b.Total() != b.Encode+b.Update {
+		t.Fatal("Total inconsistent")
+	}
+}
+
+func TestTPUTrainingFasterOnLargeFeatures(t *testing.T) {
+	// The co-design claim: for feature-rich datasets, TPU training beats
+	// the CPU baseline.
+	for _, name := range []string{"FACE", "ISOLET", "UCIHAR", "MNIST"} {
+		w := workloadFor(t, name)
+		cb, err := CPUTraining(CPUBaseline().Host, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := TPUTraining(EdgeTPU(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Encode >= cb.Encode {
+			t.Fatalf("%s: TPU encode %v not faster than CPU %v", name, tb.Encode, cb.Encode)
+		}
+		if tb.Total() >= cb.Total() {
+			t.Fatalf("%s: TPU training %v not faster than CPU %v", name, tb.Total(), cb.Total())
+		}
+		if tb.ModelGen <= 0 {
+			t.Fatalf("%s: TPU training must pay model generation", name)
+		}
+	}
+}
+
+func TestPAMAP2EncodeDoesNotBenefit(t *testing.T) {
+	// The paper's counterexample: 27 features cannot amortize per-invoke
+	// costs, so encoding gains little to nothing.
+	w := workloadFor(t, "PAMAP2")
+	cb, err := CPUTraining(CPUBaseline().Host, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := TPUTraining(EdgeTPU(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(cb.Encode) / float64(tb.Encode)
+	if speedup > 1.5 {
+		t.Fatalf("PAMAP2 encode speedup %.2f; paper shows ~1x", speedup)
+	}
+}
+
+func TestBaggingCutsUpdateTime(t *testing.T) {
+	for _, name := range []string{"ISOLET", "MNIST"} {
+		w := workloadFor(t, name)
+		cb, err := CPUTraining(CPUBaseline().Host, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := BaggingTraining(EdgeTPU(), w, bagging.DefaultConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bb.Update >= cb.Update {
+			t.Fatalf("%s: bagging update %v not faster than CPU %v", name, bb.Update, cb.Update)
+		}
+		tb, err := TPUTraining(EdgeTPU(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bb.Total() >= tb.Total() {
+			t.Fatalf("%s: bagging total %v not faster than plain TPU %v", name, bb.Total(), tb.Total())
+		}
+	}
+}
+
+func TestBaggingHeadlineSpeedup(t *testing.T) {
+	// MNIST is the paper's best case: 4.49x overall training speedup.
+	// The simulator must land in the same neighborhood.
+	w := workloadFor(t, "MNIST")
+	cb, err := CPUTraining(CPUBaseline().Host, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := BaggingTraining(EdgeTPU(), w, bagging.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(cb.Total()) / float64(bb.Total())
+	if speedup < 3 || speedup > 7 {
+		t.Fatalf("MNIST bagging training speedup %.2f; paper reports 4.49", speedup)
+	}
+}
+
+func TestInferenceSpeedups(t *testing.T) {
+	// Paper Fig 6: MNIST 4.19x, FACE 3.16x, ISOLET 2.13x, UCIHAR 3.08x;
+	// PAMAP2 regresses.
+	for _, c := range []struct {
+		name     string
+		min, max float64
+	}{
+		{"MNIST", 3, 6}, {"FACE", 2.5, 6}, {"ISOLET", 2, 6}, {"UCIHAR", 2, 6},
+		{"PAMAP2", 0.3, 1.3},
+	} {
+		w := workloadFor(t, c.name)
+		ci, err := CPUInference(CPUBaseline().Host, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ti, err := TPUInference(EdgeTPU(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := float64(ci) / float64(ti)
+		if speedup < c.min || speedup > c.max {
+			t.Fatalf("%s inference speedup %.2f outside [%v, %v]", c.name, speedup, c.min, c.max)
+		}
+	}
+}
+
+func TestRaspberryPiOrderOfMagnitudeSlower(t *testing.T) {
+	// Table II: the proposed platform is 15.6–23.6x faster at training
+	// and 6.8–11.4x at inference than the Pi 3.
+	for _, name := range []string{"FACE", "ISOLET", "UCIHAR", "MNIST", "PAMAP2"} {
+		w := workloadFor(t, name)
+		pib, err := CPUTraining(RaspberryPi().Host, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := BaggingTraining(EdgeTPU(), w, bagging.DefaultConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainRatio := float64(pib.Total()) / float64(bb.Total())
+		if trainRatio < 8 || trainRatio > 40 {
+			t.Fatalf("%s: Pi training ratio %.1f outside [8, 40]", name, trainRatio)
+		}
+		pii, err := CPUInference(RaspberryPi().Host, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ti, err := TPUInference(EdgeTPU(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		infRatio := float64(pii) / float64(ti)
+		if infRatio < 2 || infRatio > 25 {
+			t.Fatalf("%s: Pi inference ratio %.1f outside [2, 25]", name, infRatio)
+		}
+	}
+}
+
+func TestEncodeSpeedupGrowsWithFeatures(t *testing.T) {
+	// Fig 10's monotone shape, with the paper's endpoints: ~1x at n=20,
+	// ~8x at n=700.
+	prev := 0.0
+	for _, n := range []int{20, 100, 300, 700} {
+		spec := dataset.SyntheticSpec(n, 10000, 8, 1)
+		w := FromSpec(spec, 20)
+		cb, err := CPUTraining(CPUBaseline().Host, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := TPUTraining(EdgeTPU(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := float64(cb.Encode) / float64(tb.Encode)
+		if speedup <= prev {
+			t.Fatalf("encode speedup not increasing at n=%d: %.2f after %.2f", n, speedup, prev)
+		}
+		prev = speedup
+		switch n {
+		case 20:
+			if speedup > 1.5 {
+				t.Fatalf("n=20 speedup %.2f; paper reports 1.06", speedup)
+			}
+		case 700:
+			if speedup < 5 || speedup > 12 {
+				t.Fatalf("n=700 speedup %.2f; paper reports 8.25", speedup)
+			}
+		}
+	}
+}
+
+func TestBuildSkeletonDelegates(t *testing.T) {
+	m, err := BuildSkeleton("s", 8, 30, 500, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSkeletonRejectsBadDims(t *testing.T) {
+	if _, err := BuildSkeleton("s", 0, 3, 4, 2, false); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := BuildSkeleton("s", 1, 3, 4, 1, true); err == nil {
+		t.Fatal("k=1 classifier accepted")
+	}
+}
+
+func TestTPUTrainingRequiresAccel(t *testing.T) {
+	w := workloadFor(t, "ISOLET")
+	if _, err := TPUTraining(CPUBaseline(), w); err == nil {
+		t.Fatal("accel-less platform accepted")
+	}
+	if _, err := TPUInference(RaspberryPi(), w); err == nil {
+		t.Fatal("accel-less inference accepted")
+	}
+}
+
+func TestBaggingTrainingValidatesConfig(t *testing.T) {
+	w := workloadFor(t, "ISOLET")
+	bad := bagging.DefaultConfig()
+	bad.SubModels = 0
+	if _, err := BaggingTraining(EdgeTPU(), w, bad, nil); err == nil {
+		t.Fatal("bad bagging config accepted")
+	}
+	if _, err := BaggingTraining(EdgeTPU(), w, bagging.DefaultConfig(), []float64{0.5}); err == nil {
+		t.Fatal("wrong-length sub fractions accepted")
+	}
+}
+
+func TestWorkloadTotalUpdates(t *testing.T) {
+	w := workloadFor(t, "ISOLET")
+	if w.TotalUpdates() <= 0 || w.TotalUpdates() > w.TrainSamples*w.Epochs {
+		t.Fatalf("TotalUpdates = %d implausible", w.TotalUpdates())
+	}
+}
+
+func TestPipelinedSeriesBounds(t *testing.T) {
+	w := workloadFor(t, "MNIST")
+	seq, err := TPUTraining(EdgeTPU(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := TPUTrainingPipelined(EdgeTPU(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Encode > seq.Encode {
+		t.Fatalf("pipelined encode %v slower than sequential %v", pipe.Encode, seq.Encode)
+	}
+	// Double buffering can at most halve the time.
+	if pipe.Encode < seq.Encode/2 {
+		t.Fatalf("pipelined encode %v more than 2x faster than %v", pipe.Encode, seq.Encode)
+	}
+	// Update and model-gen phases are untouched.
+	if pipe.Update != seq.Update || pipe.ModelGen != seq.ModelGen {
+		t.Fatal("pipelining changed host phases")
+	}
+}
+
+func TestPipelinedSeriesEdgeCases(t *testing.T) {
+	if PipelinedSeries(edgetpuTimingForTest(), 0) != 0 {
+		t.Fatal("zero invokes should be free")
+	}
+	per := edgetpuTimingForTest()
+	one := PipelinedSeries(per, 1)
+	if one != per.Total() {
+		t.Fatalf("single invoke %v, want %v", one, per.Total())
+	}
+}
+
+func edgetpuTimingForTest() edgetpu.Timing {
+	return edgetpu.Timing{Host: 10, TransferIn: 20, Compute: 50, TransferOut: 5}
+}
+
+func TestMultiDeviceSeriesSaturates(t *testing.T) {
+	per := edgetpu.Timing{Host: 10, TransferIn: 30, Compute: 200, TransferOut: 10}
+	one := MultiDeviceSeries(per, 100, 1)
+	two := MultiDeviceSeries(per, 100, 2)
+	eight := MultiDeviceSeries(per, 100, 8)
+	if two >= one {
+		t.Fatalf("second device did not help: %v vs %v", two, one)
+	}
+	// With 8 devices compute is 25 < link 50: link-bound, so more devices
+	// stop helping.
+	sixteen := MultiDeviceSeries(per, 100, 16)
+	if sixteen != eight {
+		t.Fatalf("link-bound regime should saturate: %v vs %v", sixteen, eight)
+	}
+	if MultiDeviceSeries(per, 0, 4) != 0 {
+		t.Fatal("zero invokes should be free")
+	}
+}

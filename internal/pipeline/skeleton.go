@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"hdcedge/internal/tensor"
+	"hdcedge/internal/tflite"
+)
+
+// BuildSkeleton constructs a full-integer model with the paper's wide-NN
+// topology but zero weights and unit-range quantization. The Edge TPU
+// compiler and timing estimator only depend on shapes, placements, and
+// parameter bytes, so a skeleton lets runtime experiments model the full
+// Table I scale without materializing or calibrating real weights.
+//
+// Topology: float input [batch, n] → QUANTIZE → FC(d) → TANH →
+// (classifier: FC(k) → ARG_MAX, plus dequantized scores;
+// encoder-only: DEQUANTIZE of the encoding).
+func BuildSkeleton(name string, batch, n, d, k int, withClassifier bool) (*tflite.Model, error) {
+	if batch <= 0 || n <= 0 || d <= 0 {
+		return nil, fmt.Errorf("pipeline: bad skeleton dims batch=%d n=%d d=%d", batch, n, d)
+	}
+	if withClassifier && k < 2 {
+		return nil, fmt.Errorf("pipeline: classifier skeleton needs k ≥ 2, got %d", k)
+	}
+	b := tflite.NewBuilder(name)
+	in := b.AddInput("features", tensor.Float32, batch, n)
+	q := b.Quantize(in, tensor.QuantParams{Scale: 0.05, ZeroPoint: 0}, "features_q")
+
+	w1 := tensor.New(tensor.Int8, d, n)
+	w1.Quant = &tensor.QuantParams{Scale: 0.02, ZeroPoint: 0}
+	b1 := tensor.New(tensor.Int32, d)
+	b1.Quant = &tensor.QuantParams{Scale: 0.05 * 0.02, ZeroPoint: 0}
+	h := b.FullyConnected(q, b.AddConstI8("base_T", w1), b.AddConstI32("bias0", b1), "bundled")
+	b.SetQuant(h, tensor.QuantParams{Scale: 0.1, ZeroPoint: 0})
+	e := b.Tanh(h, "encoded")
+
+	if !withClassifier {
+		b.MarkOutput(b.Dequantize(e, "encoded_f"))
+		return b.Finish(), nil
+	}
+	w2 := tensor.New(tensor.Int8, k, d)
+	w2.Quant = &tensor.QuantParams{Scale: 0.02, ZeroPoint: 0}
+	b2 := tensor.New(tensor.Int32, k)
+	b2.Quant = &tensor.QuantParams{Scale: (1.0 / 128.0) * 0.02, ZeroPoint: 0}
+	scores := b.FullyConnected(e, b.AddConstI8("classes", w2), b.AddConstI32("bias1", b2), "scores")
+	b.SetQuant(scores, tensor.QuantParams{Scale: 0.5, ZeroPoint: 0})
+	b.MarkOutput(b.ArgMax(scores, "prediction"))
+	return b.Finish(), nil
+}

@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/hdc"
+)
+
+// Workload captures the dimensions at which runtimes are modeled. It is
+// decoupled from functional execution so that runtime figures can use the
+// paper's full Table I sample counts.
+type Workload struct {
+	Name         string
+	TrainSamples int
+	TestSamples  int
+	Features     int
+	Classes      int
+	Dim          int
+	Epochs       int
+	// Batch is the accelerator invocation batch size for throughput-
+	// oriented phases (training-set encoding).
+	Batch int
+	// InferBatch is the accelerator batch for inference, kept small for
+	// latency as an edge deployment would.
+	InferBatch int
+	// UpdateFracs[e] is the fraction of training samples misclassified
+	// (and therefore updated) in epoch e. Functional runs supply measured
+	// values; DefaultUpdateFracs gives a calibrated decay otherwise.
+	UpdateFracs []float64
+}
+
+// Validate reports structural problems.
+func (w Workload) Validate() error {
+	switch {
+	case w.TrainSamples <= 0 || w.TestSamples < 0:
+		return fmt.Errorf("pipeline: workload %s: bad sample counts %d/%d", w.Name, w.TrainSamples, w.TestSamples)
+	case w.Features <= 0 || w.Classes < 2 || w.Dim <= 0:
+		return fmt.Errorf("pipeline: workload %s: bad dims n=%d k=%d d=%d", w.Name, w.Features, w.Classes, w.Dim)
+	case w.Epochs <= 0:
+		return fmt.Errorf("pipeline: workload %s: bad epoch count %d", w.Name, w.Epochs)
+	case w.Batch <= 0 || w.InferBatch <= 0:
+		return fmt.Errorf("pipeline: workload %s: bad batch %d/%d", w.Name, w.Batch, w.InferBatch)
+	case len(w.UpdateFracs) != w.Epochs:
+		return fmt.Errorf("pipeline: workload %s: %d update fractions for %d epochs", w.Name, len(w.UpdateFracs), w.Epochs)
+	}
+	return nil
+}
+
+// DefaultBatch is the accelerator invoke batch used for training-set
+// encoding throughout the experiments.
+const DefaultBatch = 32
+
+// DefaultInferBatch is the latency-oriented inference batch.
+const DefaultInferBatch = 8
+
+// TestFraction is the train/test split used for the catalog datasets.
+const TestFraction = 0.2
+
+// FromSpec derives a full-scale workload from a Table I dataset spec with
+// the paper's training configuration (d = 10,000, 20 iterations).
+func FromSpec(spec dataset.Spec, epochs int) Workload {
+	test := int(float64(spec.Samples) * TestFraction)
+	return Workload{
+		Name:         spec.Name,
+		TrainSamples: spec.Samples - test,
+		TestSamples:  test,
+		Features:     spec.Features,
+		Classes:      spec.Classes,
+		Dim:          hdc.DefaultDim,
+		Epochs:       epochs,
+		Batch:        DefaultBatch,
+		InferBatch:   DefaultInferBatch,
+		UpdateFracs:  DefaultUpdateFracs(epochs),
+	}
+}
+
+// DefaultUpdateFracs returns a perceptron-style decay of per-epoch
+// misclassification fractions: high in the first pass (the class
+// hypervectors start from zero), settling toward a residual error floor.
+// The curve matches the measured shape of functional runs on the catalog
+// generators.
+func DefaultUpdateFracs(epochs int) []float64 {
+	out := make([]float64, epochs)
+	for e := range out {
+		out[e] = 0.10 + 0.75*math.Exp(-float64(e)/2.5)
+	}
+	return out
+}
+
+// WithMeasuredUpdates replaces the update profile with fractions measured
+// by a functional training run (per-epoch updates / samples).
+func (w Workload) WithMeasuredUpdates(stats *hdc.TrainStats, functionalSamples int) Workload {
+	fracs := make([]float64, len(stats.Epochs))
+	for i, e := range stats.Epochs {
+		fracs[i] = float64(e.Updates) / float64(functionalSamples)
+	}
+	w.UpdateFracs = fracs
+	w.Epochs = len(fracs)
+	return w
+}
+
+// TotalUpdates returns the modeled number of misclassification updates
+// across all epochs at full training-set scale.
+func (w Workload) TotalUpdates() int {
+	total := 0.0
+	for _, f := range w.UpdateFracs {
+		total += f * float64(w.TrainSamples)
+	}
+	return int(total)
+}

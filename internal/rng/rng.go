@@ -1,0 +1,178 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used throughout the framework so that every experiment is
+// reproducible from a single seed.
+//
+// The generator is xoshiro256** seeded through SplitMix64, the combination
+// recommended by the xoshiro authors. Streams derived with Split are
+// statistically independent, which lets sub-models in a bagging ensemble
+// draw their base hypervectors and bootstrap samples concurrently without
+// sharing mutable state.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is not valid; use New.
+type RNG struct {
+	s [4]uint64
+
+	// cached second Gaussian from the Box-Muller pair
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a generator seeded from seed via SplitMix64, so that nearby
+// seeds still produce uncorrelated initial states.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent of r's.
+// It advances r once.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	c = t >> 32
+	m := t & mask
+	t = aLo*bHi + m
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + t>>32
+	return hi, lo
+}
+
+// NormFloat64 returns a standard normal sample using the Box-Muller
+// transform. Pairs are cached, so successive calls alternate between the
+// two halves of each transform.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return u * f
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements in place using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// FillNormal fills dst with standard normal samples.
+func (r *RNG) FillNormal(dst []float32) {
+	for i := range dst {
+		dst[i] = float32(r.NormFloat64())
+	}
+}
+
+// FillUniform fills dst with uniform samples in [lo, hi).
+func (r *RNG) FillUniform(dst []float32, lo, hi float32) {
+	span := float64(hi - lo)
+	for i := range dst {
+		dst[i] = lo + float32(r.Float64()*span)
+	}
+}
+
+// SampleWithReplacement returns n indices drawn uniformly with replacement
+// from [0, pop). It is the bootstrap sampling primitive used by bagging.
+func (r *RNG) SampleWithReplacement(pop, n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = r.Intn(pop)
+	}
+	return idx
+}
+
+// SampleWithoutReplacement returns n distinct indices from [0, pop) in
+// random order. It panics when n > pop.
+func (r *RNG) SampleWithoutReplacement(pop, n int) []int {
+	if n > pop {
+		panic("rng: sample larger than population")
+	}
+	p := r.Perm(pop)
+	return p[:n]
+}

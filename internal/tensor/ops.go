@@ -1,0 +1,321 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// MatMul computes dst = a · b for 2-D float tensors, with a of shape
+// [m, k] and b of shape [k, n]. dst must be a float tensor of shape [m, n].
+// The kernel is blocked for cache locality and parallelized across rows.
+func MatMul(dst, a, b *Tensor) {
+	checkMatMulShapes(dst, a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	matMulF32(dst.F32, a.F32, b.F32, m, k, n)
+}
+
+func checkMatMulShapes(dst, a, b *Tensor) {
+	if a.DType != Float32 || b.DType != Float32 || dst.DType != Float32 {
+		panic("tensor: MatMul requires float tensors")
+	}
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || len(dst.Shape) != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	if a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch %v x %v", a.Shape, b.Shape))
+	}
+	if dst.Shape[0] != a.Shape[0] || dst.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.Shape, a.Shape[0], b.Shape[1]))
+	}
+}
+
+// matMulF32 is the blocked inner kernel: C[m,n] = A[m,k] * B[k,n].
+// It walks B row-wise (i-k-j order) so all inner accesses are sequential.
+func matMulF32(c, a, b []float32, m, k, n int) {
+	for i := range c {
+		c[i] = 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*k*n < 1<<16 {
+		matMulRows(c, a, b, 0, m, k, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(c, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func matMulRows(c, a, b []float32, lo, hi, k, n int) {
+	const kb = 256
+	for k0 := 0; k0 < k; k0 += kb {
+		k1 := k0 + kb
+		if k1 > k {
+			k1 = k
+		}
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			ai := a[i*k : (i+1)*k]
+			for kk := k0; kk < k1; kk++ {
+				av := ai[kk]
+				if av == 0 {
+					continue
+				}
+				bk := b[kk*n : (kk+1)*n]
+				for j, bv := range bk {
+					ci[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// MatVec computes dst = a · x for a [m, k] float matrix and a length-k
+// vector; dst must have length m.
+func MatVec(dst []float32, a *Tensor, x []float32) {
+	if a.DType != Float32 || len(a.Shape) != 2 {
+		panic("tensor: MatVec requires a 2-D float matrix")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if len(x) != k || len(dst) != m {
+		panic(fmt.Sprintf("tensor: MatVec dims: matrix %v, x %d, dst %d", a.Shape, len(x), len(dst)))
+	}
+	for i := 0; i < m; i++ {
+		row := a.F32[i*k : (i+1)*k]
+		var sum float32
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		dst[i] = sum
+	}
+}
+
+// VecMat computes dst = x · a for a length-m vector and an [m, k] float
+// matrix; dst must have length k. This is the encoding primitive
+// E = F · B with B laid out feature-major.
+func VecMat(dst []float32, x []float32, a *Tensor) {
+	if a.DType != Float32 || len(a.Shape) != 2 {
+		panic("tensor: VecMat requires a 2-D float matrix")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if len(x) != m || len(dst) != k {
+		panic(fmt.Sprintf("tensor: VecMat dims: matrix %v, x %d, dst %d", a.Shape, len(x), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		xv := x[i]
+		if xv == 0 {
+			continue
+		}
+		row := a.F32[i*k : (i+1)*k]
+		for j, v := range row {
+			dst[j] += xv * v
+		}
+	}
+}
+
+// Transpose returns the transpose of a 2-D tensor (float or int8).
+func Transpose(t *Tensor) *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: Transpose requires a 2-D tensor")
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(t.DType, c, r)
+	if t.Quant != nil {
+		q := *t.Quant
+		out.Quant = &q
+	}
+	switch t.DType {
+	case Float32:
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				out.F32[j*r+i] = t.F32[i*c+j]
+			}
+		}
+	case Int8:
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				out.I8[j*r+i] = t.I8[i*c+j]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("tensor: Transpose unsupported dtype %v", t.DType))
+	}
+	return out
+}
+
+// Tanh applies the hyperbolic tangent element-wise in place on a float
+// tensor.
+func Tanh(t *Tensor) {
+	if t.DType != Float32 {
+		panic("tensor: Tanh requires a float tensor")
+	}
+	for i, v := range t.F32 {
+		t.F32[i] = float32(math.Tanh(float64(v)))
+	}
+}
+
+// TanhSlice applies tanh in place on a raw slice.
+func TanhSlice(xs []float32) {
+	for i, v := range xs {
+		xs[i] = float32(math.Tanh(float64(v)))
+	}
+}
+
+// Axpy computes y += alpha * x over raw float slices of equal length.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Dot returns the inner product of two equal-length float slices.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var sum float32
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm of a float slice.
+func Norm(a []float32) float32 {
+	var sum float64
+	for _, v := range a {
+		sum += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(sum))
+}
+
+// CosineSimilarity returns the cosine of the angle between two vectors,
+// or 0 when either has zero norm.
+func CosineSimilarity(a, b []float32) float32 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// ArgMax returns the index of the largest element of a float slice, or -1
+// for an empty slice. Ties resolve to the lowest index, matching the
+// paper's arg max over class scores.
+func ArgMax(xs []float32) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMaxI32 returns the index of the largest element of an int32 slice.
+func ArgMaxI32(xs []int32) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Scale multiplies a float tensor by alpha in place.
+func Scale(t *Tensor, alpha float32) {
+	if t.DType != Float32 {
+		panic("tensor: Scale requires a float tensor")
+	}
+	for i := range t.F32 {
+		t.F32[i] *= alpha
+	}
+}
+
+// HStack concatenates 2-D float tensors horizontally (equal row counts).
+// It is the bagging fusion primitive for base-hypervector matrices.
+func HStack(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: HStack of nothing")
+	}
+	rows := ts[0].Shape[0]
+	cols := 0
+	for _, t := range ts {
+		if t.DType != Float32 || len(t.Shape) != 2 {
+			panic("tensor: HStack requires 2-D float tensors")
+		}
+		if t.Shape[0] != rows {
+			panic("tensor: HStack row mismatch")
+		}
+		cols += t.Shape[1]
+	}
+	out := New(Float32, rows, cols)
+	off := 0
+	for _, t := range ts {
+		c := t.Shape[1]
+		for r := 0; r < rows; r++ {
+			copy(out.F32[r*cols+off:r*cols+off+c], t.F32[r*c:(r+1)*c])
+		}
+		off += c
+	}
+	return out
+}
+
+// VStack concatenates 2-D float tensors vertically (equal column counts).
+// It is the bagging fusion primitive for class-hypervector matrices.
+func VStack(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: VStack of nothing")
+	}
+	cols := ts[0].Shape[1]
+	rows := 0
+	for _, t := range ts {
+		if t.DType != Float32 || len(t.Shape) != 2 {
+			panic("tensor: VStack requires 2-D float tensors")
+		}
+		if t.Shape[1] != cols {
+			panic("tensor: VStack column mismatch")
+		}
+		rows += t.Shape[0]
+	}
+	out := New(Float32, rows, cols)
+	off := 0
+	for _, t := range ts {
+		copy(out.F32[off:off+len(t.F32)], t.F32)
+		off += len(t.F32)
+	}
+	return out
+}

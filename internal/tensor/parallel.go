@@ -1,0 +1,41 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelFor splits [0, n) into contiguous chunks and runs fn on each
+// chunk concurrently. It runs inline when the work is too small to be
+// worth scheduling (n < minPerWorker) or when only one CPU is available.
+// fn must be safe to call concurrently on disjoint ranges.
+func ParallelFor(n, minPerWorker int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if minPerWorker < 1 {
+		minPerWorker = 1
+	}
+	if max := n / minPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,160 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantParams holds per-tensor affine quantization parameters in the TFLite
+// convention: real = (q - ZeroPoint) * Scale.
+type QuantParams struct {
+	Scale     float64
+	ZeroPoint int32
+}
+
+// ChooseQuantParams derives int8 quantization parameters covering
+// [min, max] in the TFLite style: the range is widened to include zero so
+// the zero point is exact, and degenerate ranges get a unit scale.
+func ChooseQuantParams(min, max float64) QuantParams {
+	if min > max {
+		min, max = max, min
+	}
+	// Zero must be exactly representable.
+	if min > 0 {
+		min = 0
+	}
+	if max < 0 {
+		max = 0
+	}
+	const qmin, qmax = -128, 127
+	if min == max {
+		return QuantParams{Scale: 1, ZeroPoint: 0}
+	}
+	scale := (max - min) / float64(qmax-qmin)
+	zpReal := float64(qmin) - min/scale
+	zp := int32(math.Round(zpReal))
+	if zp < qmin {
+		zp = qmin
+	}
+	if zp > qmax {
+		zp = qmax
+	}
+	return QuantParams{Scale: scale, ZeroPoint: zp}
+}
+
+// SymmetricQuantParams derives symmetric int8 parameters (zero point 0) for
+// weights, covering [-absMax, absMax]. TFLite quantizes FC weights this way
+// so that the MXU can accumulate without zero-point cross terms.
+func SymmetricQuantParams(absMax float64) QuantParams {
+	if absMax <= 0 {
+		return QuantParams{Scale: 1, ZeroPoint: 0}
+	}
+	return QuantParams{Scale: absMax / 127, ZeroPoint: 0}
+}
+
+// QuantizeOne converts a real value to int8 under q, saturating.
+func (q QuantParams) QuantizeOne(v float64) int8 {
+	r := math.Round(v/q.Scale) + float64(q.ZeroPoint)
+	if r > 127 {
+		r = 127
+	}
+	if r < -128 {
+		r = -128
+	}
+	return int8(r)
+}
+
+// DequantizeOne converts an int8 value back to a real value under q.
+func (q QuantParams) DequantizeOne(v int8) float64 {
+	return float64(int32(v)-q.ZeroPoint) * q.Scale
+}
+
+// Quantize converts a float tensor to an int8 tensor under q.
+func Quantize(src *Tensor, q QuantParams) *Tensor {
+	if src.DType != Float32 {
+		panic(fmt.Sprintf("tensor: Quantize requires float input, got %v", src.DType))
+	}
+	dst := New(Int8, src.Shape...)
+	dst.Quant = &q
+	for i, v := range src.F32 {
+		dst.I8[i] = q.QuantizeOne(float64(v))
+	}
+	return dst
+}
+
+// Dequantize converts an int8 tensor back to float using its own params.
+func Dequantize(src *Tensor) *Tensor {
+	if src.DType != Int8 || src.Quant == nil {
+		panic("tensor: Dequantize requires a quantized int8 tensor")
+	}
+	dst := New(Float32, src.Shape...)
+	for i, v := range src.I8 {
+		dst.F32[i] = float32(src.Quant.DequantizeOne(v))
+	}
+	return dst
+}
+
+// MinMax returns the minimum and maximum of a float tensor. An empty tensor
+// yields (0, 0).
+func MinMax(t *Tensor) (min, max float64) {
+	if t.DType != Float32 {
+		panic("tensor: MinMax requires a float tensor")
+	}
+	if len(t.F32) == 0 {
+		return 0, 0
+	}
+	min, max = float64(t.F32[0]), float64(t.F32[0])
+	for _, v := range t.F32[1:] {
+		f := float64(v)
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	return min, max
+}
+
+// AbsMax returns the maximum absolute value of a float tensor.
+func AbsMax(t *Tensor) float64 {
+	min, max := MinMax(t)
+	return math.Max(math.Abs(min), math.Abs(max))
+}
+
+// RangeObserver accumulates the observed value range across calibration
+// batches, as the post-training quantizer does over a representative
+// dataset.
+type RangeObserver struct {
+	Min, Max float64
+	seen     bool
+}
+
+// Observe folds the values of a float tensor into the running range.
+func (o *RangeObserver) Observe(t *Tensor) {
+	if t.DType != Float32 {
+		panic("tensor: RangeObserver requires float tensors")
+	}
+	if len(t.F32) == 0 {
+		return
+	}
+	mn, mx := MinMax(t)
+	if !o.seen {
+		o.Min, o.Max, o.seen = mn, mx, true
+		return
+	}
+	if mn < o.Min {
+		o.Min = mn
+	}
+	if mx > o.Max {
+		o.Max = mx
+	}
+}
+
+// Params returns quantization parameters covering the observed range.
+func (o *RangeObserver) Params() QuantParams {
+	if !o.seen {
+		return QuantParams{Scale: 1, ZeroPoint: 0}
+	}
+	return ChooseQuantParams(o.Min, o.Max)
+}

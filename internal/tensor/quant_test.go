@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChooseQuantParamsZeroExact(t *testing.T) {
+	cases := [][2]float64{{-1, 1}, {0, 10}, {-5, 0}, {-0.3, 7.7}, {2, 8}}
+	for _, c := range cases {
+		q := ChooseQuantParams(c[0], c[1])
+		// Zero must map to an exact int8 code and back to exactly zero.
+		z := q.QuantizeOne(0)
+		if got := q.DequantizeOne(z); got != 0 {
+			t.Errorf("range %v: zero round-trips to %v", c, got)
+		}
+	}
+}
+
+func TestChooseQuantParamsDegenerate(t *testing.T) {
+	q := ChooseQuantParams(0, 0)
+	if q.Scale != 1 || q.ZeroPoint != 0 {
+		t.Fatalf("degenerate params %+v", q)
+	}
+}
+
+func TestChooseQuantParamsSwappedArgs(t *testing.T) {
+	a := ChooseQuantParams(-2, 3)
+	b := ChooseQuantParams(3, -2)
+	if a != b {
+		t.Fatalf("order-sensitive params: %+v vs %+v", a, b)
+	}
+}
+
+func TestSymmetricQuantParams(t *testing.T) {
+	q := SymmetricQuantParams(127)
+	if q.ZeroPoint != 0 || q.Scale != 1 {
+		t.Fatalf("params %+v", q)
+	}
+	if SymmetricQuantParams(0).Scale != 1 {
+		t.Fatal("degenerate symmetric scale should be 1")
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	q := QuantParams{Scale: 1, ZeroPoint: 0}
+	if q.QuantizeOne(1000) != 127 {
+		t.Error("no positive saturation")
+	}
+	if q.QuantizeOne(-1000) != -128 {
+		t.Error("no negative saturation")
+	}
+}
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	// Round-trip error of any in-range value is bounded by scale/2.
+	q := ChooseQuantParams(-3, 3)
+	for v := -3.0; v <= 3.0; v += 0.01 {
+		back := q.DequantizeOne(q.QuantizeOne(v))
+		if math.Abs(back-v) > q.Scale/2+1e-12 {
+			t.Fatalf("round trip %v -> %v exceeds scale/2=%v", v, back, q.Scale/2)
+		}
+	}
+}
+
+func TestQuantizeDequantizeTensors(t *testing.T) {
+	src := FromFloat32([]float32{-1, -0.5, 0, 0.5, 1}, 5)
+	q := ChooseQuantParams(-1, 1)
+	it := Quantize(src, q)
+	if it.DType != Int8 || it.Quant == nil {
+		t.Fatal("Quantize output malformed")
+	}
+	back := Dequantize(it)
+	for i := range src.F32 {
+		if math.Abs(float64(back.F32[i]-src.F32[i])) > q.Scale/2+1e-6 {
+			t.Fatalf("elem %d: %v -> %v", i, src.F32[i], back.F32[i])
+		}
+	}
+}
+
+func TestMinMaxAbsMax(t *testing.T) {
+	tn := FromFloat32([]float32{3, -7, 2}, 3)
+	mn, mx := MinMax(tn)
+	if mn != -7 || mx != 3 {
+		t.Fatalf("MinMax = %v, %v", mn, mx)
+	}
+	if AbsMax(tn) != 7 {
+		t.Fatalf("AbsMax = %v", AbsMax(tn))
+	}
+	if mn, mx := MinMax(New(Float32, 0)); mn != 0 || mx != 0 {
+		t.Fatal("empty MinMax nonzero")
+	}
+}
+
+func TestRangeObserver(t *testing.T) {
+	var o RangeObserver
+	o.Observe(FromFloat32([]float32{1, 2}, 2))
+	o.Observe(FromFloat32([]float32{-4, 0.5}, 2))
+	if o.Min != -4 || o.Max != 2 {
+		t.Fatalf("observer range [%v, %v]", o.Min, o.Max)
+	}
+	q := o.Params()
+	if q.DequantizeOne(q.QuantizeOne(0)) != 0 {
+		t.Fatal("observer params do not represent zero exactly")
+	}
+}
+
+func TestRangeObserverEmpty(t *testing.T) {
+	var o RangeObserver
+	q := o.Params()
+	if q.Scale != 1 || q.ZeroPoint != 0 {
+		t.Fatalf("empty observer params %+v", q)
+	}
+}
+
+// Property: quantization round-trip error is bounded by scale/2 for values
+// inside the chosen range.
+func TestQuickQuantRoundTrip(t *testing.T) {
+	f := func(a, b float64, frac float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		// Keep ranges sane.
+		a = math.Mod(a, 1e6)
+		b = math.Mod(b, 1e6)
+		q := ChooseQuantParams(a, b)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if lo > 0 {
+			lo = 0
+		}
+		if hi < 0 {
+			hi = 0
+		}
+		frac = math.Abs(math.Mod(frac, 1))
+		v := lo + frac*(hi-lo)
+		back := q.DequantizeOne(q.QuantizeOne(v))
+		return math.Abs(back-v) <= q.Scale/2*1.0001+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantized codes are monotone in the real value.
+func TestQuickQuantMonotone(t *testing.T) {
+	f := func(lo, hi float64, x, y float64) bool {
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+			return true
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		q := ChooseQuantParams(math.Mod(lo, 100), math.Mod(hi, 100))
+		x, y = math.Mod(x, 200), math.Mod(y, 200)
+		if x > y {
+			x, y = y, x
+		}
+		return q.QuantizeOne(x) <= q.QuantizeOne(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

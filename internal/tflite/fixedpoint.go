@@ -1,0 +1,114 @@
+package tflite
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements TFLite's fixed-point rescaling arithmetic, which the
+// Edge TPU hardware also uses: a positive real multiplier less than one is
+// represented as a Q31 integer multiplier plus a right shift, and applied
+// with rounding-to-nearest at each step. Reproducing it exactly means the
+// quantized interpreter here and the systolic-array simulator produce
+// bit-identical outputs.
+
+// QuantizedMultiplier is a real-valued scale factor in fixed-point form:
+// real = Multiplier * 2^(-Shift - 31) i.e. value × multiplier, then
+// arithmetic right shift.
+type QuantizedMultiplier struct {
+	Multiplier int32 // in [2^30, 2^31) (Q31), or 0 for a zero scale
+	Shift      int32 // right shift applied after the Q31 multiply
+}
+
+// QuantizeMultiplier converts a positive real multiplier into Q31
+// multiplier+shift form, following the TFLite reference implementation.
+func QuantizeMultiplier(realMultiplier float64) (QuantizedMultiplier, error) {
+	if realMultiplier < 0 || math.IsNaN(realMultiplier) || math.IsInf(realMultiplier, 0) {
+		return QuantizedMultiplier{}, fmt.Errorf("tflite: invalid multiplier %v", realMultiplier)
+	}
+	if realMultiplier == 0 {
+		return QuantizedMultiplier{Multiplier: 0, Shift: 0}, nil
+	}
+	frac, exp := math.Frexp(realMultiplier) // frac in [0.5, 1)
+	q := int64(math.Round(frac * (1 << 31)))
+	if q == 1<<31 { // rounding overflow: frac was ~1
+		q /= 2
+		exp++
+	}
+	shift := int32(-exp)
+	if shift > 62 {
+		// Scale too small to represent; flush to zero.
+		return QuantizedMultiplier{Multiplier: 0, Shift: 0}, nil
+	}
+	if shift < -31 {
+		return QuantizedMultiplier{}, fmt.Errorf("tflite: multiplier %v too large", realMultiplier)
+	}
+	return QuantizedMultiplier{Multiplier: int32(q), Shift: shift}, nil
+}
+
+// Apply multiplies x by the fixed-point multiplier with TFLite's
+// round-half-away-from-zero doubling-high-mul followed by rounding right
+// shift.
+func (qm QuantizedMultiplier) Apply(x int32) int32 {
+	if qm.Multiplier == 0 {
+		return 0
+	}
+	v := saturatingRoundingDoublingHighMul(x, qm.Multiplier)
+	return roundingDivideByPOT(v, qm.Shift)
+}
+
+// saturatingRoundingDoublingHighMul returns round(a*b/2^31) with saturation
+// at int32 bounds, as in gemmlowp.
+func saturatingRoundingDoublingHighMul(a, b int32) int32 {
+	if a == math.MinInt32 && b == math.MinInt32 {
+		return math.MaxInt32
+	}
+	ab := int64(a) * int64(b)
+	var nudge int64 = 1 << 30
+	if ab < 0 {
+		nudge = 1 - (1 << 30)
+	}
+	// gemmlowp divides (truncation toward zero), which differs from an
+	// arithmetic shift for negative products.
+	return int32((ab + nudge) / (1 << 31))
+}
+
+// roundingDivideByPOT computes x / 2^exponent with rounding to nearest,
+// ties away from zero. Negative exponents shift left.
+func roundingDivideByPOT(x int32, exponent int32) int32 {
+	if exponent < 0 {
+		shifted := int64(x) << uint(-exponent)
+		if shifted > math.MaxInt32 {
+			return math.MaxInt32
+		}
+		if shifted < math.MinInt32 {
+			return math.MinInt32
+		}
+		return int32(shifted)
+	}
+	if exponent == 0 {
+		return x
+	}
+	mask := int32(1)<<uint(exponent) - 1
+	remainder := x & mask
+	result := x >> uint(exponent)
+	threshold := mask >> 1
+	if x < 0 {
+		threshold++
+	}
+	if remainder > threshold {
+		result++
+	}
+	return result
+}
+
+// clampInt8 saturates an int32 into int8 range.
+func clampInt8(v int32) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}

@@ -1,0 +1,61 @@
+package tflite
+
+import (
+	"testing"
+
+	"hdcedge/internal/tensor"
+)
+
+// Native fuzz targets. `go test` runs the seed corpus; `go test -fuzz`
+// explores further.
+
+func FuzzReadModel(f *testing.F) {
+	f.Add(buildTinyFloatModel(1).Marshal())
+	f.Add(buildTinyFloatModel(3).Marshal())
+	qm, err := QuantizeModel(buildTinyFloatModel(1), tinyCalib())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(qm.Marshal())
+	f.Add([]byte("HTFL"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Anything that parses must validate and re-serialize.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parsed model fails validation: %v", err)
+		}
+		if _, err := Unmarshal(m.Marshal()); err != nil {
+			t.Fatalf("re-serialized model fails to parse: %v", err)
+		}
+	})
+}
+
+func FuzzQuantRoundTrip(f *testing.F) {
+	f.Add(-3.0, 3.0, 1.5)
+	f.Add(0.0, 10.0, 9.0)
+	f.Add(-0.001, 0.001, 0.0)
+	f.Fuzz(func(t *testing.T, lo, hi, v float64) {
+		if lo != lo || hi != hi || v != v { // NaN guards
+			return
+		}
+		if lo < -1e12 || lo > 1e12 || hi < -1e12 || hi > 1e12 {
+			return
+		}
+		q := tensor.ChooseQuantParams(lo, hi)
+		if q.Scale <= 0 {
+			t.Fatalf("non-positive scale %v for [%v, %v]", q.Scale, lo, hi)
+		}
+		code := q.QuantizeOne(v)
+		back := q.DequantizeOne(code)
+		// Dequantized values always lie in the representable envelope.
+		min := q.DequantizeOne(-128)
+		max := q.DequantizeOne(127)
+		if back < min || back > max {
+			t.Fatalf("round trip escaped the representable range: %v not in [%v, %v]", back, min, max)
+		}
+	})
+}

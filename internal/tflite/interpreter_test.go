@@ -1,0 +1,451 @@
+package tflite
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hdcedge/internal/tensor"
+)
+
+func TestInterpreterFloatForward(t *testing.T) {
+	m := buildTinyFloatModel(1)
+	it, err := NewInterpreter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(it.Input(0).F32, []float32{1, 2, 3})
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	// h = [1, 2, 3, 6]; ht = tanh(h);
+	// out0 = ht0 - ht1 + ht2 - ht3 + 0.1 ; out1 = 0.5*sum(ht) - 0.1
+	ht := []float64{math.Tanh(1), math.Tanh(2), math.Tanh(3), math.Tanh(6)}
+	want0 := ht[0] - ht[1] + ht[2] - ht[3] + 0.1
+	want1 := 0.5*(ht[0]+ht[1]+ht[2]+ht[3]) - 0.1
+	out := it.Output(0)
+	if math.Abs(float64(out.F32[0])-want0) > 1e-5 {
+		t.Fatalf("out0 = %v, want %v", out.F32[0], want0)
+	}
+	if math.Abs(float64(out.F32[1])-want1) > 1e-5 {
+		t.Fatalf("out1 = %v, want %v", out.F32[1], want1)
+	}
+}
+
+func TestInterpreterBatched(t *testing.T) {
+	m := buildTinyFloatModel(3)
+	it, err := NewInterpreter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := it.Input(0)
+	rows := [][]float32{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for r, row := range rows {
+		copy(in.F32[r*3:(r+1)*3], row)
+	}
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	// Each batch row must be independent: compare against single-sample runs.
+	for r, row := range rows {
+		single, _ := NewInterpreter(buildTinyFloatModel(1))
+		copy(single.Input(0).F32, row)
+		if err := single.Invoke(); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			got := it.Output(0).F32[r*2+j]
+			want := single.Output(0).F32[j]
+			if got != want {
+				t.Fatalf("batch row %d col %d: %v vs single %v", r, j, got, want)
+			}
+		}
+	}
+}
+
+func TestInterpreterArgMax(t *testing.T) {
+	b := NewBuilder("am")
+	in := b.AddInput("in", tensor.Float32, 2, 3)
+	out := b.ArgMax(in, "pred")
+	b.MarkOutput(out)
+	m := b.Finish()
+	it, err := NewInterpreter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(it.Input(0).F32, []float32{1, 9, 2, 7, 3, 5})
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	o := it.Output(0)
+	if o.I32[0] != 1 || o.I32[1] != 0 {
+		t.Fatalf("argmax = %v", o.I32)
+	}
+}
+
+func TestInterpreterQuantizeDequantizeRoundTrip(t *testing.T) {
+	b := NewBuilder("qdq")
+	in := b.AddInput("in", tensor.Float32, 1, 4)
+	q := b.Quantize(in, tensor.ChooseQuantParams(-2, 2), "q")
+	dq := b.Dequantize(q, "dq")
+	b.MarkOutput(dq)
+	it, err := NewInterpreter(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []float32{-2, -0.5, 0.5, 2}
+	copy(it.Input(0).F32, src)
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance is slightly over scale/2: the zero-point rounding can add
+	// up to half a step of extra error at the range edges.
+	scale := it.Tensor(q).Quant.Scale
+	for i, v := range it.Output(0).F32 {
+		if math.Abs(float64(v-src[i])) > scale*0.51 {
+			t.Fatalf("round trip elem %d: %v -> %v", i, src[i], v)
+		}
+	}
+}
+
+func TestInterpreterConcat(t *testing.T) {
+	b := NewBuilder("cc")
+	in1 := b.AddInput("a", tensor.Float32, 2, 2)
+	in2 := b.AddInput("b", tensor.Float32, 2, 3)
+	out := b.AddActivation("cat", tensor.Float32, 2, 5)
+	b.m.Operators = append(b.m.Operators, Operator{
+		Op: OpConcat, Inputs: []int{in1, in2}, Outputs: []int{out}, Opts: Options{Axis: 1},
+	})
+	b.MarkOutput(out)
+	it, err := NewInterpreter(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(it.Input(0).F32, []float32{1, 2, 3, 4})
+	copy(it.Input(1).F32, []float32{5, 6, 7, 8, 9, 10})
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 5, 6, 7, 3, 4, 8, 9, 10}
+	for i, w := range want {
+		if it.Output(0).F32[i] != w {
+			t.Fatalf("concat[%d] = %v, want %v", i, it.Output(0).F32[i], w)
+		}
+	}
+}
+
+func TestInterpreterSoftmax(t *testing.T) {
+	b := NewBuilder("sm")
+	in := b.AddInput("in", tensor.Float32, 1, 3)
+	out := b.AddActivation("probs", tensor.Float32, 1, 3)
+	b.m.Operators = append(b.m.Operators, Operator{
+		Op: OpSoftmax, Inputs: []int{in}, Outputs: []int{out}, Opts: Options{Beta: 1},
+	})
+	b.MarkOutput(out)
+	it, err := NewInterpreter(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(it.Input(0).F32, []float32{1, 2, 3})
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	probs := it.Output(0).F32
+	for _, p := range probs {
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+	if !(probs[2] > probs[1] && probs[1] > probs[0]) {
+		t.Fatalf("softmax not monotone: %v", probs)
+	}
+}
+
+func TestInterpreterTanhInt8LUT(t *testing.T) {
+	// Quantized tanh must agree with float tanh within one output step.
+	inQ := tensor.ChooseQuantParams(-4, 4)
+	b := NewBuilder("qt")
+	in := b.AddInput("in", tensor.Int8, 1, 256)
+	b.SetQuant(in, inQ)
+	out := b.Tanh(in, "t")
+	b.MarkOutput(out)
+	it, err := NewInterpreter(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		it.Input(0).I8[i] = int8(uint8(i))
+	}
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	o := it.Output(0)
+	for i := 0; i < 256; i++ {
+		x := inQ.DequantizeOne(int8(uint8(i)))
+		want := math.Tanh(x)
+		got := o.Quant.DequantizeOne(o.I8[i])
+		if math.Abs(got-want) > o.Quant.Scale {
+			t.Fatalf("tanh(%v) = %v, want %v (tol %v)", x, got, want, o.Quant.Scale)
+		}
+	}
+}
+
+func TestInterpreterRejectsInvalidModel(t *testing.T) {
+	m := buildTinyFloatModel(1)
+	m.Operators[0].Inputs[0] = 500
+	if _, err := NewInterpreter(m); err == nil {
+		t.Fatal("NewInterpreter accepted invalid model")
+	}
+}
+
+func TestInt8FCMatchesFloatWithinQuantError(t *testing.T) {
+	// A manually quantized 1-layer FC must track the float result within
+	// a small multiple of the output scale.
+	k, units := 16, 4
+	wF := tensor.New(tensor.Float32, units, k)
+	for i := range wF.F32 {
+		wF.F32[i] = float32((i%7)-3) * 0.25
+	}
+	biasF := tensor.FromFloat32([]float32{0.5, -0.5, 1, 0}, units)
+	inF := make([]float32, k)
+	for i := range inF {
+		inF[i] = float32(i%5) - 2
+	}
+
+	// Float reference.
+	fb := NewBuilder("f")
+	fin := fb.AddInput("in", tensor.Float32, 1, k)
+	fout := fb.FullyConnected(fin, fb.AddConstF32("w", wF), fb.AddConstF32("b", biasF), "out")
+	fb.MarkOutput(fout)
+	fit, _ := NewInterpreter(fb.Finish())
+	copy(fit.Input(0).F32, inF)
+	if err := fit.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Int8 version.
+	inQ := tensor.ChooseQuantParams(-2, 2)
+	wq := tensor.SymmetricQuantParams(tensor.AbsMax(wF))
+	outQ := tensor.ChooseQuantParams(-16, 16)
+	wI := tensor.Quantize(wF, wq)
+	biasScale := inQ.Scale * wq.Scale
+	biasI := tensor.New(tensor.Int32, units)
+	biasI.Quant = &tensor.QuantParams{Scale: biasScale}
+	for i, v := range biasF.F32 {
+		biasI.I32[i] = int32(math.Round(float64(v) / biasScale))
+	}
+	qb := NewBuilder("q")
+	qin := qb.AddInput("in", tensor.Int8, 1, k)
+	qb.SetQuant(qin, inQ)
+	qout := qb.FullyConnected(qin, qb.AddConstI8("w", wI), qb.AddConstI32("b", biasI), "out")
+	qb.SetQuant(qout, outQ)
+	qb.MarkOutput(qout)
+	qit, err := NewInterpreter(qb.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range inF {
+		qit.Input(0).I8[i] = inQ.QuantizeOne(float64(v))
+	}
+	if err := qit.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < units; u++ {
+		got := outQ.DequantizeOne(qit.Output(0).I8[u])
+		want := float64(fit.Output(0).F32[u])
+		// Error budget: input quant error propagated through k MACs plus
+		// one output step.
+		tol := float64(k)*inQ.Scale*0.6 + outQ.Scale
+		if math.Abs(got-want) > tol {
+			t.Fatalf("unit %d: int8 %v vs float %v (tol %v)", u, got, want, tol)
+		}
+	}
+}
+
+func TestInt8FCRejectsAsymmetricWeights(t *testing.T) {
+	k, units := 4, 2
+	wI := tensor.New(tensor.Int8, units, k)
+	wI.Quant = &tensor.QuantParams{Scale: 0.1, ZeroPoint: 3}
+	biasI := tensor.New(tensor.Int32, units)
+	biasI.Quant = &tensor.QuantParams{Scale: 0.01}
+	b := NewBuilder("bad")
+	in := b.AddInput("in", tensor.Int8, 1, k)
+	b.SetQuant(in, tensor.QuantParams{Scale: 0.1, ZeroPoint: 0})
+	out := b.FullyConnected(in, b.AddConstI8("w", wI), b.AddConstI32("b", biasI), "out")
+	b.SetQuant(out, tensor.QuantParams{Scale: 0.1, ZeroPoint: 0})
+	b.MarkOutput(out)
+	it, err := NewInterpreter(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Invoke(); err == nil {
+		t.Fatal("int8 FC accepted asymmetric weights")
+	}
+}
+
+func TestInterpretersConcurrentlySafe(t *testing.T) {
+	// Separate interpreters over the same quantized model share only the
+	// memoized tanh LUT; concurrent invokes must be race-free and
+	// identical. Run with -race to check the LUT cache.
+	m := buildTinyFloatModel(1)
+	qm, err := QuantizeModel(m, tinyCalib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewInterpreter(qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(ref.Input(0).F32, []float32{0.5, -1, 1.5})
+	if err := ref.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float32(nil), ref.Output(0).F32...)
+
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			it, err := NewInterpreter(qm)
+			if err != nil {
+				errs <- err
+				return
+			}
+			copy(it.Input(0).F32, []float32{0.5, -1, 1.5})
+			for i := 0; i < 20; i++ {
+				if err := it.Invoke(); err != nil {
+					errs <- err
+					return
+				}
+				for j := range want {
+					if it.Output(0).F32[j] != want[j] {
+						errs <- fmt.Errorf("worker output diverged at %d", j)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInterpreterLogisticFloat(t *testing.T) {
+	b := NewBuilder("lg")
+	in := b.AddInput("in", tensor.Float32, 1, 5)
+	out := b.Logistic(in, "s")
+	b.MarkOutput(out)
+	it, err := NewInterpreter(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(it.Input(0).F32, []float32{-10, -1, 0, 1, 10})
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	o := it.Output(0).F32
+	if o[2] != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", o[2])
+	}
+	if o[0] > 0.001 || o[4] < 0.999 {
+		t.Fatalf("saturation wrong: %v", o)
+	}
+	if math.Abs(float64(o[1]+o[3])-1) > 1e-6 {
+		t.Fatalf("sigmoid symmetry: %v + %v", o[1], o[3])
+	}
+}
+
+func TestInterpreterLogisticInt8LUT(t *testing.T) {
+	inQ := tensor.ChooseQuantParams(-6, 6)
+	b := NewBuilder("lgq")
+	in := b.AddInput("in", tensor.Int8, 1, 256)
+	b.SetQuant(in, inQ)
+	out := b.Logistic(in, "s")
+	b.MarkOutput(out)
+	it, err := NewInterpreter(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oq := it.Output(0).Quant
+	if oq.Scale != 1.0/256.0 || oq.ZeroPoint != -128 {
+		t.Fatalf("logistic output quant %+v; want TFLite convention", oq)
+	}
+	for i := 0; i < 256; i++ {
+		it.Input(0).I8[i] = int8(uint8(i))
+	}
+	if err := it.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		x := inQ.DequantizeOne(int8(uint8(i)))
+		want := 1 / (1 + math.Exp(-x))
+		got := oq.DequantizeOne(it.Output(0).I8[i])
+		if math.Abs(got-want) > oq.Scale {
+			t.Fatalf("sigmoid(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestLogisticDelegatesAndQuantizes(t *testing.T) {
+	// A logistic-activated wide network must quantize and delegate just
+	// like the tanh one.
+	b := NewBuilder("lgnet")
+	in := b.AddInput("in", tensor.Float32, 2, 6)
+	w := tensor.New(tensor.Float32, 16, 6)
+	for i := range w.F32 {
+		w.F32[i] = float32(i%5) * 0.1
+	}
+	bias := tensor.New(tensor.Float32, 16)
+	h := b.FullyConnected(in, b.AddConstF32("w", w), b.AddConstF32("b", bias), "h")
+	s := b.Logistic(h, "act")
+	b.MarkOutput(s)
+	m := b.Finish()
+	var calib [][][]float32
+	for i := 0; i < 16; i++ {
+		buf := make([]float32, 12)
+		for j := range buf {
+			buf[j] = float32((i+j)%7) - 3
+		}
+		calib = append(calib, [][]float32{buf})
+	}
+	qm, err := QuantizeModel(m, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasLogistic := false
+	for _, op := range qm.Operators {
+		if op.Op == OpLogistic {
+			hasLogistic = true
+		}
+	}
+	if !hasLogistic {
+		t.Fatal("quantized model lost the LOGISTIC op")
+	}
+	// Quantized output must track float.
+	fit, _ := NewInterpreter(m)
+	qit, err := NewInterpreter(qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []float32{1, -1, 2, -2, 0.5, 0, -0.5, 3, -3, 1.5, 0.25, -0.25}
+	copy(fit.Input(0).F32, input)
+	copy(qit.Input(0).F32, input)
+	if err := fit.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qit.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fit.Output(0).F32 {
+		d := math.Abs(float64(fit.Output(0).F32[i] - qit.Output(0).F32[i]))
+		if d > 0.05 {
+			t.Fatalf("elem %d deviates %v", i, d)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package tflite
+
+import (
+	"math"
+	"sync"
+
+	"hdcedge/internal/tensor"
+)
+
+// Int8 element-wise functions are executed through 256-entry lookup tables,
+// exactly as TFLite and the Edge TPU do: the table is indexed by the raw
+// int8 code (biased to uint8), and each entry is the quantized function
+// value. Tables are memoized since every invoke of a given model reuses the
+// same parameters.
+
+type lutKey struct {
+	fn       string
+	inScale  float64
+	inZP     int32
+	outScale float64
+	outZP    int32
+}
+
+var (
+	lutMu    sync.Mutex
+	lutCache = map[lutKey]*[256]int8{}
+)
+
+// elementLUT builds (and memoizes) the int8 lookup table for fn under the
+// given input/output quantization. Entry i corresponds to the int8 code
+// int8(uint8(i)).
+func elementLUT(name string, fn func(float64) float64, in, out tensor.QuantParams) *[256]int8 {
+	key := lutKey{name, in.Scale, in.ZeroPoint, out.Scale, out.ZeroPoint}
+	lutMu.Lock()
+	defer lutMu.Unlock()
+	if t, ok := lutCache[key]; ok {
+		return t
+	}
+	var t [256]int8
+	for i := 0; i < 256; i++ {
+		code := int8(uint8(i))
+		x := in.DequantizeOne(code)
+		t[i] = out.QuantizeOne(fn(x))
+	}
+	lutCache[key] = &t
+	return &t
+}
+
+// tanhLUT returns the int8 tanh table.
+func tanhLUT(in, out tensor.QuantParams) *[256]int8 {
+	return elementLUT("tanh", math.Tanh, in, out)
+}
+
+// logisticLUT returns the int8 sigmoid table.
+func logisticLUT(in, out tensor.QuantParams) *[256]int8 {
+	return elementLUT("logistic", func(x float64) float64 {
+		return 1 / (1 + math.Exp(-x))
+	}, in, out)
+}
+
+// softmaxRow computes a numerically-stable softmax into dst.
+func softmaxRow(dst, src []float32, beta float32) {
+	maxV := src[0]
+	for _, v := range src[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(beta * (v - maxV)))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}

@@ -1,0 +1,188 @@
+package tflite
+
+import (
+	"fmt"
+
+	"hdcedge/internal/tensor"
+)
+
+// NoBuffer marks a tensor with no constant data (a runtime activation).
+const NoBuffer = -1
+
+// TensorInfo describes one tensor in the graph. Constant tensors reference
+// a buffer; activations use NoBuffer and are allocated by the interpreter.
+type TensorInfo struct {
+	Name   string
+	DType  tensor.DType
+	Shape  tensor.Shape
+	Quant  *tensor.QuantParams
+	Buffer int
+}
+
+// Operator is one node of the flat graph. Inputs and Outputs index into
+// Model.Tensors. Execution order is the operator order (the graph is
+// required to be topologically sorted, as in a TFLite flatbuffer).
+type Operator struct {
+	Op      OpCode
+	Inputs  []int
+	Outputs []int
+	Opts    Options
+}
+
+// Model is a complete serializable network.
+type Model struct {
+	Name      string
+	Tensors   []TensorInfo
+	Operators []Operator
+	Buffers   [][]byte
+	Inputs    []int
+	Outputs   []int
+}
+
+// Validate checks graph structural invariants: index ranges, buffer
+// references, topological ordering, and per-op arity.
+func (m *Model) Validate() error {
+	nT := len(m.Tensors)
+	checkIdx := func(what string, idx int) error {
+		if idx < 0 || idx >= nT {
+			return fmt.Errorf("tflite: %s tensor index %d out of range [0,%d)", what, idx, nT)
+		}
+		return nil
+	}
+	for i, ti := range m.Tensors {
+		if ti.Buffer != NoBuffer {
+			if ti.Buffer < 0 || ti.Buffer >= len(m.Buffers) {
+				return fmt.Errorf("tflite: tensor %d (%s) buffer %d out of range", i, ti.Name, ti.Buffer)
+			}
+			want := ti.Shape.Elems() * ti.DType.Size()
+			if got := len(m.Buffers[ti.Buffer]); got != want {
+				return fmt.Errorf("tflite: tensor %d (%s) buffer has %d bytes, shape %v needs %d",
+					i, ti.Name, got, ti.Shape, want)
+			}
+		}
+	}
+	for _, in := range m.Inputs {
+		if err := checkIdx("model input", in); err != nil {
+			return err
+		}
+	}
+	for _, out := range m.Outputs {
+		if err := checkIdx("model output", out); err != nil {
+			return err
+		}
+	}
+	// Topological order: an activation may only be consumed after it has
+	// been produced (model inputs and constants are always ready).
+	ready := make([]bool, nT)
+	for i, ti := range m.Tensors {
+		if ti.Buffer != NoBuffer {
+			ready[i] = true
+		}
+	}
+	for _, in := range m.Inputs {
+		ready[in] = true
+	}
+	for oi, op := range m.Operators {
+		for _, in := range op.Inputs {
+			if err := checkIdx(fmt.Sprintf("op %d input", oi), in); err != nil {
+				return err
+			}
+			if !ready[in] {
+				return fmt.Errorf("tflite: op %d (%v) consumes tensor %d before it is produced", oi, op.Op, in)
+			}
+		}
+		for _, out := range op.Outputs {
+			if err := checkIdx(fmt.Sprintf("op %d output", oi), out); err != nil {
+				return err
+			}
+			ready[out] = true
+		}
+		if err := checkArity(oi, op); err != nil {
+			return err
+		}
+	}
+	for _, out := range m.Outputs {
+		if !ready[out] {
+			return fmt.Errorf("tflite: model output %d is never produced", out)
+		}
+	}
+	return nil
+}
+
+func checkArity(oi int, op Operator) error {
+	type arity struct{ in, out int }
+	want := map[OpCode]arity{
+		OpFullyConnected: {3, 1},
+		OpTanh:           {1, 1},
+		OpQuantize:       {1, 1},
+		OpDequantize:     {1, 1},
+		OpArgMax:         {1, 1},
+		OpReshape:        {1, 1},
+		OpSoftmax:        {1, 1},
+		OpLogistic:       {1, 1},
+	}
+	if w, ok := want[op.Op]; ok {
+		if len(op.Inputs) != w.in || len(op.Outputs) != w.out {
+			return fmt.Errorf("tflite: op %d (%v) arity %d->%d, want %d->%d",
+				oi, op.Op, len(op.Inputs), len(op.Outputs), w.in, w.out)
+		}
+	}
+	if op.Op == OpConcat && (len(op.Inputs) < 1 || len(op.Outputs) != 1) {
+		return fmt.Errorf("tflite: op %d CONCATENATION needs >=1 inputs and 1 output", oi)
+	}
+	return nil
+}
+
+// ConstTensor materializes the constant data of tensor ti as a
+// tensor.Tensor view (data shared with the buffer for 1-byte types,
+// decoded for multi-byte types).
+func (m *Model) ConstTensor(ti int) (*tensor.Tensor, error) {
+	info := m.Tensors[ti]
+	if info.Buffer == NoBuffer {
+		return nil, fmt.Errorf("tflite: tensor %d (%s) is not constant", ti, info.Name)
+	}
+	raw := m.Buffers[info.Buffer]
+	t := &tensor.Tensor{DType: info.DType, Shape: info.Shape.Clone(), Quant: cloneQuant(info.Quant)}
+	switch info.DType {
+	case tensor.Float32:
+		t.F32 = bytesToF32(raw)
+	case tensor.Int8:
+		t.I8 = bytesToI8(raw)
+	case tensor.Int32:
+		t.I32 = bytesToI32(raw)
+	case tensor.UInt8:
+		t.U8 = append([]uint8(nil), raw...)
+	default:
+		return nil, fmt.Errorf("tflite: const tensor dtype %v unsupported", info.DType)
+	}
+	return t, nil
+}
+
+func cloneQuant(q *tensor.QuantParams) *tensor.QuantParams {
+	if q == nil {
+		return nil
+	}
+	c := *q
+	return &c
+}
+
+// ParamBytes returns the total size of all constant buffers — the quantity
+// the Edge TPU compiler fits into on-chip parameter memory.
+func (m *Model) ParamBytes() int {
+	n := 0
+	for _, b := range m.Buffers {
+		n += len(b)
+	}
+	return n
+}
+
+// TensorByName returns the index of the first tensor with the given name,
+// or -1.
+func (m *Model) TensorByName(name string) int {
+	for i, t := range m.Tensors {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}

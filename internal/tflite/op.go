@@ -1,0 +1,60 @@
+// Package tflite implements a self-contained, TFLite-style model format:
+// a flat graph of tensors and operators with constant buffers, a binary
+// serialization, a reference interpreter with float32 and full-integer
+// (int8) kernels, and a post-training quantizer driven by a representative
+// dataset.
+//
+// The op set is the subset the paper's hyper-wide networks need:
+// FULLY_CONNECTED, TANH, QUANTIZE, DEQUANTIZE, ARGMAX, CONCAT and RESHAPE.
+// Integer kernels follow the TFLite reference semantics (symmetric int8
+// weights, int32 bias at scale in*w, fixed-point output rescaling), so a
+// quantized model here behaves like a model produced by the TFLite
+// converter and consumed by the Edge TPU compiler.
+package tflite
+
+import "fmt"
+
+// OpCode identifies an operator type.
+type OpCode uint8
+
+const (
+	OpFullyConnected OpCode = iota
+	OpTanh
+	OpQuantize
+	OpDequantize
+	OpArgMax
+	OpConcat
+	OpReshape
+	OpSoftmax
+	OpLogistic
+)
+
+var opNames = map[OpCode]string{
+	OpFullyConnected: "FULLY_CONNECTED",
+	OpTanh:           "TANH",
+	OpQuantize:       "QUANTIZE",
+	OpDequantize:     "DEQUANTIZE",
+	OpArgMax:         "ARG_MAX",
+	OpConcat:         "CONCATENATION",
+	OpReshape:        "RESHAPE",
+	OpSoftmax:        "SOFTMAX",
+	OpLogistic:       "LOGISTIC",
+}
+
+// String implements fmt.Stringer.
+func (o OpCode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Options carries per-operator parameters. Only the fields relevant to the
+// operator's OpCode are meaningful.
+type Options struct {
+	// Axis is the reduction/concatenation axis for ARG_MAX and
+	// CONCATENATION.
+	Axis int32
+	// Beta is the SOFTMAX temperature.
+	Beta float32
+}

@@ -1,0 +1,220 @@
+package tflite
+
+import (
+	"math"
+	"testing"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+)
+
+func tinyCalib() [][][]float32 {
+	r := rng.New(99)
+	var calib [][][]float32
+	for i := 0; i < 2000; i++ {
+		row := make([]float32, 3)
+		r.FillUniform(row, -2, 2)
+		calib = append(calib, [][]float32{row})
+	}
+	return calib
+}
+
+func TestQuantizeModelStructure(t *testing.T) {
+	qm, err := QuantizeModel(buildTinyFloatModel(1), tinyCalib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected op sequence: QUANTIZE, FC, TANH, FC, DEQUANTIZE.
+	wantOps := []OpCode{OpQuantize, OpFullyConnected, OpTanh, OpFullyConnected, OpDequantize}
+	if len(qm.Operators) != len(wantOps) {
+		t.Fatalf("got %d ops, want %d", len(qm.Operators), len(wantOps))
+	}
+	for i, w := range wantOps {
+		if qm.Operators[i].Op != w {
+			t.Fatalf("op %d = %v, want %v", i, qm.Operators[i].Op, w)
+		}
+	}
+	// Inputs/outputs stay float.
+	if qm.Tensors[qm.Inputs[0]].DType != tensor.Float32 {
+		t.Fatal("quantized model input is not float")
+	}
+	if qm.Tensors[qm.Outputs[0]].DType != tensor.Float32 {
+		t.Fatal("quantized model output is not float")
+	}
+}
+
+func TestQuantizeModelWeightsSymmetric(t *testing.T) {
+	qm, err := QuantizeModel(buildTinyFloatModel(1), tinyCalib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ti := range qm.Tensors {
+		if ti.DType == tensor.Int8 && ti.Buffer != NoBuffer {
+			if ti.Quant == nil || ti.Quant.ZeroPoint != 0 {
+				t.Fatalf("weight tensor %d (%s) not symmetric: %+v", i, ti.Name, ti.Quant)
+			}
+		}
+	}
+}
+
+func TestQuantizeModelBiasScale(t *testing.T) {
+	qm, err := QuantizeModel(buildTinyFloatModel(1), tinyCalib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every FC, bias scale must equal inScale * weightScale.
+	for _, op := range qm.Operators {
+		if op.Op != OpFullyConnected {
+			continue
+		}
+		inQ := qm.Tensors[op.Inputs[0]].Quant
+		wQ := qm.Tensors[op.Inputs[1]].Quant
+		bQ := qm.Tensors[op.Inputs[2]].Quant
+		if inQ == nil || wQ == nil || bQ == nil {
+			t.Fatal("FC missing quant params")
+		}
+		want := inQ.Scale * wQ.Scale
+		if math.Abs(bQ.Scale-want)/want > 1e-12 {
+			t.Fatalf("bias scale %v, want %v", bQ.Scale, want)
+		}
+	}
+}
+
+func TestQuantizedModelTracksFloat(t *testing.T) {
+	m := buildTinyFloatModel(1)
+	qm, err := QuantizeModel(m, tinyCalib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, _ := NewInterpreter(m)
+	qit, err := NewInterpreter(qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	worst := 0.0
+	for trial := 0; trial < 50; trial++ {
+		in := make([]float32, 3)
+		r.FillUniform(in, -2, 2)
+		copy(fit.Input(0).F32, in)
+		copy(qit.Input(0).F32, in)
+		if err := fit.Invoke(); err != nil {
+			t.Fatal(err)
+		}
+		if err := qit.Invoke(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range fit.Output(0).F32 {
+			d := math.Abs(float64(fit.Output(0).F32[i] - qit.Output(0).F32[i]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	// Output range is a few units; int8 quantization across two layers
+	// plus calibration-tail clipping should stay within 0.2.
+	if worst > 0.2 {
+		t.Fatalf("worst-case int8 deviation %v too large", worst)
+	}
+}
+
+func TestQuantizedArgMaxAgreesWithFloat(t *testing.T) {
+	// Classification decisions must survive quantization almost always.
+	b := NewBuilder("cls")
+	in := b.AddInput("in", tensor.Float32, 1, 8)
+	r := rng.New(17)
+	w := tensor.New(tensor.Float32, 4, 8)
+	r.FillNormal(w.F32)
+	bias := tensor.New(tensor.Float32, 4)
+	h := b.FullyConnected(in, b.AddConstF32("w", w), b.AddConstF32("b", bias), "scores")
+	b.MarkOutput(b.ArgMax(h, "pred"))
+	b.MarkOutput(h)
+	m := b.Finish()
+
+	var calib [][][]float32
+	for i := 0; i < 32; i++ {
+		row := make([]float32, 8)
+		r.FillNormal(row)
+		calib = append(calib, [][]float32{row})
+	}
+	qm, err := QuantizeModel(m, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, _ := NewInterpreter(m)
+	qit, _ := NewInterpreter(qm)
+	agree, total := 0, 200
+	for trial := 0; trial < total; trial++ {
+		row := make([]float32, 8)
+		r.FillNormal(row)
+		copy(fit.Input(0).F32, row)
+		copy(qit.Input(0).F32, row)
+		if err := fit.Invoke(); err != nil {
+			t.Fatal(err)
+		}
+		if err := qit.Invoke(); err != nil {
+			t.Fatal(err)
+		}
+		if fit.Output(0).I32[0] == qit.Output(0).I32[0] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.95 {
+		t.Fatalf("quantized argmax agreement %.2f < 0.95", frac)
+	}
+}
+
+func TestQuantizeModelRequiresCalibration(t *testing.T) {
+	if _, err := QuantizeModel(buildTinyFloatModel(1), nil); err == nil {
+		t.Fatal("quantization without calibration accepted")
+	}
+}
+
+func TestQuantizeModelRejectsWrongBatchSize(t *testing.T) {
+	calib := [][][]float32{{{1, 2}}} // model wants 3 values
+	if _, err := QuantizeModel(buildTinyFloatModel(1), calib); err == nil {
+		t.Fatal("wrong-size calibration batch accepted")
+	}
+}
+
+func TestQuantizeModelConcatGraph(t *testing.T) {
+	// Two tanh branches concatenated: both have the fixed 1/128 scale, so
+	// concat quantization must be accepted and correct.
+	b := NewBuilder("cat")
+	in := b.AddInput("in", tensor.Float32, 1, 2)
+	w1 := tensor.FromFloat32([]float32{1, 0, 0, 1}, 2, 2)
+	w2 := tensor.FromFloat32([]float32{-1, 0, 0, -1}, 2, 2)
+	z := tensor.New(tensor.Float32, 2)
+	h1 := b.Tanh(b.FullyConnected(in, b.AddConstF32("w1", w1), b.AddConstF32("z1", z), "h1"), "t1")
+	h2 := b.Tanh(b.FullyConnected(in, b.AddConstF32("w2", w2), b.AddConstF32("z2", z), "h2"), "t2")
+	out := b.AddActivation("cat", tensor.Float32, 1, 4)
+	b.m.Operators = append(b.m.Operators, Operator{
+		Op: OpConcat, Inputs: []int{h1, h2}, Outputs: []int{out}, Opts: Options{Axis: 1},
+	})
+	b.MarkOutput(out)
+	m := b.Finish()
+
+	calib := [][][]float32{{{0.5, -0.5}}, {{1, 1}}, {{-1, 0.2}}}
+	qm, err := QuantizeModel(m, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qit, err := NewInterpreter(qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(qit.Input(0).F32, []float32{0.7, -0.3})
+	if err := qit.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	got := qit.Output(0).F32
+	want := []float64{math.Tanh(0.7), math.Tanh(-0.3), math.Tanh(-0.7), math.Tanh(0.3)}
+	for i, w := range want {
+		if math.Abs(float64(got[i])-w) > 0.05 {
+			t.Fatalf("concat elem %d: %v, want %v", i, got[i], w)
+		}
+	}
+}
