@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples clean
+.PHONY: all build test vet race bench experiments examples clean
 
 all: vet test
 
@@ -13,7 +13,9 @@ vet:
 	$(GO) vet ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...

@@ -3,11 +3,12 @@
 // Usage:
 //
 //	hdc-infer -model model.hdm -data test.bin [-device] [-batch 8]
-//	          [-confusion]
+//	          [-faults "link=0.05"] [-fault-seed 1] [-confusion]
 //
 // With -device, classification runs through the quantized wide-NN model on
 // the simulated Edge TPU and the per-phase timing is reported; otherwise
-// the float model runs on the host.
+// the float model runs on the host. With -faults, the device is driven under
+// a seeded fault plan and the resilient runtime keeps the run alive.
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"hdcedge/internal/dataset"
+	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/hdc"
 	"hdcedge/internal/metrics"
 	"hdcedge/internal/pipeline"
@@ -29,6 +31,8 @@ func main() {
 	batch := flag.Int("batch", pipeline.DefaultInferBatch, "device invoke batch")
 	confusion := flag.Bool("confusion", false, "print the confusion matrix")
 	profile := flag.Bool("profile", false, "with -device: print the per-op execution profile")
+	faults := flag.String("faults", "", "with -device: fault plan, e.g. \"link=0.05,seu=1e-6\"")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection stream")
 	flag.Parse()
 
 	if *modelPath == "" || *data == "" {
@@ -53,7 +57,17 @@ func main() {
 		var p []int
 		var timing pipeline.DeviceTiming
 		var err error
-		if *profile {
+		if *faults != "" {
+			plan, perr := edgetpu.ParseFaultPlan(*faults, *faultSeed)
+			if perr != nil {
+				fail(perr.Error())
+			}
+			var report *pipeline.ReliabilityReport
+			p, timing, report, err = pipeline.InferOnDeviceResilient(plat, model, ds, ds, *batch, plan, pipeline.DefaultRecoveryPolicy())
+			if err == nil {
+				fmt.Println(report)
+			}
+		} else if *profile {
 			var prof *pipeline.DeviceProfiler
 			p, timing, prof, err = pipeline.InferOnDeviceProfiled(plat, model, ds, ds, *batch)
 			if err == nil {

@@ -3,11 +3,15 @@
 // Usage:
 //
 //	hdc-train -data isolet.bin -out model.hdm [-dim 10000] [-epochs 20]
-//	          [-device] [-bagging] [-submodels 4] [-iters 6] [-alpha 0.6]
+//	          [-device] [-faults "link=0.05,reset=0.005"] [-fault-seed 1]
+//	          [-bagging] [-submodels 4] [-iters 6] [-alpha 0.6]
 //
 // With -device, training-set encoding runs on the simulated Edge TPU (the
-// co-design path); otherwise everything runs on the host CPU. With
-// -bagging, the bootstrap-aggregating trainer produces a fused model.
+// co-design path); otherwise everything runs on the host CPU. With -faults,
+// the accelerator is driven under a seeded fault plan and the resilient
+// runtime (retry, reload, host fallback) keeps the run alive, reporting what
+// recovery cost. With -bagging, the bootstrap-aggregating trainer produces a
+// fused model.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"hdcedge/internal/bagging"
 	"hdcedge/internal/dataset"
+	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/hdc"
 	"hdcedge/internal/pipeline"
 )
@@ -31,6 +36,8 @@ func main() {
 	linear := flag.Bool("linear", false, "use linear (no tanh) encoding")
 	seed := flag.Uint64("seed", 1, "random seed")
 	device := flag.Bool("device", false, "encode on the simulated Edge TPU")
+	faults := flag.String("faults", "", "with -device: fault plan, e.g. \"link=0.05,reset=0.005,seu=1e-7\"")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection stream")
 	useBagging := flag.Bool("bagging", false, "train with bootstrap aggregating")
 	subModels := flag.Int("submodels", 4, "bagging: sub-model count M")
 	iters := flag.Int("iters", 6, "bagging: sub-model iterations I'")
@@ -74,10 +81,25 @@ func main() {
 			fmt.Printf("out-of-bag accuracy estimate: %.3f (%d samples evaluable)\n", oob, evaluated)
 		}
 	case *device:
-		res, err := pipeline.TrainOnDevice(pipeline.EdgeTPU(), train, hdc.TrainConfig{
+		tc := hdc.TrainConfig{
 			Dim: *dim, Epochs: *epochs, LearningRate: float32(*lr),
 			Nonlinear: !*linear, Seed: *seed,
-		})
+		}
+		var res *pipeline.FunctionalResult
+		var err error
+		if *faults != "" {
+			plan, perr := edgetpu.ParseFaultPlan(*faults, *faultSeed)
+			if perr != nil {
+				fail(perr.Error())
+			}
+			var report *pipeline.ReliabilityReport
+			res, report, err = pipeline.TrainOnDeviceResilient(pipeline.EdgeTPU(), train, tc, plan, pipeline.DefaultRecoveryPolicy())
+			if err == nil {
+				fmt.Println(report)
+			}
+		} else {
+			res, err = pipeline.TrainOnDevice(pipeline.EdgeTPU(), train, tc)
+		}
 		if err != nil {
 			fail(err.Error())
 		}

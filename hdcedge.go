@@ -151,6 +151,44 @@ func InferOnDevice(p Platform, m *Model, test, calib *Dataset, batch int) ([]int
 	return pipeline.InferOnDevice(p, m, test, calib, batch)
 }
 
+// --- Fault injection and resilient execution ---
+
+// FaultPlan configures seeded fault injection on the simulated accelerator:
+// transient link errors, spontaneous device resets, and parameter-SRAM bit
+// upsets. The zero value injects nothing.
+type FaultPlan = edgetpu.FaultPlan
+
+// RecoveryPolicy controls retry, backoff, reload, and circuit-breaker
+// behavior of the resilient runtime.
+type RecoveryPolicy = pipeline.RecoveryPolicy
+
+// ReliabilityReport records what the resilient runtime did to keep a run
+// alive under faults.
+type ReliabilityReport = pipeline.ReliabilityReport
+
+// ParseFaultPlan builds a plan from a spec string such as
+// "link=0.01,reset=0.001,seu=1e-7,timeout=5ms".
+func ParseFaultPlan(spec string, seed uint64) (FaultPlan, error) {
+	return edgetpu.ParseFaultPlan(spec, seed)
+}
+
+// DefaultRecoveryPolicy returns the standard retry/backoff/breaker settings.
+func DefaultRecoveryPolicy() RecoveryPolicy { return pipeline.DefaultRecoveryPolicy() }
+
+// TrainOnDeviceResilient is TrainOnDevice with the accelerator driven under
+// the fault plan; transient faults are absorbed by retry, reload, and
+// host-CPU fallback, so the trained model matches the healthy run's.
+func TrainOnDeviceResilient(p Platform, train *Dataset, cfg TrainConfig, plan FaultPlan, policy RecoveryPolicy) (*pipeline.FunctionalResult, *ReliabilityReport, error) {
+	return pipeline.TrainOnDeviceResilient(p, train, cfg, plan, policy)
+}
+
+// InferOnDeviceResilient is InferOnDevice under a fault plan. Parameter SEUs
+// can genuinely degrade predictions between reloads; everything else is
+// absorbed exactly.
+func InferOnDeviceResilient(p Platform, m *Model, test, calib *Dataset, batch int, plan FaultPlan, policy RecoveryPolicy) ([]int, DeviceTiming, *ReliabilityReport, error) {
+	return pipeline.InferOnDeviceResilient(p, m, test, calib, batch, plan, policy)
+}
+
 // --- Paper artifacts ---
 
 // ExperimentConfig scales the functional parts of the evaluation suite.

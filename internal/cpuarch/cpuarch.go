@@ -159,6 +159,36 @@ func (s Spec) QuantizeTime(elems int) time.Duration {
 	return s.DispatchOverhead + time.Duration(float64(5*elems)/s.StreamBytesPerSec*float64(time.Second))
 }
 
+// Int8GEMMTime prices a dense [m,k]·[k,n] multiply over int8 operands with
+// int32 accumulation, as the tflite reference kernels run it on the host.
+// Integer MACs retire at roughly the FP32 FMA rate on these parts (both are
+// limited by the same vector units), but the operand traffic is a quarter of
+// the float case — which is why quantized fallback inference is usually
+// compute-bound even on the Pi. This is the pricing primitive behind the
+// resilient runtime's host-CPU graceful-degradation path.
+func (s Spec) Int8GEMMTime(m, k, n int) time.Duration {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	ops := 2 * float64(m) * float64(k) * float64(n)
+	bytes := float64(m)*float64(k) + float64(k)*float64(n) + float64(m)*float64(n)
+	cost := ops / s.GEMMFLOPS
+	if mem := bytes / s.StreamBytesPerSec; mem > cost {
+		cost = mem
+	}
+	return s.DispatchOverhead + time.Duration(cost*float64(time.Second))
+}
+
+// LUTTime prices an element-wise int8 table lookup pass (the host fallback
+// for quantized TANH/LOGISTIC): one byte read and one written per element,
+// memory bound.
+func (s Spec) LUTTime(elems int) time.Duration {
+	if elems <= 0 {
+		return 0
+	}
+	return s.DispatchOverhead + time.Duration(float64(2*elems)/s.StreamBytesPerSec*float64(time.Second))
+}
+
 // ArgMaxTime prices a scan over float32 scores.
 func (s Spec) ArgMaxTime(elems int) time.Duration {
 	if elems <= 0 {

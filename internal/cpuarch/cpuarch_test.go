@@ -108,3 +108,40 @@ func TestEncodingCostDominatedByGEMM(t *testing.T) {
 		t.Fatalf("tanh (%v) not small vs GEMM (%v)", tanh, gemm)
 	}
 }
+
+func TestInt8GEMMTimeCheaperThanFloat(t *testing.T) {
+	// Same op count but a quarter of the operand traffic: int8 GEMM must
+	// never price above the float product, and it collapses to ~equal when
+	// both are compute-bound.
+	for _, s := range []Spec{MobileI5(), CortexA53RPi3()} {
+		if i8, f32 := s.Int8GEMMTime(8, 617, 2000), s.GEMMTime(8, 617, 2000); i8 > f32 {
+			t.Fatalf("%s: int8 GEMM %v above float %v", s.Name, i8, f32)
+		}
+	}
+	s := MobileI5()
+	if s.Int8GEMMTime(0, 10, 10) != 0 || s.Int8GEMMTime(10, -1, 10) != 0 {
+		t.Fatal("degenerate int8 GEMM dims should be free")
+	}
+	t1 := s.Int8GEMMTime(32, 600, 10000) - s.DispatchOverhead
+	t2 := s.Int8GEMMTime(64, 600, 10000) - s.DispatchOverhead
+	if ratio := float64(t2) / float64(t1); ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("doubling m scaled int8 GEMM by %v, want ~2", ratio)
+	}
+}
+
+func TestLUTTimeMatchesBandwidth(t *testing.T) {
+	s := MobileI5()
+	elems := 1 << 20
+	got := s.LUTTime(elems) - s.DispatchOverhead
+	want := time.Duration(float64(2*elems) / s.StreamBytesPerSec * float64(time.Second))
+	if got != want {
+		t.Fatalf("LUT pass %v, want %v", got, want)
+	}
+	if s.LUTTime(0) != 0 || s.LUTTime(-5) != 0 {
+		t.Fatal("empty LUT pass should be free")
+	}
+	// A LUT pass moves 2 bytes/element vs tanh's 8: it must be cheaper.
+	if s.LUTTime(elems) >= s.TanhTime(elems) {
+		t.Fatalf("LUT %v not cheaper than float tanh %v", s.LUTTime(elems), s.TanhTime(elems))
+	}
+}

@@ -47,6 +47,11 @@ type Device struct {
 	interp   *tflite.Interpreter
 	array    Array
 	profiler *Profiler
+	faults   *faultState
+
+	// poisoned marks the interpreter state as half-executed after a
+	// mid-operator error; Invoke refuses to run until LoadModel resets it.
+	poisoned bool
 
 	// SetupTime is the one-time cost paid by LoadModel (model transfer
 	// and, for resident models, the parameter upload).
@@ -63,6 +68,9 @@ func (d *Device) Config() Config { return d.cfg }
 
 // LoadModel uploads a compiled model. For resident models the parameters
 // cross the link once here; streaming models pay per invocation instead.
+// Loading also clears a poisoned or reset device: the fresh interpreter
+// state (including pristine parameter copies) replaces whatever a previous
+// fault corrupted.
 func (d *Device) LoadModel(cm *CompiledModel) (time.Duration, error) {
 	if cm == nil {
 		return 0, fmt.Errorf("edgetpu: nil compiled model")
@@ -80,6 +88,7 @@ func (d *Device) LoadModel(cm *CompiledModel) (time.Duration, error) {
 	}
 	d.loaded = cm
 	d.interp = it
+	d.poisoned = false
 	d.SetupTime = setup
 	return setup, nil
 }
@@ -99,96 +108,156 @@ func (d *Device) Output(i int) *tensor.Tensor {
 // host cost model; TPU-placed FULLY_CONNECTED ops run on the systolic
 // array (bit-exact with the reference); other delegated ops run on the
 // activation pipeline.
+//
+// With a fault plan armed (InjectFaults), Invoke may return a typed
+// transient error — *LinkError, *ResetError, ErrNoModel, ErrPoisoned —
+// classified by IsRetryable/NeedsReload. On such errors the returned Timing
+// carries the time the failed attempt wasted.
 func (d *Device) Invoke() (Timing, error) {
-	if d.loaded == nil {
-		return Timing{}, fmt.Errorf("edgetpu: no model loaded")
-	}
-	cm := d.loaded
-	var t Timing
-	t.Host = d.cfg.InvokeOverhead
-	if cm.DelegatedOps() > 0 {
-		t.TransferIn = d.cfg.transferTime(cm.TransferInBytes)
-		t.TransferOut = d.cfg.transferTime(cm.TransferOutBytes)
-		if !cm.Resident {
-			t.WeightStream = d.cfg.transferTime(cm.ParamBytes)
-		}
-	}
-
-	var cycles uint64
-	for oi, op := range cm.Model.Operators {
-		if cm.Placements[oi] == PlaceCPU {
-			if err := d.interp.InvokeOp(oi); err != nil {
-				return t, err
-			}
-			t.HostFallback += d.hostOpCost(op)
-			continue
-		}
-		switch op.Op {
-		case tflite.OpFullyConnected:
-			in := d.interp.Tensor(op.Inputs[0])
-			w := d.interp.Tensor(op.Inputs[1])
-			bias := d.interp.Tensor(op.Inputs[2])
-			out := d.interp.Tensor(op.Outputs[0])
-			stats, err := d.array.RunFullyConnected(in, w, bias, out)
-			if err != nil {
-				return t, fmt.Errorf("edgetpu: op %d: %w", oi, err)
-			}
-			cycles += stats.Cycles
-			t.MACs += stats.MACs
-		case tflite.OpTanh, tflite.OpLogistic, tflite.OpConcat, tflite.OpReshape:
-			if err := d.interp.InvokeOp(oi); err != nil {
-				return t, err
-			}
-			cycles += d.array.lutCycles(d.interp.Tensor(op.Outputs[0]).Elems())
-		default:
-			return t, fmt.Errorf("edgetpu: op %d (%v) delegated but not executable", oi, op.Op)
-		}
-	}
-	t.Cycles = cycles
-	t.Compute = d.cfg.cyclesToTime(cycles)
-	return t, nil
+	t, _, err := d.run(true, false)
+	return t, err
 }
 
 // EstimateInvoke returns the timing one Invoke would take without
 // executing any kernels. It uses the same cycle and transfer models as
 // Invoke, so runtime experiments can be evaluated at the paper's full
-// dataset scale where functional execution would be wasteful.
+// dataset scale where functional execution would be wasteful. Estimation
+// never injects faults and never poisons the device.
 func (d *Device) EstimateInvoke() (Timing, error) {
+	t, _, err := d.run(false, false)
+	return t, err
+}
+
+// run is the single op-walk behind Invoke, InvokeProfiled and
+// EstimateInvoke. execute selects functional execution (kernels run, faults
+// inject) versus pure estimation; trace additionally collects per-op
+// traces.
+func (d *Device) run(execute, trace bool) (Timing, []OpTrace, error) {
 	if d.loaded == nil {
-		return Timing{}, fmt.Errorf("edgetpu: no model loaded")
+		return Timing{}, nil, ErrNoModel
+	}
+	if execute && d.poisoned {
+		return Timing{}, nil, ErrPoisoned
 	}
 	cm := d.loaded
 	var t Timing
 	t.Host = d.cfg.InvokeOverhead
+
+	inject := execute && d.faults != nil
+	if inject && d.faults.reset() {
+		// The device dropped its program before dispatch reached it; the
+		// host paid the invoke overhead to find out.
+		d.loaded = nil
+		d.interp = nil
+		d.poisoned = false
+		return t, nil, &ResetError{}
+	}
+
 	if cm.DelegatedOps() > 0 {
+		if inject {
+			if le, penalty := d.faults.linkFault(PhaseTransferIn, cm.TransferInBytes); le != nil {
+				t.TransferIn = penalty
+				return t, nil, le
+			}
+		}
 		t.TransferIn = d.cfg.transferTime(cm.TransferInBytes)
-		t.TransferOut = d.cfg.transferTime(cm.TransferOutBytes)
 		if !cm.Resident {
+			if inject {
+				if le, penalty := d.faults.linkFault(PhaseWeightStream, cm.ParamBytes); le != nil {
+					t.WeightStream = penalty
+					return t, nil, le
+				}
+			}
 			t.WeightStream = d.cfg.transferTime(cm.ParamBytes)
 		}
 	}
+
+	if inject {
+		d.faults.injectSEUs(d)
+	}
+
+	var traces []OpTrace
+	if trace {
+		traces = make([]OpTrace, 0, len(cm.Model.Operators))
+	}
 	var cycles uint64
 	for oi, op := range cm.Model.Operators {
+		tr := OpTrace{Op: oi, Code: op.Op, Placement: cm.Placements[oi]}
 		if cm.Placements[oi] == PlaceCPU {
-			t.HostFallback += d.hostOpCost(op)
+			if execute {
+				if err := d.interp.InvokeOp(oi); err != nil {
+					d.poisoned = true
+					return t, traces, err
+				}
+			}
+			tr.HostTime = d.hostOpCost(op)
+			t.HostFallback += tr.HostTime
+			if trace {
+				traces = append(traces, tr)
+			}
 			continue
 		}
 		switch op.Op {
 		case tflite.OpFullyConnected:
-			in := cm.Model.Tensors[op.Inputs[0]]
-			w := cm.Model.Tensors[op.Inputs[1]]
-			stats := d.array.fcCycles(in.Shape[0], in.Shape[1], w.Shape[0])
+			var stats FCStats
+			if execute {
+				in := d.interp.Tensor(op.Inputs[0])
+				w := d.interp.Tensor(op.Inputs[1])
+				bias := d.interp.Tensor(op.Inputs[2])
+				out := d.interp.Tensor(op.Outputs[0])
+				var err error
+				stats, err = d.array.RunFullyConnected(in, w, bias, out)
+				if err != nil {
+					d.poisoned = true
+					return t, traces, fmt.Errorf("edgetpu: op %d: %w", oi, err)
+				}
+			} else {
+				in := cm.Model.Tensors[op.Inputs[0]]
+				w := cm.Model.Tensors[op.Inputs[1]]
+				stats = d.array.fcCycles(in.Shape[0], in.Shape[1], w.Shape[0])
+			}
+			tr.Cycles = stats.Cycles
+			tr.MACs = stats.MACs
 			cycles += stats.Cycles
 			t.MACs += stats.MACs
 		case tflite.OpTanh, tflite.OpLogistic, tflite.OpConcat, tflite.OpReshape:
-			cycles += d.array.lutCycles(cm.Model.Tensors[op.Outputs[0]].Shape.Elems())
+			var elems int
+			if execute {
+				if err := d.interp.InvokeOp(oi); err != nil {
+					d.poisoned = true
+					return t, traces, err
+				}
+				elems = d.interp.Tensor(op.Outputs[0]).Elems()
+			} else {
+				elems = cm.Model.Tensors[op.Outputs[0]].Shape.Elems()
+			}
+			tr.Cycles = d.array.lutCycles(elems)
+			cycles += tr.Cycles
 		default:
-			return t, fmt.Errorf("edgetpu: op %d (%v) delegated but not executable", oi, op.Op)
+			if execute {
+				d.poisoned = true
+			}
+			return t, traces, fmt.Errorf("edgetpu: op %d (%v) delegated but not executable", oi, op.Op)
+		}
+		if trace {
+			traces = append(traces, tr)
 		}
 	}
 	t.Cycles = cycles
 	t.Compute = d.cfg.cyclesToTime(cycles)
-	return t, nil
+
+	if inject && cm.DelegatedOps() > 0 {
+		if le, penalty := d.faults.linkFault(PhaseTransferOut, cm.TransferOutBytes); le != nil {
+			// Compute completed, but the results never made it back: the
+			// attempt pays everything up to here plus the timeout.
+			t.TransferOut = penalty
+			return t, traces, le
+		}
+	}
+	if cm.DelegatedOps() > 0 {
+		t.TransferOut = d.cfg.transferTime(cm.TransferOutBytes)
+	}
+	return t, traces, nil
 }
 
 // hostOpCost prices a CPU-fallback operator by its produced elements.

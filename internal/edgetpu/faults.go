@@ -1,0 +1,357 @@
+package edgetpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tflite"
+)
+
+// This file is the simulator's fault model. Real USB-attached Edge TPU
+// deployments are not always healthy: bulk transfers time out, the device
+// resets and drops its loaded program, and parameter SRAM takes single-event
+// upsets. All three are modeled here as deterministic, seeded injections so
+// that a run with a given FaultPlan is exactly reproducible — the property
+// the resilient runtime's tests and the fault-rate sweeps depend on.
+
+// Sentinel errors for the device's unproductive states. Both are transient
+// from the caller's perspective: a LoadModel brings the device back.
+var (
+	// ErrNoModel is returned by Invoke when no model is loaded — either
+	// none ever was, or a device reset dropped it.
+	ErrNoModel = errors.New("edgetpu: no model loaded")
+
+	// ErrPoisoned is returned by Invoke after a previous invocation aborted
+	// mid-operator, leaving the interpreter state half-executed. The device
+	// refuses further work until LoadModel reinitializes it.
+	ErrPoisoned = errors.New("edgetpu: device poisoned by a mid-invoke error; reload the model")
+)
+
+// Link transfer phases where a transient fault can strike.
+const (
+	PhaseTransferIn   = "transfer-in"
+	PhaseWeightStream = "weight-stream"
+	PhaseTransferOut  = "transfer-out"
+)
+
+// LinkError is a transient host-link failure: one bulk transfer timed out.
+// The invocation that hit it already paid the configured timeout penalty;
+// retrying the whole Invoke is safe (no device state was corrupted).
+type LinkError struct {
+	Phase   string
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("edgetpu: transient link fault during %s (timed out after %v)", e.Phase, e.Timeout)
+}
+
+// ResetError reports that the device spontaneously reset: the loaded model
+// is gone and every Invoke returns ErrNoModel until LoadModel is re-paid.
+type ResetError struct{}
+
+// Error implements error.
+func (e *ResetError) Error() string {
+	return "edgetpu: device reset; loaded model dropped"
+}
+
+// IsRetryable reports whether err is a transient device condition a caller
+// can recover from by retrying (possibly after reloading the model, see
+// NeedsReload). Anything else — graph bugs, dtype mismatches — is permanent.
+func IsRetryable(err error) bool {
+	var le *LinkError
+	var re *ResetError
+	return errors.As(err, &le) || errors.As(err, &re) ||
+		errors.Is(err, ErrNoModel) || errors.Is(err, ErrPoisoned)
+}
+
+// NeedsReload reports whether recovering from err requires re-paying
+// LoadModel before the next Invoke can succeed.
+func NeedsReload(err error) bool {
+	var re *ResetError
+	return errors.As(err, &re) || errors.Is(err, ErrNoModel) || errors.Is(err, ErrPoisoned)
+}
+
+// DefaultLinkTimeout is the penalty a failed bulk transfer pays when
+// FaultPlan.LinkTimeout is zero: the host runtime's transfer deadline.
+const DefaultLinkTimeout = 2 * time.Millisecond
+
+// FaultPlan configures seeded fault injection on one device. The zero value
+// injects nothing. Every random choice derives from Seed, so two devices
+// running the same plan against the same invoke sequence misbehave
+// identically.
+type FaultPlan struct {
+	// Seed drives the injection stream.
+	Seed uint64
+
+	// LinkErrorRate is the probability that one bulk-transfer phase
+	// (transfer-in, weight-stream, transfer-out) of an Invoke fails with a
+	// LinkError. Phases that move zero bytes issue no transfer and cannot
+	// fault.
+	LinkErrorRate float64
+
+	// ResetRate is the per-Invoke probability that the device resets
+	// before dispatch, dropping the loaded model.
+	ResetRate float64
+
+	// BitFlipRate is the per-bit, per-Invoke probability of a single-event
+	// upset in resident parameter SRAM. Flips persist across invocations
+	// until the model is reloaded. Streaming (non-resident) models refresh
+	// their parameters over the link every invoke and are immune.
+	BitFlipRate float64
+
+	// LinkTimeout is the time a failed transfer wastes before the error
+	// surfaces (DefaultLinkTimeout when zero).
+	LinkTimeout time.Duration
+}
+
+// Validate checks the plan's rates and penalty for sanity.
+func (p FaultPlan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"LinkErrorRate", p.LinkErrorRate},
+		{"ResetRate", p.ResetRate},
+		{"BitFlipRate", p.BitFlipRate},
+	} {
+		if math.IsNaN(r.v) || r.v < 0 || r.v > 1 {
+			return fmt.Errorf("edgetpu: %s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if p.LinkTimeout < 0 {
+		return fmt.Errorf("edgetpu: negative LinkTimeout %v", p.LinkTimeout)
+	}
+	return nil
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p FaultPlan) Enabled() bool {
+	return p.LinkErrorRate > 0 || p.ResetRate > 0 || p.BitFlipRate > 0
+}
+
+// linkTimeout returns the effective failed-transfer penalty.
+func (p FaultPlan) linkTimeout() time.Duration {
+	if p.LinkTimeout > 0 {
+		return p.LinkTimeout
+	}
+	return DefaultLinkTimeout
+}
+
+// ParseFaultPlan builds a plan from a comma-separated spec such as
+// "link=0.01,reset=0.001,seu=1e-7,timeout=5ms". A bare number sets both
+// link and reset rates. The empty string yields a disabled plan.
+func ParseFaultPlan(spec string, seed uint64) (FaultPlan, error) {
+	p := FaultPlan{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			// Bare rate: transient faults on both the link and reset paths.
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return p, fmt.Errorf("edgetpu: bad fault spec %q: %v", field, err)
+			}
+			p.LinkErrorRate = v
+			p.ResetRate = v / 10
+			continue
+		}
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "link":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return p, fmt.Errorf("edgetpu: bad link rate %q: %v", val, err)
+			}
+			p.LinkErrorRate = v
+		case "reset":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return p, fmt.Errorf("edgetpu: bad reset rate %q: %v", val, err)
+			}
+			p.ResetRate = v
+		case "seu", "bitflip":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return p, fmt.Errorf("edgetpu: bad SEU rate %q: %v", val, err)
+			}
+			p.BitFlipRate = v
+		case "timeout":
+			d, err := time.ParseDuration(strings.TrimSpace(val))
+			if err != nil {
+				return p, fmt.Errorf("edgetpu: bad timeout %q: %v", val, err)
+			}
+			p.LinkTimeout = d
+		default:
+			return p, fmt.Errorf("edgetpu: unknown fault knob %q (have link, reset, seu, timeout)", key)
+		}
+	}
+	return p, p.Validate()
+}
+
+// FaultStats counts what the injector actually did to one device.
+type FaultStats struct {
+	LinkFaults int           // transient transfer failures injected
+	Resets     int           // spontaneous device resets injected
+	BitFlips   int           // parameter-SRAM bits flipped
+	WastedTime time.Duration // timeout penalties paid by failed transfers
+}
+
+// faultState is the per-device injector: the plan plus its private rng
+// stream and counters.
+type faultState struct {
+	plan  FaultPlan
+	r     *rng.RNG
+	stats FaultStats
+}
+
+func newFaultState(plan FaultPlan) *faultState {
+	return &faultState{plan: plan, r: rng.New(plan.Seed)}
+}
+
+// fires draws one Bernoulli decision at rate p. Rates of zero draw nothing,
+// which keeps disabled fault classes out of the stream entirely (adding a
+// reset rate does not change where link faults land).
+func (f *faultState) fires(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return f.r.Float64() < p
+}
+
+// reset decides whether this Invoke hits a spontaneous device reset.
+func (f *faultState) reset() bool {
+	if !f.fires(f.plan.ResetRate) {
+		return false
+	}
+	f.stats.Resets++
+	return true
+}
+
+// linkFault decides whether the transfer phase moving n bytes fails. On
+// failure it returns the typed error and the timeout penalty the caller
+// must account.
+func (f *faultState) linkFault(phase string, n int) (*LinkError, time.Duration) {
+	if n <= 0 || !f.fires(f.plan.LinkErrorRate) {
+		return nil, 0
+	}
+	timeout := f.plan.linkTimeout()
+	f.stats.LinkFaults++
+	f.stats.WastedTime += timeout
+	return &LinkError{Phase: phase, Timeout: timeout}, timeout
+}
+
+// flipCount samples how many of the given bits upset this invoke:
+// Binomial(bits, rate), approximated by Poisson (Knuth's product method for
+// small means, a clamped normal for large ones). Both paths draw from the
+// seeded stream only, keeping the fault sequence reproducible.
+func (f *faultState) flipCount(bits int) int {
+	lambda := f.plan.BitFlipRate * float64(bits)
+	if lambda <= 0 || bits <= 0 {
+		return 0
+	}
+	var k int
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		p := 1.0
+		for p > l {
+			p *= f.r.Float64()
+			k++
+		}
+		k--
+	} else {
+		k = int(math.Round(lambda + math.Sqrt(lambda)*f.r.NormFloat64()))
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > bits {
+		k = bits
+	}
+	return k
+}
+
+// injectSEUs flips seeded random bits in the device's resident int8
+// parameter tensors. The flips land in the interpreter's own copies of the
+// constant buffers, so the compiled model stays pristine and a LoadModel
+// restores clean weights — exactly like re-uploading parameters to SRAM.
+func (f *faultState) injectSEUs(d *Device) {
+	if f.plan.BitFlipRate <= 0 {
+		return
+	}
+	cm := d.loaded
+	if cm == nil || !cm.Resident {
+		return
+	}
+	// Collect the delegated constant int8 tensors (the resident weights).
+	var resident [][]int8
+	total := 0
+	seen := map[int]bool{}
+	for oi, op := range cm.Model.Operators {
+		if cm.Placements[oi] != PlaceTPU {
+			continue
+		}
+		for _, ti := range op.Inputs {
+			info := cm.Model.Tensors[ti]
+			if info.Buffer == tflite.NoBuffer || seen[ti] {
+				continue
+			}
+			seen[ti] = true
+			t := d.interp.Tensor(ti)
+			if len(t.I8) == 0 {
+				continue // int32 bias and friends: not in the int8 weight SRAM model
+			}
+			resident = append(resident, t.I8)
+			total += len(t.I8)
+		}
+	}
+	bits := total * 8
+	flips := f.flipCount(bits)
+	for i := 0; i < flips; i++ {
+		pos := f.r.Intn(bits)
+		byteIdx, bit := pos/8, uint(pos%8)
+		for _, w := range resident {
+			if byteIdx < len(w) {
+				w[byteIdx] ^= int8(1) << bit
+				break
+			}
+			byteIdx -= len(w)
+		}
+	}
+	f.stats.BitFlips += flips
+}
+
+// InjectFaults arms the device with a seeded fault plan. Passing a disabled
+// plan (or the zero FaultPlan) removes injection entirely; the device then
+// behaves — and times — exactly as an un-faulted device.
+func (d *Device) InjectFaults(plan FaultPlan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	if !plan.Enabled() {
+		d.faults = nil
+		return nil
+	}
+	d.faults = newFaultState(plan)
+	return nil
+}
+
+// FaultStats returns what the injector has done so far (zero value when no
+// plan is armed).
+func (d *Device) FaultStats() FaultStats {
+	if d.faults == nil {
+		return FaultStats{}
+	}
+	return d.faults.stats
+}

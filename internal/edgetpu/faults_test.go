@@ -1,0 +1,417 @@
+package edgetpu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tflite"
+)
+
+func fillInput(d *Device, seed uint64) {
+	r := rng.New(seed)
+	r.FillNormal(d.Input(0).F32)
+}
+
+// invokeSequence drives n invokes against a fresh device under plan,
+// reloading on every retryable failure, and returns the event log plus the
+// final outputs and stats.
+func invokeSequence(t *testing.T, plan FaultPlan, n int) ([]string, []int32, FaultStats) {
+	t.Helper()
+	dev, cm, _ := loadedDevice(t, 3, 20, 96, 5)
+	if err := dev.InjectFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	var lastPreds []int32
+	for i := 0; i < n; i++ {
+		fillInput(dev, uint64(i))
+		_, err := dev.Invoke()
+		switch {
+		case err == nil:
+			events = append(events, "ok")
+			lastPreds = append([]int32(nil), dev.Output(0).I32...)
+		case IsRetryable(err):
+			events = append(events, err.Error())
+			if NeedsReload(err) {
+				if _, err := dev.LoadModel(cm); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default:
+			t.Fatalf("invoke %d: permanent error %v", i, err)
+		}
+	}
+	return events, lastPreds, dev.FaultStats()
+}
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 11, LinkErrorRate: 0.2, ResetRate: 0.1, BitFlipRate: 1e-5}
+	e1, p1, s1 := invokeSequence(t, plan, 40)
+	e2, p2, s2 := invokeSequence(t, plan, 40)
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs: %q vs %q", i, e1[i], e2[i])
+		}
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("output %d differs: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+	if s1.LinkFaults == 0 || s1.Resets == 0 {
+		t.Fatalf("rates this high should have injected something: %+v", s1)
+	}
+
+	// A different seed must shuffle the fault sequence.
+	other := plan
+	other.Seed = 12
+	e3, _, _ := invokeSequence(t, other, 40)
+	same := len(e3) == len(e1)
+	if same {
+		for i := range e1 {
+			if e1[i] != e3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical fault sequence")
+	}
+}
+
+func TestZeroRatePlanIsInert(t *testing.T) {
+	// With all rates zero the device must behave bit-identically to an
+	// un-faulted one: same timing, same outputs, no rng draws.
+	devA, _, _ := loadedDevice(t, 2, 16, 64, 4)
+	devB, _, _ := loadedDevice(t, 2, 16, 64, 4)
+	if err := devB.InjectFaults(FaultPlan{Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if devB.faults != nil {
+		t.Fatal("disabled plan left an injector armed")
+	}
+	fillInput(devA, 9)
+	fillInput(devB, 9)
+	ta, err := devA.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := devB.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta != tb {
+		t.Fatalf("timing diverged: %+v vs %+v", ta, tb)
+	}
+	for i := range devA.Output(0).I32 {
+		if devA.Output(0).I32[i] != devB.Output(0).I32[i] {
+			t.Fatal("outputs diverged under a disabled plan")
+		}
+	}
+}
+
+func TestResetDropsModelUntilReload(t *testing.T) {
+	dev, cm, _ := loadedDevice(t, 2, 16, 64, 4)
+	if err := dev.InjectFaults(FaultPlan{Seed: 3, ResetRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fillInput(dev, 1)
+	timing, err := dev.Invoke()
+	var re *ResetError
+	if !errors.As(err, &re) {
+		t.Fatalf("want ResetError, got %v", err)
+	}
+	if timing.Host != dev.Config().InvokeOverhead {
+		t.Fatalf("reset attempt should pay dispatch overhead, got %+v", timing)
+	}
+	// The model is gone: ErrNoModel until LoadModel is re-paid.
+	if _, err := dev.Invoke(); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("want ErrNoModel after reset, got %v", err)
+	}
+	if !NeedsReload(err) || !IsRetryable(err) {
+		t.Fatal("reset must classify as retryable-with-reload")
+	}
+	// Disarm faults so the reload sticks.
+	if err := dev.InjectFaults(FaultPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	setup, err := dev.LoadModel(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup != dev.SetupTime || setup <= 0 {
+		t.Fatalf("reload must re-pay setup, got %v", setup)
+	}
+	fillInput(dev, 1)
+	if _, err := dev.Invoke(); err != nil {
+		t.Fatalf("invoke after reload: %v", err)
+	}
+}
+
+func TestLinkFaultPaysTimeoutAndRetries(t *testing.T) {
+	dev, _, _ := loadedDevice(t, 2, 16, 64, 4)
+	timeout := 700 * time.Microsecond
+	if err := dev.InjectFaults(FaultPlan{Seed: 8, LinkErrorRate: 1, LinkTimeout: timeout}); err != nil {
+		t.Fatal(err)
+	}
+	fillInput(dev, 2)
+	timing, err := dev.Invoke()
+	var le *LinkError
+	if !errors.As(err, &le) {
+		t.Fatalf("want LinkError, got %v", err)
+	}
+	if le.Phase != PhaseTransferIn {
+		t.Fatalf("first fault should hit transfer-in, got %s", le.Phase)
+	}
+	if timing.TransferIn != timeout {
+		t.Fatalf("failed transfer should pay the timeout, got %v", timing.TransferIn)
+	}
+	if IsRetryable(err) == false || NeedsReload(err) == true {
+		t.Fatal("link fault must be retryable without reload")
+	}
+	// The device is not poisoned by a transfer failure: disarm and retry.
+	if err := dev.InjectFaults(FaultPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Invoke(); err != nil {
+		t.Fatalf("retry after link fault: %v", err)
+	}
+	stats := FaultStats{}
+	if dev.FaultStats() != stats {
+		t.Fatal("disarming should clear the stats view")
+	}
+}
+
+func TestSEUCorruptsResidentWeights(t *testing.T) {
+	// A massive per-bit upset rate must change the functional outputs of a
+	// resident model, and a reload must restore the clean results.
+	dev, cm, _ := loadedDevice(t, 3, 20, 96, 5)
+	fillInput(dev, 4)
+	if _, err := dev.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	clean := append([]float32(nil), dev.Output(1).F32...)
+
+	if err := dev.InjectFaults(FaultPlan{Seed: 6, BitFlipRate: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	fillInput(dev, 4)
+	if _, err := dev.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.FaultStats().BitFlips == 0 {
+		t.Fatal("no bits flipped at rate 0.02")
+	}
+	diff := false
+	for i := range clean {
+		if dev.Output(1).F32[i] != clean[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("heavy SEU injection left outputs bit-identical")
+	}
+
+	// Reload restores pristine parameters.
+	if err := dev.InjectFaults(FaultPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.LoadModel(cm); err != nil {
+		t.Fatal(err)
+	}
+	fillInput(dev, 4)
+	if _, err := dev.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if dev.Output(1).F32[i] != clean[i] {
+			t.Fatal("reload did not restore clean weights")
+		}
+	}
+}
+
+func TestSEUSkipsStreamingModels(t *testing.T) {
+	cfg := DefaultUSB()
+	cfg.ParamMemBytes = 1 << 10 // force parameter streaming
+	m := buildFloatNet(2, 16, 256, 4, 3)
+	qm := quantizeNet(t, m, 2, 16, 4)
+	cm, err := Compile(qm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Resident {
+		t.Fatal("test setup: model unexpectedly resident")
+	}
+	dev := NewDevice(cfg)
+	if _, err := dev.LoadModel(cm); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.InjectFaults(FaultPlan{Seed: 1, BitFlipRate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	fillInput(dev, 7)
+	if _, err := dev.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.FaultStats().BitFlips; got != 0 {
+		t.Fatalf("streaming model took %d SEUs; its parameters re-stream every invoke", got)
+	}
+}
+
+// Regression test for the poisoned-device fix: a mid-op error must not
+// leave the device silently reusable with half-executed interpreter state.
+func TestMidInvokeErrorPoisonsDevice(t *testing.T) {
+	dev, cm, qm := loadedDevice(t, 2, 16, 64, 4)
+	// Sabotage the placement plan: delegate an operator the accelerator
+	// cannot execute, so the op-walk aborts mid-invoke.
+	var sabotaged int = -1
+	for oi, op := range qm.Operators {
+		if cm.Placements[oi] == PlaceCPU && op.Op == tflite.OpArgMax {
+			cm.Placements[oi] = PlaceTPU
+			sabotaged = oi
+			break
+		}
+	}
+	if sabotaged < 0 {
+		t.Fatal("test setup: no CPU-placed ARG_MAX to sabotage")
+	}
+	fillInput(dev, 3)
+	if _, err := dev.Invoke(); err == nil {
+		t.Fatal("sabotaged model executed cleanly")
+	}
+	// Subsequent invokes refuse with the typed poison error.
+	if _, err := dev.Invoke(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("want ErrPoisoned, got %v", err)
+	}
+	// EstimateInvoke does not execute kernels and stays usable... but on a
+	// poisoned device it shares the walk; it must still estimate (the cost
+	// model has no state). Repair the plan and reload to recover.
+	cm.Placements[sabotaged] = PlaceCPU
+	if _, err := dev.LoadModel(cm); err != nil {
+		t.Fatal(err)
+	}
+	fillInput(dev, 3)
+	if _, err := dev.Invoke(); err != nil {
+		t.Fatalf("reload did not clear poisoning: %v", err)
+	}
+}
+
+func TestEstimateInvokeNeverInjects(t *testing.T) {
+	dev, _, _ := loadedDevice(t, 2, 16, 64, 4)
+	want, err := dev.EstimateInvoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.InjectFaults(FaultPlan{Seed: 2, LinkErrorRate: 1, ResetRate: 1, BitFlipRate: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := dev.EstimateInvoke()
+		if err != nil {
+			t.Fatalf("estimate %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("estimate %d drifted under faults: %+v vs %+v", i, got, want)
+		}
+	}
+	if s := dev.FaultStats(); s != (FaultStats{}) {
+		t.Fatalf("estimation injected faults: %+v", s)
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("link=0.02,reset=0.005,seu=1e-7,timeout=5ms", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.LinkErrorRate != 0.02 || p.ResetRate != 0.005 ||
+		p.BitFlipRate != 1e-7 || p.LinkTimeout != 5*time.Millisecond {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p, err = ParseFaultPlan("0.05", 1); err != nil {
+		t.Fatal(err)
+	} else if p.LinkErrorRate != 0.05 || p.ResetRate != 0.005 {
+		t.Fatalf("bare rate parsed as %+v", p)
+	}
+	if p, err = ParseFaultPlan("", 9); err != nil || p.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", p, err)
+	}
+	for _, bad := range []string{"link=2", "bogus=1", "link=x", "timeout=-3ms", "reset=-0.1"} {
+		if _, err := ParseFaultPlan(bad, 0); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	good := FaultPlan{Seed: 1, LinkErrorRate: 0.5, ResetRate: 1, BitFlipRate: 0}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []FaultPlan{
+		{LinkErrorRate: -0.1},
+		{ResetRate: 1.5},
+		{BitFlipRate: 2},
+		{LinkTimeout: -time.Second},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad plan %d accepted: %+v", i, p)
+		}
+	}
+	dev := NewDevice(DefaultUSB())
+	if err := dev.InjectFaults(FaultPlan{LinkErrorRate: 7}); err == nil {
+		t.Fatal("InjectFaults accepted an invalid plan")
+	}
+}
+
+// FuzzFaultPlan exercises plan validation and the injector's samplers for
+// arbitrary seed/rate combinations: any plan that validates must produce a
+// reproducible decision stream with in-range flip counts.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(uint64(1), 0.1, 0.01, 1e-6, int64(0))
+	f.Add(uint64(99), 1.0, 1.0, 1.0, int64(time.Second))
+	f.Add(uint64(0), 0.0, 0.0, 0.0, int64(-1))
+	f.Add(uint64(7), 0.5, 2.0, -0.5, int64(time.Millisecond))
+	f.Fuzz(func(t *testing.T, seed uint64, link, reset, bitflip float64, timeout int64) {
+		plan := FaultPlan{
+			Seed: seed, LinkErrorRate: link, ResetRate: reset,
+			BitFlipRate: bitflip, LinkTimeout: time.Duration(timeout),
+		}
+		if plan.Validate() != nil {
+			return
+		}
+		run := func() (int, int, time.Duration) {
+			fs := newFaultState(plan)
+			flips := 0
+			for i := 0; i < 50; i++ {
+				fs.reset()
+				fs.linkFault(PhaseTransferIn, 128)
+				n := fs.flipCount(4096)
+				if n < 0 || n > 4096 {
+					t.Fatalf("flip count %d out of range", n)
+				}
+				flips += n
+			}
+			if fs.stats.WastedTime < 0 {
+				t.Fatalf("negative wasted time %v", fs.stats.WastedTime)
+			}
+			return fs.stats.LinkFaults, fs.stats.Resets, fs.stats.WastedTime
+		}
+		l1, r1, w1 := run()
+		l2, r2, w2 := run()
+		if l1 != l2 || r1 != r2 || w1 != w2 {
+			t.Fatalf("same plan diverged: (%d,%d,%v) vs (%d,%d,%v)", l1, r1, w1, l2, r2, w2)
+		}
+	})
+}

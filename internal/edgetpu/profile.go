@@ -80,59 +80,10 @@ func (p *Profiler) Report(cfg Config) string {
 // returns the per-op trace of this invocation; when the device has an
 // attached profiler the trace is folded in.
 func (d *Device) InvokeProfiled() (Timing, []OpTrace, error) {
-	if d.loaded == nil {
-		return Timing{}, nil, fmt.Errorf("edgetpu: no model loaded")
+	t, traces, err := d.run(true, true)
+	if err != nil {
+		return t, nil, err
 	}
-	cm := d.loaded
-	var t Timing
-	t.Host = d.cfg.InvokeOverhead
-	if cm.DelegatedOps() > 0 {
-		t.TransferIn = d.cfg.transferTime(cm.TransferInBytes)
-		t.TransferOut = d.cfg.transferTime(cm.TransferOutBytes)
-		if !cm.Resident {
-			t.WeightStream = d.cfg.transferTime(cm.ParamBytes)
-		}
-	}
-	traces := make([]OpTrace, 0, len(cm.Model.Operators))
-	var cycles uint64
-	for oi, op := range cm.Model.Operators {
-		tr := OpTrace{Op: oi, Code: op.Op, Placement: cm.Placements[oi]}
-		if cm.Placements[oi] == PlaceCPU {
-			if err := d.interp.InvokeOp(oi); err != nil {
-				return t, nil, err
-			}
-			tr.HostTime = d.hostOpCost(op)
-			t.HostFallback += tr.HostTime
-			traces = append(traces, tr)
-			continue
-		}
-		switch op.Op {
-		case tflite.OpFullyConnected:
-			in := d.interp.Tensor(op.Inputs[0])
-			w := d.interp.Tensor(op.Inputs[1])
-			bias := d.interp.Tensor(op.Inputs[2])
-			out := d.interp.Tensor(op.Outputs[0])
-			stats, err := d.array.RunFullyConnected(in, w, bias, out)
-			if err != nil {
-				return t, nil, fmt.Errorf("edgetpu: op %d: %w", oi, err)
-			}
-			tr.Cycles = stats.Cycles
-			tr.MACs = stats.MACs
-			cycles += stats.Cycles
-			t.MACs += stats.MACs
-		case tflite.OpTanh, tflite.OpLogistic, tflite.OpConcat, tflite.OpReshape:
-			if err := d.interp.InvokeOp(oi); err != nil {
-				return t, nil, err
-			}
-			tr.Cycles = d.array.lutCycles(d.interp.Tensor(op.Outputs[0]).Elems())
-			cycles += tr.Cycles
-		default:
-			return t, nil, fmt.Errorf("edgetpu: op %d (%v) delegated but not executable", oi, op.Op)
-		}
-		traces = append(traces, tr)
-	}
-	t.Cycles = cycles
-	t.Compute = d.cfg.cyclesToTime(cycles)
 	if d.profiler != nil {
 		d.profiler.record(traces)
 	}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestAblationEncodingNonlinearWins(t *testing.T) {
+	skipLongUnderRace(t)
 	rows, err := AblationEncoding(fastCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +54,7 @@ func TestAblationFusedBeatsSerial(t *testing.T) {
 }
 
 func TestAblationSubWidthTradeoff(t *testing.T) {
+	skipLongUnderRace(t)
 	rows, err := AblationSubWidth(fastCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -97,6 +99,7 @@ func TestAblationBatchAmortizes(t *testing.T) {
 }
 
 func TestAblationDimTradeoff(t *testing.T) {
+	skipLongUnderRace(t)
 	points, err := AblationDim(fastCfg())
 	if err != nil {
 		t.Fatal(err)

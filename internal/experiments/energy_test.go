@@ -42,6 +42,7 @@ func TestTableEnergyShapes(t *testing.T) {
 }
 
 func TestAblationRobustnessShapes(t *testing.T) {
+	skipLongUnderRace(t)
 	res, err := AblationRobustness(fastCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +85,7 @@ func TestAblationRobustnessShapes(t *testing.T) {
 }
 
 func TestTableVarianceStable(t *testing.T) {
+	skipLongUnderRace(t)
 	rows, err := TableVariance(fastCfg())
 	if err != nil {
 		t.Fatal(err)

@@ -12,6 +12,18 @@ func fastCfg() Config {
 	return Config{FunctionalSamples: 900, FunctionalDim: 768, Epochs: 8, Seed: 7}
 }
 
+// skipLongUnderRace exempts the multi-second functional sweeps from
+// race-detector runs: they are single-goroutine arithmetic that the
+// detector slows by an order of magnitude without gaining coverage (the
+// concurrent code they drive is race-tested in its own packages), and
+// together they would blow the per-package test timeout on small machines.
+func skipLongUnderRace(t *testing.T) {
+	t.Helper()
+	if raceDetectorEnabled {
+		t.Skip("long functional sweep; skipped under the race detector")
+	}
+}
+
 func TestTableIMatchesPaper(t *testing.T) {
 	rows, err := TableI()
 	if err != nil {
@@ -34,6 +46,7 @@ func TestTableIMatchesPaper(t *testing.T) {
 }
 
 func TestFig4CurvesImprove(t *testing.T) {
+	skipLongUnderRace(t)
 	series, err := Fig4(fastCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +146,7 @@ func TestFig6Shapes(t *testing.T) {
 }
 
 func TestFig7AccuracyPreserved(t *testing.T) {
+	skipLongUnderRace(t)
 	rows, err := Fig7(fastCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +194,7 @@ func TestTableIIOrderOfMagnitude(t *testing.T) {
 }
 
 func TestFig8RatioSearch(t *testing.T) {
+	skipLongUnderRace(t)
 	points, err := Fig8(fastCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -224,6 +239,7 @@ func TestFig8RatioSearch(t *testing.T) {
 }
 
 func TestFig9IterationSweep(t *testing.T) {
+	skipLongUnderRace(t)
 	points, err := Fig9(fastCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -302,6 +318,7 @@ func TestRunOneRendersAllRuntimeExperiments(t *testing.T) {
 }
 
 func TestRunAllTinyScale(t *testing.T) {
+	skipLongUnderRace(t)
 	// Full runner coverage, including the Fig4→Fig5 measured-fraction
 	// wiring; tiny scale keeps it tractable.
 	if testing.Short() {

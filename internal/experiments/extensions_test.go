@@ -8,6 +8,7 @@ import (
 )
 
 func TestAblationOnlineCompetitive(t *testing.T) {
+	skipLongUnderRace(t)
 	rows, err := AblationOnline(fastCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -32,6 +33,7 @@ func TestAblationOnlineCompetitive(t *testing.T) {
 }
 
 func TestAblationBinaryShrinks(t *testing.T) {
+	skipLongUnderRace(t)
 	rows, err := AblationBinary(fastCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +67,7 @@ func TestRunnerKnowsExtensions(t *testing.T) {
 }
 
 func TestAblationEncoderCompareProjectionWins(t *testing.T) {
+	skipLongUnderRace(t)
 	rows, err := AblationEncoderCompare(fastCfg())
 	if err != nil {
 		t.Fatal(err)

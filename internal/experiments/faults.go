@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// The fault-rate × recovery-policy sweep: how much reliability costs on the
+// co-design pipeline. Transient faults (link timeouts, device resets) are
+// absorbed exactly by the resilient runtime — same trained model, same
+// predictions — so the transient sweep reports pure time overhead. Parameter
+// SEUs corrupt resident inference weights between reloads, so that sweep
+// reports the accuracy degradation band instead.
+
+// TransientFaultRates is the link-error sweep grid; each point also injects
+// resets at a tenth of the link rate.
+var TransientFaultRates = []float64{0.02, 0.05, 0.10, 0.20}
+
+// SEURates is the per-bit upset sweep grid for resident inference weights.
+var SEURates = []float64{1e-6, 1e-5, 1e-4}
+
+// FaultRow is one sweep point.
+type FaultRow struct {
+	LinkRate  float64
+	ResetRate float64
+	SEURate   float64
+
+	Accuracy   float64
+	DeviceTime time.Duration
+	Report     pipeline.ReliabilityReport
+}
+
+// OverheadFrac is the reliability overhead relative to useful device time.
+func (r FaultRow) OverheadFrac(baseline time.Duration) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return float64(r.Report.Overhead()+r.Report.FallbackTime) / float64(baseline)
+}
+
+// FaultsResult is the full study.
+type FaultsResult struct {
+	Dataset          string
+	BaselineAccuracy float64
+	BaselineTime     time.Duration
+	InferBaselineAcc float64
+	Transient        []FaultRow // training under link faults + resets
+	SEU              []FaultRow // inference under parameter upsets
+}
+
+// AblationFaults runs both sweeps on ISOLET with the default recovery policy.
+func AblationFaults(cfg Config) (*FaultsResult, error) {
+	train, test, err := loadSplit("ISOLET", cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := pipeline.EdgeTPU()
+	tc := hdc.TrainConfig{
+		Dim: cfg.FunctionalDim, Epochs: cfg.Epochs, LearningRate: 1,
+		Nonlinear: true, Seed: cfg.Seed,
+	}
+	policy := pipeline.DefaultRecoveryPolicy()
+	policy.Seed = cfg.Seed + 1
+
+	// Healthy baseline: what training costs with no faults injected.
+	base, err := pipeline.TrainOnDevice(p, train, tc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: faults baseline: %w", err)
+	}
+	res := &FaultsResult{
+		Dataset:          "ISOLET",
+		BaselineAccuracy: base.Model.Accuracy(test),
+		BaselineTime:     base.DeviceTime.Total(),
+	}
+
+	// Transient sweep: train under link faults and resets. The resilient
+	// runtime replays every failed batch, so accuracy must hold at the
+	// baseline; the interesting number is the time overhead.
+	for _, rate := range TransientFaultRates {
+		plan := edgetpu.FaultPlan{
+			Seed:          cfg.Seed + uint64(1e6*rate),
+			LinkErrorRate: rate,
+			ResetRate:     rate / 10,
+		}
+		fr, report, err := pipeline.TrainOnDeviceResilient(p, train, tc, plan, policy)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: faults transient %.2f: %w", rate, err)
+		}
+		res.Transient = append(res.Transient, FaultRow{
+			LinkRate:   rate,
+			ResetRate:  rate / 10,
+			Accuracy:   fr.Model.Accuracy(test),
+			DeviceTime: fr.DeviceTime.Total(),
+			Report:     *report,
+		})
+	}
+
+	// SEU sweep: infer with the healthy model while resident weights take
+	// seeded bit upsets. Accuracy degrades gracefully with the rate.
+	healthyPreds, _, err := pipeline.InferOnDevice(p, base.Model, test, train, pipeline.DefaultInferBatch)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: faults infer baseline: %w", err)
+	}
+	res.InferBaselineAcc = metrics.Accuracy(healthyPreds, test.Y)
+	for _, rate := range SEURates {
+		plan := edgetpu.FaultPlan{Seed: cfg.Seed + 31, BitFlipRate: rate}
+		preds, timing, report, err := pipeline.InferOnDeviceResilient(
+			p, base.Model, test, train, pipeline.DefaultInferBatch, plan, policy)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: faults SEU %g: %w", rate, err)
+		}
+		res.SEU = append(res.SEU, FaultRow{
+			SEURate:    rate,
+			Accuracy:   metrics.Accuracy(preds, test.Y),
+			DeviceTime: timing.Total(),
+			Report:     *report,
+		})
+	}
+	return res, nil
+}
+
+// RenderAblationFaults prints both sweeps.
+func RenderAblationFaults(w io.Writer, res *FaultsResult) {
+	t1 := &metrics.Table{
+		Title: fmt.Sprintf("Fault tolerance: training under transient faults (%s, baseline %s in %v)",
+			res.Dataset, metrics.FmtPct(res.BaselineAccuracy), res.BaselineTime.Round(time.Millisecond)),
+		Headers: []string{"Link rate", "Reset rate", "Accuracy", "Device time", "Overhead", "Retries", "Reloads", "Fallbacks"},
+	}
+	for _, r := range res.Transient {
+		t1.AddRow(
+			fmt.Sprintf("%.2f", r.LinkRate),
+			fmt.Sprintf("%.3f", r.ResetRate),
+			metrics.FmtPct(r.Accuracy),
+			r.DeviceTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f%%", 100*r.OverheadFrac(res.BaselineTime)),
+			fmt.Sprintf("%d", r.Report.Retries),
+			fmt.Sprintf("%d", r.Report.Reloads),
+			fmt.Sprintf("%d", r.Report.FallbackInvokes),
+		)
+	}
+	fprintf(w, "%s\n", t1)
+
+	t2 := &metrics.Table{
+		Title: fmt.Sprintf("Fault tolerance: inference under parameter SEUs (%s, healthy %s)",
+			res.Dataset, metrics.FmtPct(res.InferBaselineAcc)),
+		Headers: []string{"Bit-flip rate", "Accuracy", "Device time"},
+	}
+	for _, r := range res.SEU {
+		t2.AddRow(
+			fmt.Sprintf("%.0e", r.SEURate),
+			metrics.FmtPct(r.Accuracy),
+			r.DeviceTime.Round(time.Millisecond).String(),
+		)
+	}
+	fprintf(w, "%s\n", t2)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hdcedge/internal/pipeline"
+)
+
+func TestAblationFaultsSweep(t *testing.T) {
+	skipLongUnderRace(t)
+	cfg := fastCfg()
+	res, err := AblationFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transient) != len(TransientFaultRates) || len(res.SEU) != len(SEURates) {
+		t.Fatalf("sweep sizes: %d transient, %d SEU", len(res.Transient), len(res.SEU))
+	}
+	if res.BaselineAccuracy < 0.7 {
+		t.Fatalf("baseline accuracy %.3f below sanity floor", res.BaselineAccuracy)
+	}
+	for i, r := range res.Transient {
+		// Transient faults are absorbed exactly: the resilient run replays
+		// each failed batch bit-exactly, so the trained model is identical.
+		if r.Accuracy != res.BaselineAccuracy {
+			t.Fatalf("transient point %d: accuracy %.4f diverged from baseline %.4f",
+				i, r.Accuracy, res.BaselineAccuracy)
+		}
+		if r.Report.Retries == 0 {
+			t.Fatalf("transient point %d (link %.2f) injected nothing: %+v", i, r.LinkRate, r.Report)
+		}
+		if r.DeviceTime <= res.BaselineTime {
+			t.Fatalf("transient point %d: faulty time %v not above baseline %v",
+				i, r.DeviceTime, res.BaselineTime)
+		}
+	}
+	// Higher fault rates must cost strictly more recovery overhead.
+	for i := 1; i < len(res.Transient); i++ {
+		if res.Transient[i].Report.Overhead() <= res.Transient[i-1].Report.Overhead() {
+			t.Fatalf("overhead not increasing with fault rate: %v then %v",
+				res.Transient[i-1].Report.Overhead(), res.Transient[i].Report.Overhead())
+		}
+	}
+	// SEUs degrade gracefully: every point completes, stays above chance
+	// (ISOLET has 26 classes), and the lightest rate stays near healthy.
+	for i, r := range res.SEU {
+		if r.Accuracy < 0.2 {
+			t.Fatalf("SEU point %d (rate %g): accuracy %.3f collapsed", i, r.SEURate, r.Accuracy)
+		}
+	}
+	if res.SEU[0].Accuracy < res.InferBaselineAcc-0.05 {
+		t.Fatalf("lightest SEU rate %g lost too much: %.3f vs healthy %.3f",
+			res.SEU[0].SEURate, res.SEU[0].Accuracy, res.InferBaselineAcc)
+	}
+}
+
+func TestAblationFaultsRenders(t *testing.T) {
+	// Rendering is shape-only; a hand-built result avoids re-running the
+	// full sweep.
+	res := &FaultsResult{
+		Dataset:          "ISOLET",
+		BaselineAccuracy: 0.9,
+		BaselineTime:     40 * time.Millisecond,
+		InferBaselineAcc: 0.88,
+		Transient: []FaultRow{{
+			LinkRate: 0.05, ResetRate: 0.005, Accuracy: 0.9,
+			DeviceTime: 46 * time.Millisecond,
+			Report:     pipeline.ReliabilityReport{Retries: 7, Reloads: 1, BackoffTime: time.Millisecond},
+		}},
+		SEU: []FaultRow{{SEURate: 1e-5, Accuracy: 0.83, DeviceTime: 12 * time.Millisecond}},
+	}
+	var sb strings.Builder
+	RenderAblationFaults(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"transient faults", "parameter SEUs", "Retries", "Bit-flip rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}

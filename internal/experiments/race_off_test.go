@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled is set by the race-tagged twin of this file.
+const raceDetectorEnabled = false

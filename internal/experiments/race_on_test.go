@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether this test binary was built with the
+// race detector. The long functional sweeps skip themselves under race —
+// they multiply a ~minute of single-core arithmetic by the detector's
+// order-of-magnitude slowdown without exercising any concurrency; the
+// concurrent machinery they sit on (bagging workers, the resilient runner)
+// is race-tested in its own packages.
+const raceDetectorEnabled = true

@@ -12,7 +12,7 @@ var AllExperiments = []string{
 	"ablation-encoding", "ablation-fused", "ablation-subwidth", "ablation-batch",
 	"ablation-robustness", "ablation-online", "ablation-binary",
 	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
-	"ablation-scaleout", "table-variance",
+	"ablation-scaleout", "ablation-faults", "table-variance",
 }
 
 // RunOne executes the named experiment and renders it to w.
@@ -144,6 +144,12 @@ func RunOne(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		RenderAblationLink(w, rows)
+	case "ablation-faults":
+		res, err := AblationFaults(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationFaults(w, res)
 	case "ablation-online":
 		rows, err := AblationOnline(cfg)
 		if err != nil {

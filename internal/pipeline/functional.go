@@ -6,7 +6,6 @@ import (
 	"hdcedge/internal/dataset"
 	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/hdc"
-	"hdcedge/internal/nnmap"
 	"hdcedge/internal/rng"
 	"hdcedge/internal/tensor"
 )
@@ -63,20 +62,9 @@ func TrainOnDevice(p Platform, train *dataset.Dataset, cfg hdc.TrainConfig) (*Fu
 // (quantization-faithful) hypervectors plus accumulated device timing.
 func EncodeOnDevice(p Platform, enc *hdc.Encoder, ds *dataset.Dataset, batch int) (*tensor.Tensor, edgetpu.Timing, error) {
 	var zero edgetpu.Timing
-	em, err := nnmap.BuildEncoderModel(enc, batch)
+	cm, err := CompileEncoder(p, enc, ds, batch)
 	if err != nil {
 		return nil, zero, err
-	}
-	qm, err := nnmap.QuantizeForTPU(em, ds, batch, calibBatches)
-	if err != nil {
-		return nil, zero, err
-	}
-	cm, err := edgetpu.Compile(qm, *p.Accel)
-	if err != nil {
-		return nil, zero, err
-	}
-	if cm.DelegatedOps() == 0 {
-		return nil, zero, fmt.Errorf("pipeline: encoder model did not delegate: %v", cm.Warnings)
 	}
 	dev := edgetpu.NewDevice(*p.Accel)
 	if _, err := dev.LoadModel(cm); err != nil {
@@ -134,20 +122,9 @@ func inferOnDevice(p Platform, model *hdc.Model, test, calib *dataset.Dataset, b
 	if !p.HasAccel() {
 		return nil, zero, nil, fmt.Errorf("pipeline: platform %s has no accelerator", p.Name)
 	}
-	im, err := nnmap.BuildInferenceModel(model, batch)
+	cm, err := CompileInference(p, model, calib, batch)
 	if err != nil {
 		return nil, zero, nil, err
-	}
-	qm, err := nnmap.QuantizeForTPU(im, calib, batch, calibBatches)
-	if err != nil {
-		return nil, zero, nil, err
-	}
-	cm, err := edgetpu.Compile(qm, *p.Accel)
-	if err != nil {
-		return nil, zero, nil, err
-	}
-	if cm.DelegatedOps() == 0 {
-		return nil, zero, nil, fmt.Errorf("pipeline: inference model did not delegate: %v", cm.Warnings)
 	}
 	dev := edgetpu.NewDevice(*p.Accel)
 	if _, err := dev.LoadModel(cm); err != nil {

@@ -1,0 +1,356 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"hdcedge/internal/cpuarch"
+	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/rng"
+	"hdcedge/internal/tensor"
+	"hdcedge/internal/tflite"
+)
+
+// This file is the resilient runtime on top of the simulator's fault model:
+// typed-error classification, bounded retry with seeded exponential backoff,
+// automatic model reload after device resets, a consecutive-failure circuit
+// breaker, and graceful degradation to the host CPU. The design goal is that
+// a training or inference run never hard-fails on transient accelerator
+// faults — it completes with degraded throughput instead.
+
+// RecoveryPolicy controls how a ResilientRunner reacts to transient device
+// faults.
+type RecoveryPolicy struct {
+	// MaxRetries bounds the device re-attempts after the first failed try
+	// of one invoke. When they are exhausted the invoke completes on the
+	// host CPU instead.
+	MaxRetries int
+
+	// BaseBackoff is the wait before the first retry; each further retry
+	// doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// JitterFrac spreads each backoff uniformly over ±JitterFrac of its
+	// nominal value, drawn from the runner's seeded stream. Must lie in
+	// [0, 1].
+	JitterFrac float64
+
+	// BreakerThreshold is how many consecutive invokes must exhaust their
+	// retries before the circuit breaker declares the accelerator unhealthy
+	// and routes every further invoke to the host CPU permanently.
+	BreakerThreshold int
+
+	// Seed drives the backoff jitter stream.
+	Seed uint64
+}
+
+// DefaultRecoveryPolicy returns the policy used by the fault-rate sweeps:
+// three retries with 200µs..10ms backoff and a breaker after four
+// consecutive failed invokes.
+func DefaultRecoveryPolicy() RecoveryPolicy {
+	return RecoveryPolicy{
+		MaxRetries:       3,
+		BaseBackoff:      200 * time.Microsecond,
+		MaxBackoff:       10 * time.Millisecond,
+		JitterFrac:       0.2,
+		BreakerThreshold: 4,
+		Seed:             1,
+	}
+}
+
+// Validate checks the policy for sanity.
+func (p RecoveryPolicy) Validate() error {
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("pipeline: negative MaxRetries %d", p.MaxRetries)
+	}
+	if p.BaseBackoff <= 0 {
+		return fmt.Errorf("pipeline: BaseBackoff %v must be positive", p.BaseBackoff)
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		return fmt.Errorf("pipeline: MaxBackoff %v below BaseBackoff %v", p.MaxBackoff, p.BaseBackoff)
+	}
+	if math.IsNaN(p.JitterFrac) || p.JitterFrac < 0 || p.JitterFrac > 1 {
+		return fmt.Errorf("pipeline: JitterFrac %v outside [0, 1]", p.JitterFrac)
+	}
+	if p.BreakerThreshold < 1 {
+		return fmt.Errorf("pipeline: BreakerThreshold %d must be at least 1", p.BreakerThreshold)
+	}
+	return nil
+}
+
+// backoff returns the wait before retry `attempt` (1-based): exponential
+// growth from BaseBackoff capped at MaxBackoff, with seeded jitter. The
+// result is never negative and never exceeds MaxBackoff·(1+JitterFrac),
+// for any seed, attempt, or duration combination (fuzz-checked).
+func (p RecoveryPolicy) backoff(attempt int, r *rng.RNG) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseBackoff) * math.Pow(2, float64(attempt-1))
+	if max := float64(p.MaxBackoff); d > max || math.IsInf(d, 1) {
+		d = max
+	}
+	if p.JitterFrac > 0 && r != nil {
+		d *= 1 + p.JitterFrac*(2*r.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	// float64(MaxInt64) rounds up to 2^63, which overflows the conversion;
+	// anything at or above it must saturate explicitly.
+	if d >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(d)
+}
+
+// ReliabilityReport records what a ResilientRunner did to keep a run alive.
+type ReliabilityReport struct {
+	Invokes         int // invokes requested by the caller
+	DeviceInvokes   int // device attempts, including failed ones
+	Retries         int // device re-attempts after transient errors
+	LinkFaults      int // transient transfer failures observed
+	Resets          int // reset-class failures observed (model dropped)
+	Reloads         int // LoadModel repayments performed
+	FallbackInvokes int // invokes completed on the host CPU
+	BreakerTripped  bool
+
+	BackoffTime  time.Duration // simulated time spent waiting between retries
+	ReloadTime   time.Duration // simulated time re-paying model setup
+	WastedTime   time.Duration // simulated device time consumed by failed attempts
+	FallbackTime time.Duration // simulated host time spent in degraded mode
+}
+
+// Overhead sums the simulated time reliability cost on top of the useful
+// device work: everything the run would not have paid had the accelerator
+// stayed healthy.
+func (r ReliabilityReport) Overhead() time.Duration {
+	return r.BackoffTime + r.ReloadTime + r.WastedTime
+}
+
+// String renders a one-paragraph summary for CLI consumption.
+func (r ReliabilityReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "reliability: %d invokes (%d on device, %d on host fallback)",
+		r.Invokes, r.Invokes-r.FallbackInvokes, r.FallbackInvokes)
+	fmt.Fprintf(&sb, ", %d retries, %d link faults, %d resets, %d reloads",
+		r.Retries, r.LinkFaults, r.Resets, r.Reloads)
+	if r.BreakerTripped {
+		sb.WriteString(", circuit breaker TRIPPED")
+	}
+	fmt.Fprintf(&sb, "; overhead %v (backoff %v, reload %v, wasted %v), fallback compute %v",
+		r.Overhead().Round(time.Microsecond), r.BackoffTime.Round(time.Microsecond),
+		r.ReloadTime.Round(time.Microsecond), r.WastedTime.Round(time.Microsecond),
+		r.FallbackTime.Round(time.Microsecond))
+	return sb.String()
+}
+
+// ResilientRunner wraps one simulated device with retry, reload, circuit
+// breaking and host-CPU graceful degradation. It is not safe for concurrent
+// use; drive it from one goroutine like the device it wraps.
+type ResilientRunner struct {
+	dev    *edgetpu.Device
+	cm     *edgetpu.CompiledModel
+	host   cpuarch.Spec
+	policy RecoveryPolicy
+	jitter *rng.RNG
+
+	report          ReliabilityReport
+	consecutive     int
+	degraded        bool
+	lastWasFallback bool
+
+	hostInterp *tflite.Interpreter
+	hostTime   time.Duration
+
+	// SetupTime is the initial LoadModel cost (not counted as overhead).
+	SetupTime time.Duration
+}
+
+// NewResilientRunner creates a device for the platform's accelerator, loads
+// cm, arms the fault plan, and wraps it with the recovery policy. A disabled
+// plan plus a healthy device makes the runner a zero-overhead pass-through:
+// its Invoke timing is bit-identical to driving the device directly.
+func NewResilientRunner(p Platform, cm *edgetpu.CompiledModel, plan edgetpu.FaultPlan, policy RecoveryPolicy) (*ResilientRunner, error) {
+	if !p.HasAccel() {
+		return nil, fmt.Errorf("pipeline: platform %s has no accelerator", p.Name)
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	dev := edgetpu.NewDevice(*p.Accel)
+	setup, err := dev.LoadModel(cm)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.InjectFaults(plan); err != nil {
+		return nil, err
+	}
+	return &ResilientRunner{
+		dev:       dev,
+		cm:        cm,
+		host:      p.Host,
+		policy:    policy,
+		jitter:    rng.New(policy.Seed),
+		SetupTime: setup,
+	}, nil
+}
+
+// Device exposes the wrapped device (for tests and fault-stat readers).
+func (r *ResilientRunner) Device() *edgetpu.Device { return r.dev }
+
+// Degraded reports whether the circuit breaker has routed the run to the
+// host CPU.
+func (r *ResilientRunner) Degraded() bool { return r.degraded }
+
+// Report returns a copy of the reliability accounting so far.
+func (r *ResilientRunner) Report() ReliabilityReport { return r.report }
+
+// Output returns the i-th model output tensor of whichever engine ran the
+// last successful invoke (device, or host interpreter in degraded mode).
+func (r *ResilientRunner) Output(i int) *tensor.Tensor {
+	if r.hostInterp != nil && (r.degraded || r.lastWasFallback) {
+		return r.hostInterp.Output(i)
+	}
+	return r.dev.Output(i)
+}
+
+// Invoke runs the model once. fill is called with the current input tensor
+// to populate; it may be called more than once when recovery reloads the
+// model or falls back to the host, so it must be idempotent. The returned
+// timing covers the whole invoke including recovery overhead; on the
+// healthy path it is exactly the device's own timing.
+func (r *ResilientRunner) Invoke(fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
+	r.report.Invokes++
+	if r.degraded {
+		return r.invokeHost(fill, edgetpu.Timing{})
+	}
+	var waste edgetpu.Timing
+	attempts := 0
+	for {
+		if fill != nil {
+			fill(r.dev.Input(0))
+		}
+		attempts++
+		r.report.DeviceInvokes++
+		t, err := r.dev.Invoke()
+		if err == nil {
+			r.consecutive = 0
+			r.lastWasFallback = false
+			t.Add(waste)
+			return t, nil
+		}
+		waste.Add(t)
+		r.report.WastedTime += t.Total()
+		if !edgetpu.IsRetryable(err) {
+			return waste, fmt.Errorf("pipeline: resilient invoke failed permanently: %w", err)
+		}
+		if edgetpu.NeedsReload(err) {
+			r.report.Resets++
+		} else {
+			r.report.LinkFaults++
+		}
+		if attempts > r.policy.MaxRetries {
+			// This invoke is out of device attempts: complete it on the
+			// host so the run survives, and let the breaker decide whether
+			// the device is worth trying again.
+			r.consecutive++
+			if r.consecutive >= r.policy.BreakerThreshold {
+				r.degraded = true
+				r.report.BreakerTripped = true
+			}
+			return r.invokeHost(fill, waste)
+		}
+		r.report.Retries++
+		wait := r.policy.backoff(attempts, r.jitter)
+		waste.Host += wait
+		r.report.BackoffTime += wait
+		if edgetpu.NeedsReload(err) {
+			setup, lerr := r.dev.LoadModel(r.cm)
+			if lerr != nil {
+				return waste, fmt.Errorf("pipeline: model reload failed: %w", lerr)
+			}
+			r.report.Reloads++
+			waste.Host += setup
+			r.report.ReloadTime += setup
+		}
+	}
+}
+
+// invokeHost completes one invoke on the host CPU with the reference
+// interpreter, priced by the cpuarch fallback model. The quantized graph is
+// bit-exact with the healthy device, so degradation costs throughput, not
+// accuracy.
+func (r *ResilientRunner) invokeHost(fill func(in *tensor.Tensor), waste edgetpu.Timing) (edgetpu.Timing, error) {
+	if r.hostInterp == nil {
+		it, err := tflite.NewInterpreter(r.cm.Model)
+		if err != nil {
+			return waste, fmt.Errorf("pipeline: host fallback unavailable: %w", err)
+		}
+		r.hostInterp = it
+		r.hostTime = HostModelTime(r.host, r.cm.Model)
+	}
+	if fill != nil {
+		fill(r.hostInterp.Input(0))
+	}
+	if err := r.hostInterp.Invoke(); err != nil {
+		return waste, fmt.Errorf("pipeline: host fallback invoke: %w", err)
+	}
+	r.lastWasFallback = true
+	r.report.FallbackInvokes++
+	r.report.FallbackTime += r.hostTime
+	t := waste
+	t.HostFallback += r.hostTime
+	return t, nil
+}
+
+// HostModelTime prices one full invocation of a (typically quantized) model
+// on the host CPU using the cpuarch primitives — the cost the resilient
+// runtime pays per invoke once it has degraded off the accelerator.
+func HostModelTime(host cpuarch.Spec, m *tflite.Model) time.Duration {
+	var total time.Duration
+	for _, op := range m.Operators {
+		outElems := 0
+		for _, ti := range op.Outputs {
+			outElems += m.Tensors[ti].Shape.Elems()
+		}
+		switch op.Op {
+		case tflite.OpFullyConnected:
+			in := m.Tensors[op.Inputs[0]]
+			w := m.Tensors[op.Inputs[1]]
+			batch, depth, units := in.Shape[0], in.Shape[1], w.Shape[0]
+			if in.DType == tensor.Int8 {
+				total += host.Int8GEMMTime(batch, depth, units)
+			} else {
+				total += host.GEMMTime(batch, depth, units)
+			}
+		case tflite.OpTanh, tflite.OpLogistic:
+			if m.Tensors[op.Inputs[0]].DType == tensor.Int8 {
+				total += host.LUTTime(outElems)
+			} else {
+				total += host.TanhTime(outElems)
+			}
+		case tflite.OpQuantize, tflite.OpDequantize:
+			total += host.QuantizeTime(outElems)
+		case tflite.OpArgMax:
+			in := m.Tensors[op.Inputs[0]]
+			total += host.ArgMaxTime(in.Shape.Elems())
+		case tflite.OpSoftmax:
+			total += host.TanhTime(outElems)
+		default: // CONCAT, RESHAPE and other data movement
+			bytes := 0
+			for _, ti := range op.Outputs {
+				info := m.Tensors[ti]
+				bytes += info.Shape.Elems() * info.DType.Size()
+			}
+			total += host.StreamTime(2 * bytes)
+		}
+	}
+	return total
+}

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"testing"
+	"time"
 
 	"hdcedge/internal/bagging"
 	"hdcedge/internal/dataset"
@@ -340,6 +341,91 @@ func TestPipelinedSeriesEdgeCases(t *testing.T) {
 
 func edgetpuTimingForTest() edgetpu.Timing {
 	return edgetpu.Timing{Host: 10, TransferIn: 20, Compute: 50, TransferOut: 5}
+}
+
+func TestPipelinedSeriesRegimes(t *testing.T) {
+	// Compute-bound: the steady state runs at the compute rate and the fill
+	// term is the link side.
+	cb := edgetpu.Timing{Host: 5, TransferIn: 10, Compute: 100, TransferOut: 5}
+	link := cb.Host + cb.TransferIn + cb.TransferOut
+	if got, want := PipelinedSeries(cb, 10), 10*cb.Compute+link; got != want {
+		t.Fatalf("compute-bound series %v, want %v", got, want)
+	}
+	// Link-bound: steady state runs at the link rate, fill is the compute.
+	lb := edgetpu.Timing{Host: 40, TransferIn: 60, Compute: 20, TransferOut: 30}
+	linkLB := lb.Host + lb.TransferIn + lb.TransferOut
+	if got, want := PipelinedSeries(lb, 10), 10*linkLB+lb.Compute; got != want {
+		t.Fatalf("link-bound series %v, want %v", got, want)
+	}
+	// Pipelining never beats the bottleneck bound and never loses to the
+	// sequential series.
+	for _, per := range []edgetpu.Timing{cb, lb} {
+		for _, n := range []int{1, 2, 7, 100} {
+			got := PipelinedSeries(per, n)
+			seq := time.Duration(n) * per.Total()
+			if got > seq {
+				t.Fatalf("pipelined %v slower than sequential %v (n=%d)", got, seq, n)
+			}
+			if got < 0 {
+				t.Fatalf("negative series %v", got)
+			}
+		}
+	}
+}
+
+func TestMultiDeviceSeriesClampsDevices(t *testing.T) {
+	per := edgetpu.Timing{Host: 10, TransferIn: 30, Compute: 200, TransferOut: 10}
+	one := MultiDeviceSeries(per, 50, 1)
+	for _, devices := range []int{0, -3} {
+		if got := MultiDeviceSeries(per, 50, devices); got != one {
+			t.Fatalf("devices=%d not clamped to 1: %v vs %v", devices, got, one)
+		}
+	}
+	// One device must agree with the single-device pipelined model.
+	if got, want := one, PipelinedSeries(per, 50); got != want {
+		t.Fatalf("1-device multi %v != pipelined %v", got, want)
+	}
+}
+
+func TestMultiDeviceSeriesCrossover(t *testing.T) {
+	// Compute 200 vs link 50: devices help until compute/devices dips under
+	// the link side at 4 devices, then the curve flattens.
+	per := edgetpu.Timing{Host: 10, TransferIn: 30, Compute: 200, TransferOut: 10}
+	prev := MultiDeviceSeries(per, 100, 1)
+	for _, devices := range []int{2, 4} {
+		cur := MultiDeviceSeries(per, 100, devices)
+		if cur >= prev {
+			t.Fatalf("%d devices did not help below crossover: %v vs %v", devices, cur, prev)
+		}
+		prev = cur
+	}
+	if MultiDeviceSeries(per, 100, 8) != MultiDeviceSeries(per, 100, 4) {
+		t.Fatal("past the crossover, extra devices must not change the series")
+	}
+}
+
+func TestMultiDeviceSeriesFillNonNegative(t *testing.T) {
+	// With many devices the fill term (Total - bottleneck) would go negative
+	// without clamping; the series must stay monotone in invokes and
+	// non-negative everywhere.
+	per := edgetpu.Timing{Host: 1, TransferIn: 1, Compute: 1000, TransferOut: 1}
+	for _, devices := range []int{1, 10, 1000, 100000} {
+		prev := time.Duration(0)
+		for _, n := range []int{1, 2, 10} {
+			got := MultiDeviceSeries(per, n, devices)
+			if got <= 0 {
+				t.Fatalf("series %v not positive (n=%d, devices=%d)", got, n, devices)
+			}
+			if got <= prev {
+				t.Fatalf("series not increasing in invokes: %v after %v (devices=%d)", got, prev, devices)
+			}
+			prev = got
+		}
+		// A single invoke can never complete faster than one full pass.
+		if one := MultiDeviceSeries(per, 1, devices); one < per.Total()/time.Duration(devices) {
+			t.Fatalf("single invoke %v implausibly fast (devices=%d)", one, devices)
+		}
+	}
 }
 
 func TestMultiDeviceSeriesSaturates(t *testing.T) {
