@@ -1,8 +1,9 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test vet race bench experiments examples clean
+.PHONY: all build test vet race fuzz-smoke bench experiments examples clean
 
 all: vet test
 
@@ -12,13 +13,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The serving runtime is concurrency-heavy, so its package always runs
+# under the race detector even when the full -race pass is trimmed.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/serve/...
 	$(GO) test -race ./...
+	@$(MAKE) fuzz-smoke
 
 race:
 	$(GO) test -race ./...
+
+# A short fuzzing pass over every Fuzz target in the tree (FUZZTIME each),
+# as a smoke test; saved counterexamples under testdata/fuzz run in `test`.
+fuzz-smoke:
+	@for pkg in $$($(GO) list ./...); do \
+		for t in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "=== fuzz $$pkg $$t"; \
+			$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+		done; \
+	done
 
 # One pass over every paper artifact via the benchmark harness.
 bench:

@@ -128,6 +128,9 @@ func LoadBinary(path string) (*Dataset, error) {
 		}
 		ds.Y[i] = int(y)
 	}
+	if err := ds.Validate(path); err != nil {
+		return nil, err
+	}
 	return ds, nil
 }
 
@@ -175,16 +178,17 @@ func LoadCSV(path string, classes int) (*Dataset, error) {
 		}
 		parts := strings.Split(line, ",")
 		if len(parts) < 2 {
-			return nil, fmt.Errorf("dataset: %s line %d: need label and features", path, lineNo)
+			return nil, &FormatError{Path: path, Line: lineNo, Msg: "need label and features"}
 		}
 		y, err := strconv.Atoi(strings.TrimSpace(parts[0]))
 		if err != nil {
-			return nil, fmt.Errorf("dataset: %s line %d: bad label: %w", path, lineNo, err)
+			return nil, &FormatError{Path: path, Line: lineNo, Msg: fmt.Sprintf("bad label: %v", err)}
 		}
 		if features == -1 {
 			features = len(parts) - 1
 		} else if len(parts)-1 != features {
-			return nil, fmt.Errorf("dataset: %s line %d: %d features, want %d", path, lineNo, len(parts)-1, features)
+			return nil, &FormatError{Path: path, Line: lineNo,
+				Msg: fmt.Sprintf("%d features, want %d", len(parts)-1, features)}
 		}
 		row := make([]float32, features)
 		for j, p := range parts[1:] {
@@ -218,6 +222,9 @@ func LoadCSV(path string, classes int) (*Dataset, error) {
 	}
 	for i, row := range rows {
 		copy(ds.X.Row(i), row)
+	}
+	if err := ds.Validate(path); err != nil {
+		return nil, err
 	}
 	return ds, nil
 }

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// ValueError reports a corrupt value discovered while loading or validating
+// a dataset: a non-finite feature, or a label outside [0, Classes).
+type ValueError struct {
+	Path   string
+	Row    int
+	Col    int // feature column; -1 when the label is at fault
+	Value  float64
+	Reason string
+}
+
+func (e *ValueError) Error() string {
+	if e.Col < 0 {
+		return fmt.Sprintf("dataset: %s row %d: label %v: %s", e.Path, e.Row, e.Value, e.Reason)
+	}
+	return fmt.Sprintf("dataset: %s row %d col %d: value %v: %s", e.Path, e.Row, e.Col, e.Value, e.Reason)
+}
+
+// FormatError reports a structural problem in a dataset file, such as a row
+// whose length disagrees with the rest of the file.
+type FormatError struct {
+	Path string
+	Line int // 1-based line (CSV) or 0 when not line-addressable
+	Msg  string
+}
+
+func (e *FormatError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("dataset: %s line %d: %s", e.Path, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("dataset: %s: %s", e.Path, e.Msg)
+}
+
+// Validate scans every feature and label: features must be finite, labels
+// must lie in [0, Classes) (when Classes is known). path labels the error.
+// Both loaders call this, so corrupt files fail at load, not mid-training.
+func (d *Dataset) Validate(path string) error {
+	for i := 0; i < d.Samples(); i++ {
+		for j, v := range d.X.Row(i) {
+			f := float64(v)
+			if math.IsNaN(f) {
+				return &ValueError{Path: path, Row: i, Col: j, Value: f, Reason: "NaN feature"}
+			}
+			if math.IsInf(f, 0) {
+				return &ValueError{Path: path, Row: i, Col: j, Value: f, Reason: "non-finite feature"}
+			}
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || (d.Classes > 0 && y >= d.Classes) {
+			return &ValueError{Path: path, Row: i, Col: -1, Value: float64(y),
+				Reason: fmt.Sprintf("label outside [0, %d)", d.Classes)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(SyntheticSpec(4, 6, 3, 11), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLoadCSVRejectsCorruptValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		wantRow int
+		wantCol int // -1 = label at fault, -2 = expect FormatError instead
+	}{
+		{name: "nan feature", content: "0,1.0,2.0\n1,NaN,2.0\n", wantRow: 1, wantCol: 0},
+		{name: "plus inf", content: "0,1.0,+Inf\n", wantRow: 0, wantCol: 1},
+		{name: "minus inf", content: "0,-Inf,2.0\n1,1.0,2.0\n", wantRow: 0, wantCol: 0},
+		{name: "negative label", content: "-3,1.0,2.0\n", wantRow: 0, wantCol: -1},
+		{name: "short row", content: "0,1.0,2.0\n1,1.0\n", wantCol: -2},
+		{name: "long row", content: "0,1.0,2.0\n1,1.0,2.0,3.0\n", wantCol: -2},
+		{name: "label only", content: "0\n", wantCol: -2},
+		{name: "unparsable label", content: "x,1.0,2.0\n", wantCol: -2},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, "bad.csv")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadCSV(path, 0)
+			if err == nil {
+				t.Fatal("corrupt CSV accepted")
+			}
+			if tc.wantCol == -2 {
+				var fe *FormatError
+				if !errors.As(err, &fe) {
+					t.Fatalf("got %v, want FormatError", err)
+				}
+				return
+			}
+			var ve *ValueError
+			if !errors.As(err, &ve) {
+				t.Fatalf("got %v, want ValueError", err)
+			}
+			if ve.Row != tc.wantRow || ve.Col != tc.wantCol {
+				t.Fatalf("error at row %d col %d, want row %d col %d: %v",
+					ve.Row, ve.Col, tc.wantRow, tc.wantCol, ve)
+			}
+		})
+	}
+}
+
+// binaryHeaderLen returns the byte offset of the X payload in d's Save
+// output: magic + 4 u32 fields + name bytes.
+func binaryHeaderLen(d *Dataset) int { return 4 + 4*4 + len(d.Name) }
+
+func TestLoadBinaryRejectsCorruptValues(t *testing.T) {
+	ds := tinyDataset(t)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.bin")
+	if err := ds.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := binaryHeaderLen(ds)
+	xBytes := 4 * ds.Samples() * ds.Features()
+
+	cases := []struct {
+		name    string
+		corrupt func(b []byte) []byte
+		wantCol int // as above; -3 = any error is fine (truncation)
+	}{
+		{
+			name: "nan feature",
+			corrupt: func(b []byte) []byte {
+				// Row 1, col 2 becomes NaN.
+				off := hdr + 4*(1*ds.Features()+2)
+				binary.LittleEndian.PutUint32(b[off:], math.Float32bits(float32(math.NaN())))
+				return b
+			},
+			wantCol: 2,
+		},
+		{
+			name: "inf feature",
+			corrupt: func(b []byte) []byte {
+				off := hdr + 4*(0*ds.Features()+0)
+				binary.LittleEndian.PutUint32(b[off:], math.Float32bits(float32(math.Inf(1))))
+				return b
+			},
+			wantCol: 0,
+		},
+		{
+			name: "label out of range",
+			corrupt: func(b []byte) []byte {
+				off := hdr + xBytes // first label
+				binary.LittleEndian.PutUint32(b[off:], 999)
+				return b
+			},
+			wantCol: -1,
+		},
+		{
+			name:    "truncated mid-features",
+			corrupt: func(b []byte) []byte { return b[:hdr+xBytes/2] },
+			wantCol: -3,
+		},
+		{
+			name:    "truncated mid-labels",
+			corrupt: func(b []byte) []byte { return b[:len(b)-2] },
+			wantCol: -3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.corrupt(append([]byte(nil), blob...))
+			path := filepath.Join(dir, "bad.bin")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadBinary(path)
+			if err == nil {
+				t.Fatal("corrupt binary accepted")
+			}
+			if tc.wantCol == -3 {
+				return
+			}
+			var ve *ValueError
+			if !errors.As(err, &ve) {
+				t.Fatalf("got %v, want ValueError", err)
+			}
+			if ve.Col != tc.wantCol {
+				t.Fatalf("error at col %d, want %d: %v", ve.Col, tc.wantCol, ve)
+			}
+		})
+	}
+
+	// The untouched blob still round-trips.
+	if _, err := LoadBinary(good); err != nil {
+		t.Fatalf("clean blob rejected: %v", err)
+	}
+}
+
+func TestValidateDirect(t *testing.T) {
+	ds := tinyDataset(t)
+	if err := ds.Validate("mem"); err != nil {
+		t.Fatalf("clean dataset rejected: %v", err)
+	}
+	ds.X.F32[5] = float32(math.NaN())
+	var ve *ValueError
+	if err := ds.Validate("mem"); !errors.As(err, &ve) {
+		t.Fatalf("NaN not caught: %v", err)
+	}
+	ds.X.F32[5] = 0
+	ds.Y[0] = ds.Classes
+	if err := ds.Validate("mem"); !errors.As(err, &ve) || ve.Col != -1 {
+		t.Fatalf("bad label not caught: %v", err)
+	}
+}

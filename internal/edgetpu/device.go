@@ -1,6 +1,7 @@
 package edgetpu
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -116,6 +117,18 @@ func (d *Device) Output(i int) *tensor.Tensor {
 func (d *Device) Invoke() (Timing, error) {
 	t, _, err := d.run(true, false)
 	return t, err
+}
+
+// InvokeCtx is Invoke gated on a context: a cancelled or expired context
+// fails fast with the context's error before any device work is
+// dispatched, leaving the device state (loaded model, fault stream)
+// untouched. The simulated invoke itself completes instantaneously in
+// wall-clock terms, so the admission check is the cancellation point.
+func (d *Device) InvokeCtx(ctx context.Context) (Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return Timing{}, err
+	}
+	return d.Invoke()
 }
 
 // EstimateInvoke returns the timing one Invoke would take without

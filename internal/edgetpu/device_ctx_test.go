@@ -1,0 +1,37 @@
+package edgetpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestDeviceInvokeCtxCancelled(t *testing.T) {
+	dev, _, _ := loadedDevice(t, 1, 8, 32, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dev.InvokeCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx returned %v", err)
+	}
+	// The refused dispatch must not have touched device state: a live
+	// context invokes normally afterwards.
+	if _, err := dev.InvokeCtx(context.Background()); err != nil {
+		t.Fatalf("invoke after cancelled ctx: %v", err)
+	}
+}
+
+func TestDeviceInvokeCtxMatchesInvoke(t *testing.T) {
+	a, _, _ := loadedDevice(t, 1, 8, 32, 3)
+	b, _, _ := loadedDevice(t, 1, 8, 32, 3)
+	ta, err := a.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.InvokeCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta != tb {
+		t.Fatalf("timing diverged: %+v vs %+v", ta, tb)
+	}
+}

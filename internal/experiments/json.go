@@ -56,6 +56,10 @@ func RunOneJSON(name string, cfg Config) (any, error) {
 		return AblationOverlap(cfg)
 	case "ablation-scaleout":
 		return AblationScaleOut(cfg)
+	case "ablation-faults":
+		return AblationFaults(cfg)
+	case "ablation-overload":
+		return AblationOverload(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, AllExperiments)
 	}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestOverloadShedsNotSlows checks the PR's acceptance bar: the serving
+// pass-through is bit-identical to a direct runner, and at 4× offered load
+// the server sheds (shed > 0) while admitted p99 stays within 2× of the
+// unloaded p99. The latency-tail bound is a wall-clock measurement with
+// ~100 admitted samples, so a single OS-scheduler stall can poison the p99
+// of one run; the bound gets a bounded retry, everything structural is
+// asserted on every attempt.
+func TestOverloadShedsNotSlows(t *testing.T) {
+	skipLongUnderRace(t)
+	const attempts = 3
+	var res *OverloadResult
+	for try := 1; ; try++ {
+		var err error
+		res, err = AblationOverload(fastCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tail := checkOverloadResult(t, res); tail == "" {
+			break
+		} else if try == attempts {
+			t.Fatalf("after %d attempts: %s", attempts, tail)
+		} else {
+			t.Logf("attempt %d: %s (scheduler noise; retrying)", try, tail)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblationOverload(&buf, res)
+	if !strings.Contains(buf.String(), "Overload") || !strings.Contains(buf.String(), "4.0x") {
+		t.Fatalf("render missing content:\n%s", buf.String())
+	}
+}
+
+// checkOverloadResult asserts everything deterministic about one sweep and
+// returns a non-empty description if only the wall-clock tail bound failed.
+func checkOverloadResult(t *testing.T, res *OverloadResult) string {
+	t.Helper()
+	if !res.BitIdentical {
+		t.Fatal("serving pass-through is not bit-identical to the direct runner")
+	}
+	if res.UnloadedP99 <= 0 {
+		t.Fatalf("unloaded p99 %v", res.UnloadedP99)
+	}
+	if len(res.Points) != len(OverloadLoads)*len(OverloadFaultRates) {
+		t.Fatalf("%d sweep points", len(res.Points))
+	}
+	tail := ""
+	sawOverload := false
+	for _, pt := range res.Points {
+		if pt.Offered == 0 || pt.Admitted != pt.Completed+pt.DeadlineExceeded {
+			t.Fatalf("cell %.1fx/%.2f does not balance: %+v", pt.Load, pt.FaultRate, pt)
+		}
+		if pt.Admitted+pt.Shed != pt.Offered {
+			t.Fatalf("cell %.1fx/%.2f admission does not balance: %+v", pt.Load, pt.FaultRate, pt)
+		}
+		if pt.Load != 4 || pt.FaultRate != 0 {
+			continue
+		}
+		sawOverload = true
+		if pt.Shed == 0 {
+			t.Fatalf("4x offered load shed nothing: %+v", pt)
+		}
+		if pt.P99 > 2*res.UnloadedP99 {
+			tail = fmt.Sprintf("admitted p99 %v exceeds 2x unloaded p99 %v under overload",
+				pt.P99, res.UnloadedP99)
+		}
+	}
+	if !sawOverload {
+		t.Fatal("sweep missing the 4x zero-fault cell")
+	}
+	return tail
+}

@@ -12,7 +12,7 @@ var AllExperiments = []string{
 	"ablation-encoding", "ablation-fused", "ablation-subwidth", "ablation-batch",
 	"ablation-robustness", "ablation-online", "ablation-binary",
 	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
-	"ablation-scaleout", "ablation-faults", "table-variance",
+	"ablation-scaleout", "ablation-faults", "ablation-overload", "table-variance",
 }
 
 // RunOne executes the named experiment and renders it to w.
@@ -150,6 +150,12 @@ func RunOne(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		RenderAblationFaults(w, res)
+	case "ablation-overload":
+		res, err := AblationOverload(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationOverload(w, res)
 	case "ablation-online":
 		rows, err := AblationOnline(cfg)
 		if err != nil {

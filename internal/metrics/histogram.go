@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram: buckets grow
+// geometrically from histMin so that relative error per observation is
+// bounded by the bucket ratio (~10%), which keeps quantile comparisons
+// such as "p99 within 2× of baseline" meaningful without storing every
+// sample. The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	bounds []time.Duration // upper bound per bucket, ascending
+	counts []int
+	count  int
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// Histogram bucket layout: histBuckets buckets spanning histMin ..
+// histMin·ratio^histBuckets with ratio chosen to cover ~100s.
+const (
+	histMin     = time.Microsecond
+	histBuckets = 192
+)
+
+// histRatio is the per-bucket growth factor: 192 buckets from 1µs to 100s.
+var histRatio = math.Pow(float64(100*time.Second)/float64(histMin), 1.0/float64(histBuckets-1))
+
+// NewHistogram returns an empty latency histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{
+		bounds: make([]time.Duration, histBuckets),
+		counts: make([]int, histBuckets),
+	}
+	b := float64(histMin)
+	for i := range h.bounds {
+		h.bounds[i] = time.Duration(b)
+		b *= histRatio
+	}
+	return h
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.counts[h.bucket(d)]++
+}
+
+// bucket returns the index of the bucket covering d.
+func (h *Histogram) bucket(d time.Duration) int {
+	if d <= h.bounds[0] {
+		return 0
+	}
+	// Geometric layout ⇒ index is logarithmic in d; binary search keeps
+	// it exact at bucket edges.
+	lo, hi := 0, len(h.bounds)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return h.count }
+
+// Mean returns the arithmetic mean of the observations (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation (zero when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observation (zero when empty).
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an upper estimate of the q-quantile (q in [0, 1]): the
+// upper bound of the bucket holding the q·count-th observation, clamped
+// to the observed max. Returns zero when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := 0
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			b := h.bounds[i]
+			if b > h.max {
+				b = h.max
+			}
+			return b
+		}
+	}
+	return h.max
+}
+
+// Merge adds every observation of o into h. Both histograms must come
+// from NewHistogram (identical bucket layout).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+}
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram()
+	c.Merge(h)
+	return c
+}
+
+// String renders the summary quantiles on one line.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "latency: no observations"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "latency: n=%d mean=%s p50=%s p90=%s p99=%s max=%s",
+		h.count, FmtDur(h.Mean()), FmtDur(h.Quantile(0.5)),
+		FmtDur(h.Quantile(0.9)), FmtDur(h.Quantile(0.99)), FmtDur(h.max))
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zeroed: %+v", h)
+	}
+	if !strings.Contains(h.String(), "no observations") {
+		t.Fatalf("empty render %q", h.String())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations at 1ms and one at 1s: p50/p90 must sit near 1ms,
+	// p99+ must reach toward the outlier.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	if h.Count() != 101 {
+		t.Fatalf("count %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 900*time.Microsecond || p50 > 1200*time.Microsecond {
+		t.Fatalf("p50 %v not within a bucket of 1ms", p50)
+	}
+	if h.Quantile(1.0) != time.Second {
+		t.Fatalf("p100 %v != max", h.Quantile(1.0))
+	}
+	if h.Max() != time.Second || h.Min() != time.Millisecond {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	for d := time.Microsecond; d < time.Second; d *= 3 {
+		for i := 0; i < 10; i++ {
+			h.Observe(d)
+		}
+	}
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Each observation's bucket upper bound must be within the geometric
+	// ratio of the true value — the property the p99 comparisons rely on.
+	h := NewHistogram()
+	for _, d := range []time.Duration{
+		5 * time.Microsecond, 123 * time.Microsecond, 4 * time.Millisecond,
+		87 * time.Millisecond, 2 * time.Second,
+	} {
+		g := NewHistogram()
+		g.Observe(d)
+		q := g.Quantile(0.99)
+		if q < d || float64(q) > 1.15*float64(d) {
+			t.Fatalf("observation %v landed at %v (>15%% off)", d, q)
+		}
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestHistogramMergeClone(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 50; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(10 * time.Millisecond)
+	}
+	c := a.Clone()
+	c.Merge(b)
+	if c.Count() != 100 {
+		t.Fatalf("merged count %d", c.Count())
+	}
+	if c.Max() != 10*time.Millisecond || c.Min() != time.Millisecond {
+		t.Fatalf("merged min/max %v/%v", c.Min(), c.Max())
+	}
+	if a.Count() != 50 {
+		t.Fatalf("clone mutated source: %d", a.Count())
+	}
+	mid := c.Quantile(0.5)
+	if mid < 900*time.Microsecond || mid > 1200*time.Microsecond {
+		t.Fatalf("merged p50 %v", mid)
+	}
+	hi := c.Quantile(0.99)
+	if hi < 9*time.Millisecond {
+		t.Fatalf("merged p99 %v missed the upper mode", hi)
+	}
+}
+
+func TestHistogramClampsNegative(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5 * time.Second)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation not clamped: %+v", h)
+	}
+}

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -15,10 +17,16 @@ import (
 
 // This file is the resilient runtime on top of the simulator's fault model:
 // typed-error classification, bounded retry with seeded exponential backoff,
-// automatic model reload after device resets, a consecutive-failure circuit
-// breaker, and graceful degradation to the host CPU. The design goal is that
-// a training or inference run never hard-fails on transient accelerator
-// faults — it completes with degraded throughput instead.
+// automatic model reload after device resets, a three-state circuit breaker
+// (closed → open → half-open probe), and graceful degradation to the host
+// CPU. The design goal is that a training or inference run never hard-fails
+// on transient accelerator faults — it completes with degraded throughput
+// instead.
+//
+// Two invoke entry points share one loop: Invoke is the batch path, where
+// backoff is accounted in simulated time only; InvokeCtx is the serving
+// path, where backoff is also waited out in wall-clock time and the
+// context can cancel the wait (and the whole invoke) mid-flight.
 
 // RecoveryPolicy controls how a ResilientRunner reacts to transient device
 // faults.
@@ -39,17 +47,50 @@ type RecoveryPolicy struct {
 	JitterFrac float64
 
 	// BreakerThreshold is how many consecutive invokes must exhaust their
-	// retries before the circuit breaker declares the accelerator unhealthy
-	// and routes every further invoke to the host CPU permanently.
+	// retries before the circuit breaker opens and routes further invokes
+	// to the host CPU.
 	BreakerThreshold int
+
+	// BreakerCooldown is how many invokes an open breaker serves on the
+	// host before it half-opens and probes the device with a single trial
+	// attempt: success closes the breaker, failure re-opens it for another
+	// cooldown. Zero keeps an opened breaker open permanently (the
+	// pre-probe behavior).
+	BreakerCooldown int
 
 	// Seed drives the backoff jitter stream.
 	Seed uint64
 }
 
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed routes invokes to the device (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen routes invokes to the host while the cooldown runs.
+	BreakerOpen
+	// BreakerHalfOpen marks the next invoke as a single-attempt device
+	// probe that decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String renders the state for reports and health endpoints.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breaker(%d)", int(s))
+}
+
 // DefaultRecoveryPolicy returns the policy used by the fault-rate sweeps:
-// three retries with 200µs..10ms backoff and a breaker after four
-// consecutive failed invokes.
+// three retries with 200µs..10ms backoff, a breaker after four consecutive
+// failed invokes, and a half-open probe every eight host-served invokes.
 func DefaultRecoveryPolicy() RecoveryPolicy {
 	return RecoveryPolicy{
 		MaxRetries:       3,
@@ -57,6 +98,7 @@ func DefaultRecoveryPolicy() RecoveryPolicy {
 		MaxBackoff:       10 * time.Millisecond,
 		JitterFrac:       0.2,
 		BreakerThreshold: 4,
+		BreakerCooldown:  8,
 		Seed:             1,
 	}
 }
@@ -77,6 +119,9 @@ func (p RecoveryPolicy) Validate() error {
 	}
 	if p.BreakerThreshold < 1 {
 		return fmt.Errorf("pipeline: BreakerThreshold %d must be at least 1", p.BreakerThreshold)
+	}
+	if p.BreakerCooldown < 0 {
+		return fmt.Errorf("pipeline: negative BreakerCooldown %d", p.BreakerCooldown)
 	}
 	return nil
 }
@@ -117,6 +162,9 @@ type ReliabilityReport struct {
 	Reloads         int // LoadModel repayments performed
 	FallbackInvokes int // invokes completed on the host CPU
 	BreakerTripped  bool
+	BreakerTrips    int // closed→open transitions (including probe re-trips)
+	BreakerProbes   int // half-open trial invokes attempted
+	BreakerCloses   int // successful probes that closed the breaker again
 
 	BackoffTime  time.Duration // simulated time spent waiting between retries
 	ReloadTime   time.Duration // simulated time re-paying model setup
@@ -139,7 +187,8 @@ func (r ReliabilityReport) String() string {
 	fmt.Fprintf(&sb, ", %d retries, %d link faults, %d resets, %d reloads",
 		r.Retries, r.LinkFaults, r.Resets, r.Reloads)
 	if r.BreakerTripped {
-		sb.WriteString(", circuit breaker TRIPPED")
+		fmt.Fprintf(&sb, ", circuit breaker TRIPPED (%d trips, %d probes, %d closes)",
+			r.BreakerTrips, r.BreakerProbes, r.BreakerCloses)
 	}
 	fmt.Fprintf(&sb, "; overhead %v (backoff %v, reload %v, wasted %v), fallback compute %v",
 		r.Overhead().Round(time.Microsecond), r.BackoffTime.Round(time.Microsecond),
@@ -160,7 +209,9 @@ type ResilientRunner struct {
 
 	report          ReliabilityReport
 	consecutive     int
-	degraded        bool
+	breaker         BreakerState
+	cooldownLeft    int
+	pendingReload   bool
 	lastWasFallback bool
 
 	hostInterp *tflite.Interpreter
@@ -205,9 +256,12 @@ func NewResilientRunner(p Platform, cm *edgetpu.CompiledModel, plan edgetpu.Faul
 // Device exposes the wrapped device (for tests and fault-stat readers).
 func (r *ResilientRunner) Device() *edgetpu.Device { return r.dev }
 
-// Degraded reports whether the circuit breaker has routed the run to the
-// host CPU.
-func (r *ResilientRunner) Degraded() bool { return r.degraded }
+// Degraded reports whether the circuit breaker currently routes invokes
+// away from the device (open or half-open).
+func (r *ResilientRunner) Degraded() bool { return r.breaker != BreakerClosed }
+
+// BreakerState returns the circuit breaker's current position.
+func (r *ResilientRunner) BreakerState() BreakerState { return r.breaker }
 
 // Report returns a copy of the reliability accounting so far.
 func (r *ResilientRunner) Report() ReliabilityReport { return r.report }
@@ -215,7 +269,7 @@ func (r *ResilientRunner) Report() ReliabilityReport { return r.report }
 // Output returns the i-th model output tensor of whichever engine ran the
 // last successful invoke (device, or host interpreter in degraded mode).
 func (r *ResilientRunner) Output(i int) *tensor.Tensor {
-	if r.hostInterp != nil && (r.degraded || r.lastWasFallback) {
+	if r.hostInterp != nil && r.lastWasFallback {
 		return r.hostInterp.Output(i)
 	}
 	return r.dev.Output(i)
@@ -225,36 +279,104 @@ func (r *ResilientRunner) Output(i int) *tensor.Tensor {
 // to populate; it may be called more than once when recovery reloads the
 // model or falls back to the host, so it must be idempotent. The returned
 // timing covers the whole invoke including recovery overhead; on the
-// healthy path it is exactly the device's own timing.
+// healthy path it is exactly the device's own timing. Backoff waits are
+// accounted in simulated time only — Invoke never sleeps.
 func (r *ResilientRunner) Invoke(fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
-	r.report.Invokes++
-	if r.degraded {
-		return r.invokeHost(fill, edgetpu.Timing{})
+	return r.invoke(nil, fill)
+}
+
+// InvokeCtx is Invoke under a context: the deadline or cancellation is
+// honored before every device attempt and during backoff, which is waited
+// out in real wall-clock time (a cancelled request returns ctx.Err()
+// immediately instead of sleeping the backoff out). The simulated-time
+// accounting is identical to Invoke's, so with a healthy device the
+// returned timing is bit-identical to the direct path.
+func (r *ResilientRunner) InvokeCtx(ctx context.Context, fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	return r.invoke(ctx, fill)
+}
+
+// invoke is the shared retry/reload/breaker loop. A nil ctx selects the
+// batch behavior (no wall-clock waits, no cancellation points).
+func (r *ResilientRunner) invoke(ctx context.Context, fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
+	r.report.Invokes++
 	var waste edgetpu.Timing
+	if err := ctxErr(ctx); err != nil {
+		return waste, err
+	}
+
+	// Breaker gate: an open breaker serves from the host until the
+	// cooldown elapses, then half-opens; a half-open breaker lets exactly
+	// one trial attempt through below.
+	probing := false
+	if r.breaker != BreakerClosed {
+		if r.breaker == BreakerOpen && r.policy.BreakerCooldown > 0 {
+			r.cooldownLeft--
+			if r.cooldownLeft <= 0 {
+				r.breaker = BreakerHalfOpen
+			}
+		}
+		if r.breaker == BreakerOpen {
+			return r.invokeHost(fill, waste)
+		}
+		probing = true
+		r.report.BreakerProbes++
+	}
+
 	attempts := 0
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return waste, err
+		}
+		if r.pendingReload {
+			// A previous invoke abandoned the device mid-recovery (host
+			// fallback after a reset-class error): re-pay LoadModel before
+			// attempting the device again.
+			setup, lerr := r.dev.LoadModel(r.cm)
+			if lerr != nil {
+				return waste, fmt.Errorf("pipeline: model reload failed: %w", lerr)
+			}
+			r.pendingReload = false
+			r.report.Reloads++
+			waste.Host += setup
+			r.report.ReloadTime += setup
+		}
 		if fill != nil {
 			fill(r.dev.Input(0))
 		}
 		attempts++
 		r.report.DeviceInvokes++
-		t, err := r.dev.Invoke()
+		t, err := r.deviceInvoke(ctx)
 		if err == nil {
 			r.consecutive = 0
 			r.lastWasFallback = false
+			if probing {
+				r.breaker = BreakerClosed
+				r.report.BreakerCloses++
+			}
 			t.Add(waste)
 			return t, nil
 		}
 		waste.Add(t)
 		r.report.WastedTime += t.Total()
 		if !edgetpu.IsRetryable(err) {
+			if ctx != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return waste, err
+			}
 			return waste, fmt.Errorf("pipeline: resilient invoke failed permanently: %w", err)
 		}
 		if edgetpu.NeedsReload(err) {
 			r.report.Resets++
+			r.pendingReload = true
 		} else {
 			r.report.LinkFaults++
+		}
+		if probing {
+			// The trial attempt failed: back to open for another cooldown.
+			r.trip()
+			return r.invokeHost(fill, waste)
 		}
 		if attempts > r.policy.MaxRetries {
 			// This invoke is out of device attempts: complete it on the
@@ -262,8 +384,7 @@ func (r *ResilientRunner) Invoke(fill func(in *tensor.Tensor)) (edgetpu.Timing, 
 			// the device is worth trying again.
 			r.consecutive++
 			if r.consecutive >= r.policy.BreakerThreshold {
-				r.degraded = true
-				r.report.BreakerTripped = true
+				r.trip()
 			}
 			return r.invokeHost(fill, waste)
 		}
@@ -271,15 +392,61 @@ func (r *ResilientRunner) Invoke(fill func(in *tensor.Tensor)) (edgetpu.Timing, 
 		wait := r.policy.backoff(attempts, r.jitter)
 		waste.Host += wait
 		r.report.BackoffTime += wait
-		if edgetpu.NeedsReload(err) {
+		if r.pendingReload {
 			setup, lerr := r.dev.LoadModel(r.cm)
 			if lerr != nil {
 				return waste, fmt.Errorf("pipeline: model reload failed: %w", lerr)
 			}
+			r.pendingReload = false
 			r.report.Reloads++
 			waste.Host += setup
 			r.report.ReloadTime += setup
 		}
+		if err := sleepCtx(ctx, wait); err != nil {
+			return waste, err
+		}
+	}
+}
+
+// deviceInvoke dispatches one device attempt, context-gated when a ctx is
+// present.
+func (r *ResilientRunner) deviceInvoke(ctx context.Context) (edgetpu.Timing, error) {
+	if ctx != nil {
+		return r.dev.InvokeCtx(ctx)
+	}
+	return r.dev.Invoke()
+}
+
+// trip opens the breaker and arms the cooldown.
+func (r *ResilientRunner) trip() {
+	r.breaker = BreakerOpen
+	r.cooldownLeft = r.policy.BreakerCooldown
+	r.report.BreakerTripped = true
+	r.report.BreakerTrips++
+}
+
+// ctxErr returns the context's error, tolerating the batch path's nil ctx.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// sleepCtx waits d of wall-clock time when a context is present, returning
+// early with ctx.Err() on cancellation. The batch path (nil ctx) does not
+// sleep: its backoff exists in simulated time only.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil || d <= 0 {
+		return ctxErr(ctx)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

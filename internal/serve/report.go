@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// ServeReport is a point-in-time snapshot of everything the server counted:
+// admission outcomes, completion latencies, the aggregated reliability work
+// across all devices, and the derived health.
+type ServeReport struct {
+	counters
+
+	Devices     int
+	Reliability pipeline.ReliabilityReport
+	Health      Health
+}
+
+// Shed returns the total requests refused at admission, by any cause.
+func (r ServeReport) Shed() int { return r.ShedQueueFull + r.ShedDraining }
+
+// Settled returns how many submitted requests have reached a terminal state.
+func (r ServeReport) Settled() int {
+	return r.Completed + r.Shed() + r.DeadlineExceeded + r.Cancelled + r.DrainForced + r.Failed
+}
+
+// String renders a multi-line operator summary.
+func (r ServeReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "serve: %d submitted, %d admitted, %d completed (%d on host), health %s\n",
+		r.Submitted, r.Admitted, r.Completed, r.HostFallback, r.Health)
+	fmt.Fprintf(&sb, "  shed %d (%d queue-full, %d draining), %d deadline-exceeded, %d cancelled, %d drain-forced, %d failed\n",
+		r.Shed(), r.ShedQueueFull, r.ShedDraining, r.DeadlineExceeded, r.Cancelled, r.DrainForced, r.Failed)
+	fmt.Fprintf(&sb, "  queue depth max %d across %d device(s)\n", r.MaxQueueDepth, r.Devices)
+	fmt.Fprintf(&sb, "  e2e %s\n", r.Latency)
+	fmt.Fprintf(&sb, "  queue-wait n=%d p50=%s p99=%s max=%s\n",
+		r.QueueWait.Count(), metrics.FmtDur(r.QueueWait.Quantile(0.5)),
+		metrics.FmtDur(r.QueueWait.Quantile(0.99)), metrics.FmtDur(r.QueueWait.Max()))
+	fmt.Fprintf(&sb, "  %s", r.Reliability)
+	return sb.String()
+}

@@ -1,0 +1,546 @@
+// Package serve is the request-level serving runtime on top of
+// ResilientRunner: a bounded admission queue with load shedding, per-request
+// deadlines threaded as contexts through the invoke path, a worker pool
+// dispatching across one or more simulated devices, per-device circuit
+// breakers feeding a server-level health state, and graceful drain on
+// shutdown. See docs/serving.md for the admission and drain semantics.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+	"hdcedge/internal/tensor"
+)
+
+// Config sizes the serving runtime.
+type Config struct {
+	// Devices is the number of simulated accelerator devices (and worker
+	// goroutines). Zero defaults to one.
+	Devices int
+
+	// QueueCapacity bounds the admission queue; a request arriving at a
+	// full queue is shed with a *ShedError rather than queued. Zero or
+	// negative means unbounded (no shedding on depth).
+	QueueCapacity int
+
+	// DefaultDeadline is applied to requests whose context carries no
+	// deadline of its own. Zero applies none.
+	DefaultDeadline time.Duration
+
+	// DrainDeadline bounds how long Drain waits for in-flight and queued
+	// work before force-failing the stragglers. Zero waits forever.
+	DrainDeadline time.Duration
+
+	// Policy is the per-device recovery policy. Worker i uses Policy with
+	// Seed+i so jitter streams stay independent; device 0 keeps the base
+	// seed, so a one-device server is bit-identical to a direct runner.
+	Policy pipeline.RecoveryPolicy
+
+	// Plan is the fault plan armed on every device (Seed+i per device).
+	// Plans, when it has exactly Devices entries, overrides Plan with a
+	// distinct plan per device (for asymmetric-failure tests).
+	Plan  edgetpu.FaultPlan
+	Plans []edgetpu.FaultPlan
+
+	// PacePerInvoke makes each worker occupy wall-clock time per invoke
+	// (sleep after the simulated invoke), emulating real device occupancy
+	// so that offered load beyond capacity actually queues. Zero disables
+	// pacing: the simulated invoke is then wall-clock instantaneous.
+	PacePerInvoke time.Duration
+}
+
+// Validate checks the configuration for sanity.
+func (c Config) Validate() error {
+	if c.Devices < 0 {
+		return fmt.Errorf("serve: negative Devices %d", c.Devices)
+	}
+	if c.DefaultDeadline < 0 {
+		return fmt.Errorf("serve: negative DefaultDeadline %v", c.DefaultDeadline)
+	}
+	if c.DrainDeadline < 0 {
+		return fmt.Errorf("serve: negative DrainDeadline %v", c.DrainDeadline)
+	}
+	if c.PacePerInvoke < 0 {
+		return fmt.Errorf("serve: negative PacePerInvoke %v", c.PacePerInvoke)
+	}
+	if len(c.Plans) != 0 && len(c.Plans) != max(c.Devices, 1) {
+		return fmt.Errorf("serve: %d per-device plans for %d devices", len(c.Plans), max(c.Devices, 1))
+	}
+	return nil
+}
+
+// ShedCause says why admission refused a request.
+type ShedCause int
+
+const (
+	// ShedQueueFull: the bounded queue was at capacity.
+	ShedQueueFull ShedCause = iota
+	// ShedDraining: the server had stopped admitting for shutdown.
+	ShedDraining
+)
+
+// String renders the cause.
+func (c ShedCause) String() string {
+	switch c {
+	case ShedQueueFull:
+		return "queue full"
+	case ShedDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("shed(%d)", int(c))
+}
+
+// ShedError is returned by Do when admission refuses a request.
+type ShedError struct{ Cause ShedCause }
+
+func (e *ShedError) Error() string { return "serve: request shed: " + e.Cause.String() }
+
+// DrainError marks work force-failed (or a drain cut short) by the drain
+// deadline. Stage is "queued" for requests failed while still queued,
+// "in-flight" for requests cancelled mid-invoke, and "deadline" on the
+// error Drain itself returns.
+type DrainError struct{ Stage string }
+
+func (e *DrainError) Error() string { return "serve: drain deadline forced failure (" + e.Stage + ")" }
+
+// Health is the server-level health derived from the per-device breakers.
+type Health int
+
+const (
+	// Healthy: every device breaker is closed.
+	Healthy Health = iota
+	// Degraded: some but not all breakers are open or half-open.
+	Degraded
+	// Critical: no breaker is closed; everything serves from the host.
+	Critical
+)
+
+// String renders the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Critical:
+		return "critical"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// Result is what a completed request observed.
+type Result struct {
+	Timing    edgetpu.Timing // simulated per-invoke timing (incl. recovery)
+	OnHost    bool           // served by the host CPU fallback
+	Device    int            // worker/device index that served it
+	QueueWait time.Duration  // wall-clock time spent queued
+	Latency   time.Duration  // wall-clock admission → completion
+}
+
+// outcome is the settled fate of one request.
+type outcome struct {
+	res Result
+	err error
+}
+
+// request is one admitted unit of work.
+type request struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	fill    func(in *tensor.Tensor)
+	consume func(out *tensor.Tensor)
+	enq     time.Time
+	res     chan outcome // buffered, cap 1; receives exactly one outcome
+	settled atomic.Bool  // CAS gate: first settler wins
+}
+
+// worker owns one device-backed runner. The runner is not safe for
+// concurrent use and is touched only by the worker goroutine; after every
+// invoke the worker publishes a reliability snapshot under mu so Report can
+// read it without blocking behind an in-flight invoke.
+type worker struct {
+	id     int
+	runner *pipeline.ResilientRunner
+	state  atomic.Int32 // pipeline.BreakerState, updated after every invoke
+
+	mu     sync.Mutex
+	report pipeline.ReliabilityReport // snapshot after the last invoke
+}
+
+// Server is the serving runtime. Create with New; shut down with Drain or
+// Close. All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	workers []*worker
+	forced  atomic.Bool // drain deadline fired: cancellations are force-failures
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*request
+	pending  map[*request]struct{} // admitted, not yet settled
+	draining bool
+	counters counters
+	wg       sync.WaitGroup
+}
+
+// counters is the mu-guarded half of ServeReport.
+type counters struct {
+	Submitted        int
+	Admitted         int
+	Completed        int
+	ShedQueueFull    int
+	ShedDraining     int
+	DeadlineExceeded int
+	Cancelled        int
+	DrainForced      int
+	Failed           int
+	HostFallback     int
+	MaxQueueDepth    int
+	Latency          *metrics.Histogram
+	QueueWait        *metrics.Histogram
+}
+
+// New builds a server with cfg.Devices simulated devices, each loaded with
+// cm and armed with its fault plan, and starts the worker pool.
+func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == (pipeline.RecoveryPolicy{}) {
+		cfg.Policy = pipeline.DefaultRecoveryPolicy()
+	}
+	n := max(cfg.Devices, 1)
+	s := &Server{
+		cfg:     cfg,
+		pending: make(map[*request]struct{}),
+		counters: counters{
+			Latency:   metrics.NewHistogram(),
+			QueueWait: metrics.NewHistogram(),
+		},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < n; i++ {
+		policy := cfg.Policy
+		policy.Seed += uint64(i)
+		plan := cfg.Plan
+		if len(cfg.Plans) == n {
+			plan = cfg.Plans[i]
+		} else {
+			plan.Seed += uint64(i)
+		}
+		r, err := pipeline.NewResilientRunner(p, cm, plan, policy)
+		if err != nil {
+			return nil, fmt.Errorf("serve: device %d: %w", i, err)
+		}
+		s.workers = append(s.workers, &worker{id: i, runner: r})
+	}
+	s.wg.Add(n)
+	for _, w := range s.workers {
+		go s.workerLoop(w)
+	}
+	return s, nil
+}
+
+// Do submits one request and blocks until it settles: completion, shed,
+// deadline, cancellation, or force-drain. fill populates the input tensor
+// (may run more than once under recovery; must be idempotent); consume, if
+// non-nil, reads the output tensor before the worker reuses it — copy out
+// anything kept past the call.
+func (s *Server) Do(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor)) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rctx context.Context
+	var cancel context.CancelFunc
+	if _, has := ctx.Deadline(); !has && s.cfg.DefaultDeadline > 0 {
+		rctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+	} else {
+		rctx, cancel = context.WithCancel(ctx)
+	}
+	r := &request{
+		ctx:     rctx,
+		cancel:  cancel,
+		fill:    fill,
+		consume: consume,
+		res:     make(chan outcome, 1),
+	}
+
+	s.mu.Lock()
+	s.counters.Submitted++
+	if s.draining {
+		s.counters.ShedDraining++
+		s.mu.Unlock()
+		cancel()
+		return Result{}, &ShedError{Cause: ShedDraining}
+	}
+	if err := rctx.Err(); err != nil {
+		s.accountLocked(outcome{err: err})
+		s.mu.Unlock()
+		cancel()
+		return Result{}, err
+	}
+	if s.cfg.QueueCapacity > 0 && len(s.queue) >= s.cfg.QueueCapacity {
+		s.counters.ShedQueueFull++
+		s.mu.Unlock()
+		cancel()
+		return Result{}, &ShedError{Cause: ShedQueueFull}
+	}
+	s.counters.Admitted++
+	r.enq = time.Now()
+	s.queue = append(s.queue, r)
+	if d := len(s.queue); d > s.counters.MaxQueueDepth {
+		s.counters.MaxQueueDepth = d
+	}
+	s.pending[r] = struct{}{}
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	select {
+	case o := <-r.res:
+		return o.res, o.err
+	case <-rctx.Done():
+		// Lost the race or genuinely expired: whoever wins the CAS sends
+		// the authoritative outcome, so settle-then-read is safe either way.
+		s.settle(r, outcome{err: s.reasonFor(rctx.Err())})
+		o := <-r.res
+		return o.res, o.err
+	}
+}
+
+// reasonFor maps a context error to its settlement error: a cancellation
+// caused by the drain deadline is a force-failure, not a caller cancel.
+func (s *Server) reasonFor(err error) error {
+	if s.forced.Load() && errors.Is(err, context.Canceled) {
+		return &DrainError{Stage: "in-flight"}
+	}
+	return err
+}
+
+// settle decides a request's fate exactly once: the first caller to win the
+// CAS records the accounting and delivers the outcome; later callers are
+// no-ops. Returns whether this call won.
+func (s *Server) settle(r *request, o outcome) bool {
+	if !r.settled.CompareAndSwap(false, true) {
+		return false
+	}
+	s.mu.Lock()
+	delete(s.pending, r)
+	s.accountLocked(o)
+	s.mu.Unlock()
+	r.res <- o
+	r.cancel()
+	return true
+}
+
+// accountLocked buckets one settled outcome into the counters. Caller holds
+// s.mu.
+func (s *Server) accountLocked(o outcome) {
+	var de *DrainError
+	switch {
+	case o.err == nil:
+		s.counters.Completed++
+		if o.res.OnHost {
+			s.counters.HostFallback++
+		}
+		s.counters.Latency.Observe(o.res.Latency)
+		s.counters.QueueWait.Observe(o.res.QueueWait)
+	case errors.As(o.err, &de):
+		s.counters.DrainForced++
+	case errors.Is(o.err, context.DeadlineExceeded):
+		s.counters.DeadlineExceeded++
+	case errors.Is(o.err, context.Canceled):
+		s.counters.Cancelled++
+	default:
+		s.counters.Failed++
+	}
+}
+
+// next blocks for the next queued request; nil means the server is draining
+// and the queue is empty, so the worker should exit.
+func (s *Server) next() *request {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.draining {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return nil
+	}
+	r := s.queue[0]
+	s.queue = s.queue[1:]
+	return r
+}
+
+// workerLoop drains the queue through one device until shutdown.
+func (s *Server) workerLoop(w *worker) {
+	defer s.wg.Done()
+	for {
+		r := s.next()
+		if r == nil {
+			return
+		}
+		if r.settled.Load() {
+			continue // settled while queued (deadline or force-drain)
+		}
+		if err := r.ctx.Err(); err != nil {
+			s.settle(r, outcome{err: s.reasonFor(err)})
+			continue
+		}
+		start := time.Now()
+		qwait := start.Sub(r.enq)
+
+		before := w.runner.Report().FallbackInvokes
+		t, err := w.runner.InvokeCtx(r.ctx, r.fill)
+		rep := w.runner.Report()
+		onHost := rep.FallbackInvokes > before
+		if err == nil && r.consume != nil {
+			r.consume(w.runner.Output(0))
+		}
+		w.state.Store(int32(w.runner.BreakerState()))
+		w.mu.Lock()
+		w.report = rep
+		w.mu.Unlock()
+
+		if err != nil {
+			s.settle(r, outcome{err: s.reasonFor(err)})
+			continue
+		}
+		if s.cfg.PacePerInvoke > 0 {
+			// Occupy the worker for the pace interval, but let a cancelled
+			// request (deadline, force-drain) release it early — the result
+			// is already computed either way.
+			timer := time.NewTimer(s.cfg.PacePerInvoke)
+			select {
+			case <-timer.C:
+			case <-r.ctx.Done():
+				timer.Stop()
+			}
+		}
+		s.settle(r, outcome{res: Result{
+			Timing:    t,
+			OnHost:    onHost,
+			Device:    w.id,
+			QueueWait: qwait,
+			Latency:   time.Since(r.enq),
+		}})
+	}
+}
+
+// Health derives the server state from the per-device breakers: all closed
+// is Healthy, none closed is Critical, anything between is Degraded.
+func (s *Server) Health() Health {
+	closed := 0
+	for _, w := range s.workers {
+		if pipeline.BreakerState(w.state.Load()) == pipeline.BreakerClosed {
+			closed++
+		}
+	}
+	switch closed {
+	case len(s.workers):
+		return Healthy
+	case 0:
+		return Critical
+	}
+	return Degraded
+}
+
+// Drain stops admitting, lets the workers finish queued and in-flight work,
+// and waits for them to exit. The wait is bounded by the earlier of ctx and
+// the configured DrainDeadline; when the bound fires, still-queued requests
+// are failed with DrainError{"queued"}, in-flight requests are cancelled
+// (settling as DrainError{"in-flight"}), and Drain returns a *DrainError
+// after the workers exit. A clean drain returns nil. Drain is idempotent;
+// concurrent calls all wait for the same shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.cfg.DrainDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainDeadline)
+		defer cancel()
+	}
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Deadline fired: force the stragglers.
+	s.forced.Store(true)
+	s.mu.Lock()
+	queued := s.queue
+	s.queue = nil
+	var inflight []*request
+	for r := range s.pending {
+		inflight = append(inflight, r)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, r := range queued {
+		s.settle(r, outcome{err: &DrainError{Stage: "queued"}})
+	}
+	for _, r := range inflight {
+		r.cancel() // settles as DrainError{"in-flight"} via reasonFor
+	}
+	<-done
+	return &DrainError{Stage: "deadline"}
+}
+
+// Close drains with only the configured DrainDeadline as the bound.
+func (s *Server) Close() error { return s.Drain(context.Background()) }
+
+// Report snapshots the serving counters, latency histograms, aggregated
+// reliability accounting across all devices, and the current health.
+func (s *Server) Report() ServeReport {
+	s.mu.Lock()
+	c := s.counters
+	c.Latency = s.counters.Latency.Clone()
+	c.QueueWait = s.counters.QueueWait.Clone()
+	s.mu.Unlock()
+	rep := ServeReport{counters: c, Devices: len(s.workers), Health: s.Health()}
+	for _, w := range s.workers {
+		w.mu.Lock()
+		r := w.report
+		w.mu.Unlock()
+		mergeReliability(&rep.Reliability, r)
+	}
+	return rep
+}
+
+// mergeReliability accumulates one device's reliability report into agg.
+func mergeReliability(agg *pipeline.ReliabilityReport, r pipeline.ReliabilityReport) {
+	agg.Invokes += r.Invokes
+	agg.DeviceInvokes += r.DeviceInvokes
+	agg.Retries += r.Retries
+	agg.LinkFaults += r.LinkFaults
+	agg.Resets += r.Resets
+	agg.Reloads += r.Reloads
+	agg.FallbackInvokes += r.FallbackInvokes
+	agg.BreakerTripped = agg.BreakerTripped || r.BreakerTripped
+	agg.BreakerTrips += r.BreakerTrips
+	agg.BreakerProbes += r.BreakerProbes
+	agg.BreakerCloses += r.BreakerCloses
+	agg.BackoffTime += r.BackoffTime
+	agg.ReloadTime += r.ReloadTime
+	agg.WastedTime += r.WastedTime
+	agg.FallbackTime += r.FallbackTime
+}

@@ -1,0 +1,117 @@
+package tflite
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+func TestChecksumRoundTrip(t *testing.T) {
+	m := buildTinyFloatModel(2)
+	blob := m.Marshal()
+	if len(blob) < crcFooterLen || string(blob[len(blob)-crcFooterLen:len(blob)-4]) != crcMagic {
+		t.Fatalf("marshal emitted no integrity footer: tail %q", blob[len(blob)-crcFooterLen:])
+	}
+	got, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("checksummed round trip diverged")
+	}
+}
+
+func TestChecksumRejectsBitFlip(t *testing.T) {
+	blob := buildTinyFloatModel(1).Marshal()
+	// Flip one payload bit: the footer CRC no longer matches.
+	corrupt := append([]byte(nil), blob...)
+	corrupt[10] ^= 0x40
+	_, err := Unmarshal(corrupt)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("payload bit flip returned %v, want ChecksumError", err)
+	}
+	if ce.Want == ce.Got {
+		t.Fatalf("mismatch error with equal sums: %v", ce)
+	}
+	// Flip a bit in the recorded CRC itself: also a checksum mismatch.
+	corrupt = append([]byte(nil), blob...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	if _, err := Unmarshal(corrupt); !errors.As(err, &ce) {
+		t.Fatalf("footer bit flip returned %v, want ChecksumError", err)
+	}
+	// Corrupt the footer magic: the blob no longer ends in a footer, so the
+	// stale 8 bytes are trailing garbage, not a silently-accepted legacy blob.
+	corrupt = append([]byte(nil), blob...)
+	corrupt[len(corrupt)-crcFooterLen] ^= 0x02
+	if _, err := Unmarshal(corrupt); err == nil {
+		t.Fatal("corrupt footer magic accepted")
+	}
+}
+
+func TestChecksumAcceptsLegacyBlob(t *testing.T) {
+	m := buildTinyFloatModel(2)
+	blob := m.Marshal()
+	legacy := blob[:len(blob)-crcFooterLen] // a pre-footer writer's output
+	got, err := Unmarshal(legacy)
+	if err != nil {
+		t.Fatalf("legacy footerless blob rejected: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("legacy round trip diverged")
+	}
+	// Stream reads see the same behavior.
+	if _, err := Read(bytes.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy stream read rejected: %v", err)
+	}
+}
+
+func TestChecksumRejectsTrailingGarbage(t *testing.T) {
+	blob := buildTinyFloatModel(1).Marshal()
+	payload := blob[:len(blob)-crcFooterLen]
+	// Garbage after a legacy payload must not parse.
+	if _, err := Unmarshal(append(append([]byte(nil), payload...), 0xAA, 0xBB)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	// Garbage between payload and a recomputed valid footer must not parse
+	// either: the CRC passes but the model has leftover bytes.
+	padded := append(append([]byte(nil), payload...), 0xAA, 0xBB, 0xCC)
+	var footer [crcFooterLen]byte
+	copy(footer[:4], crcMagic)
+	binary.LittleEndian.PutUint32(footer[4:], crc32.ChecksumIEEE(padded))
+	if _, err := Unmarshal(append(padded, footer[:]...)); err == nil {
+		t.Fatal("padded-but-checksummed blob accepted")
+	}
+}
+
+// FuzzModelChecksum asserts the integrity property end to end: starting
+// from a valid checksummed blob, any single bit flip and any strict
+// truncation must be rejected — except cutting exactly the footer, which
+// by design yields a valid legacy blob.
+func FuzzModelChecksum(f *testing.F) {
+	blob := buildTinyFloatModel(1).Marshal()
+	f.Add(0, uint8(1))
+	f.Add(len(blob)-1, uint8(0x80))
+	f.Add(len(blob)/2, uint8(0xFF))
+	f.Fuzz(func(t *testing.T, pos int, mask uint8) {
+		if pos < 0 {
+			pos = -pos
+		}
+		pos %= len(blob)
+		if mask != 0 {
+			corrupt := append([]byte(nil), blob...)
+			corrupt[pos] ^= mask
+			if _, err := Unmarshal(corrupt); err == nil {
+				t.Fatalf("bit flip %#02x at %d accepted", mask, pos)
+			}
+		}
+		if pos > 0 && pos != len(blob)-crcFooterLen {
+			if _, err := Unmarshal(blob[:pos]); err == nil {
+				t.Fatalf("truncation to %d bytes accepted", pos)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -26,15 +27,51 @@ import (
 //	buffers  uint32 count, then per buffer: u32 length + bytes
 //	inputs   u32 count + []i32
 //	outputs  u32 count + []i32
+//	footer  "HCRC" + uint32 CRC32 (IEEE) of every preceding byte
+//
+// The footer is an integrity seal over the whole container: Unmarshal
+// verifies it and rejects corrupt bytes with *ChecksumError. Blobs written
+// before the footer existed (no trailing "HCRC" marker) are still accepted.
 
 const (
 	magic   = "HTFL"
 	version = 1
+
+	// crcMagic marks the integrity footer; crcFooterLen is its size.
+	crcMagic     = "HCRC"
+	crcFooterLen = 8
 )
 
-// WriteModel serializes the model.
+// ChecksumError reports a model container whose bytes do not match the
+// CRC32 recorded in its footer.
+type ChecksumError struct {
+	Want uint32 // checksum recorded in the footer
+	Got  uint32 // checksum of the payload as read
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("tflite: model checksum mismatch: footer %08x, payload %08x", e.Want, e.Got)
+}
+
+// WriteModel serializes the model and appends the CRC32 integrity footer.
 func (m *Model) WriteModel(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	h := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
+	if err := m.writeBody(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var footer [crcFooterLen]byte
+	copy(footer[:4], crcMagic)
+	binary.LittleEndian.PutUint32(footer[4:], h.Sum32())
+	_, err := w.Write(footer[:])
+	return err
+}
+
+// writeBody emits the container payload (everything the footer seals).
+func (m *Model) writeBody(bw *bufio.Writer) error {
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
@@ -102,9 +139,43 @@ func (m *Model) Save(path string) error {
 	return f.Close()
 }
 
-// Read parses a serialized model and validates it.
+// Read consumes the reader and parses the model, verifying the integrity
+// footer when present.
 func Read(r io.Reader) (*Model, error) {
-	br := bufio.NewReader(r)
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tflite: reading model: %w", err)
+	}
+	return Unmarshal(raw)
+}
+
+// Unmarshal parses a model from a byte slice. A trailing "HCRC" footer is
+// verified against the payload (mismatch yields *ChecksumError) and
+// stripped; footerless blobs from before the checksum existed are parsed
+// as-is. Any other bytes left over after the model is an error.
+func Unmarshal(raw []byte) (*Model, error) {
+	payload := raw
+	if len(raw) >= crcFooterLen && string(raw[len(raw)-crcFooterLen:len(raw)-4]) == crcMagic {
+		want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+		payload = raw[:len(raw)-crcFooterLen]
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, &ChecksumError{Want: want, Got: got}
+		}
+	}
+	src := bytes.NewReader(payload)
+	br := bufio.NewReader(src)
+	m, err := parse(br)
+	if err != nil {
+		return nil, err
+	}
+	if rest := src.Len() + br.Buffered(); rest != 0 {
+		return nil, fmt.Errorf("tflite: %d trailing bytes after model", rest)
+	}
+	return m, nil
+}
+
+// parse decodes the container payload and validates the model.
+func parse(br *bufio.Reader) (*Model, error) {
 	var mg [4]byte
 	if _, err := io.ReadFull(br, mg[:]); err != nil {
 		return nil, fmt.Errorf("tflite: reading magic: %w", err)
@@ -238,11 +309,6 @@ func Read(r io.Reader) (*Model, error) {
 		return nil, err
 	}
 	return m, nil
-}
-
-// Unmarshal parses a model from a byte slice.
-func Unmarshal(raw []byte) (*Model, error) {
-	return Read(bytes.NewReader(raw))
 }
 
 // Load reads a model from a file.
