@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke bench experiments examples clean
+.PHONY: all build test vet race fuzz-smoke bench bench-serve experiments examples clean
 
 all: vet test
 
@@ -38,6 +38,11 @@ fuzz-smoke:
 # One pass over every paper artifact via the benchmark harness.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Measure the micro-batched serving invoke and refresh BENCH_serve.json.
+bench-serve:
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -run TestWriteServeBench -count=1 ./internal/serve/
+	@cat BENCH_serve.json
 
 # Render every table/figure (and extension study) as text.
 experiments:

@@ -5,14 +5,18 @@
 //
 //	hdc-serve [-data test.bin] [-devices 4] [-queue 8] [-deadline 250ms]
 //	          [-drain 2s] [-requests 400] [-load 2.0] [-pace 4ms]
+//	          [-batch 1] [-window 0] [-pace-scale 0]
 //	          [-faults "link=0.05"] [-fault-seed 1] [-seed 7]
 //
 // Without -data, a synthetic dataset is generated and a tiny model is
 // trained on it. Requests arrive open-loop at -load times the fleet's
 // service capacity; each classifies one dataset row through the bounded
-// admission queue. The run ends with a graceful drain and the serving
-// report: admission/shed/deadline counters, latency quantiles, per-device
-// breaker health. See docs/serving.md for the semantics.
+// admission queue. With -batch > 1 the model compiles at that batch
+// capacity and workers coalesce up to -batch queued requests into one
+// device invoke, holding an underfull batch open for up to -window.
+// The run ends with a graceful drain and the serving report:
+// admission/shed/deadline counters, latency quantiles, batch occupancy,
+// per-device breaker health. See docs/serving.md for the semantics.
 package main
 
 import (
@@ -40,6 +44,9 @@ func main() {
 	requests := flag.Int("requests", 400, "requests to offer")
 	load := flag.Float64("load", 2.0, "offered load as a multiple of fleet capacity")
 	pace := flag.Duration("pace", 4*time.Millisecond, "emulated per-invoke device occupancy")
+	batch := flag.Int("batch", 1, "max requests coalesced into one device invoke")
+	window := flag.Duration("window", 0, "how long to hold an underfull batch open")
+	paceScale := flag.Float64("pace-scale", 0, "extra occupancy per invoke as a multiple of its simulated cost")
 	faults := flag.String("faults", "", "fault plan for every device, e.g. \"link=0.05\"")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection streams")
 	seed := flag.Uint64("seed", 7, "training / synthetic-data seed")
@@ -49,6 +56,9 @@ func main() {
 
 	if *load <= 0 || *requests <= 0 || *devices <= 0 {
 		fail("-load, -requests and -devices must be positive")
+	}
+	if *batch < 1 {
+		fail("-batch must be at least 1")
 	}
 	ds, err := loadDataset(*data, *seed)
 	if err != nil {
@@ -61,7 +71,7 @@ func main() {
 		fail(err.Error())
 	}
 	p := pipeline.EdgeTPU()
-	cm, err := pipeline.CompileInference(p, model, ds, 1)
+	cm, err := pipeline.CompileInference(p, model, ds, *batch)
 	if err != nil {
 		fail(err.Error())
 	}
@@ -80,6 +90,9 @@ func main() {
 		DrainDeadline:   *drain,
 		Plan:            plan,
 		PacePerInvoke:   *pace,
+		PaceScale:       *paceScale,
+		MaxBatch:        *batch,
+		BatchWindow:     *window,
 	})
 	if err != nil {
 		fail(err.Error())
@@ -118,8 +131,9 @@ func main() {
 	}
 	rep := s.Report()
 	fmt.Println(rep)
-	fmt.Printf("goodput: %.0f req/s over %v\n",
-		float64(rep.Completed)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	fmt.Printf("goodput: %.0f req/s over %v (mean batch occupancy %.2f)\n",
+		float64(rep.Completed)/elapsed.Seconds(), elapsed.Round(time.Millisecond),
+		rep.MeanOccupancy())
 }
 
 func loadDataset(path string, seed uint64) (*dataset.Dataset, error) {

@@ -263,6 +263,10 @@ func boundaryBytes(m *tflite.Model, place []Placement) (in, out int) {
 	return in, out
 }
 
+// BatchCapacity returns the number of sample rows one invocation of the
+// compiled model processes — the leading dimension of the first input.
+func (cm *CompiledModel) BatchCapacity() int { return cm.Model.BatchCapacity() }
+
 // DelegatedOps returns how many operators run on the accelerator.
 func (cm *CompiledModel) DelegatedOps() int {
 	n := 0

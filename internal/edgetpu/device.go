@@ -115,7 +115,19 @@ func (d *Device) Output(i int) *tensor.Tensor {
 // classified by IsRetryable/NeedsReload. On such errors the returned Timing
 // carries the time the failed attempt wasted.
 func (d *Device) Invoke() (Timing, error) {
-	t, _, err := d.run(true, false)
+	t, _, err := d.run(true, false, 0)
+	return t, err
+}
+
+// InvokeBatch executes only the first rows sample rows of the loaded model:
+// kernels run on row-prefix views (unoccupied rows are never computed) and
+// the cycle, transfer and host cost models are charged at the effective
+// batch, so a model compiled at capacity B serves rows < B requests at the
+// partially-amortized cost the hardware would pay. rows <= 0 or rows >= the
+// model's batch capacity is a full invoke, bit-identical to Invoke. Partial
+// rows require a row-sliceable model (every activation batch-leading).
+func (d *Device) InvokeBatch(rows int) (Timing, error) {
+	t, _, err := d.run(true, false, rows)
 	return t, err
 }
 
@@ -131,21 +143,40 @@ func (d *Device) InvokeCtx(ctx context.Context) (Timing, error) {
 	return d.Invoke()
 }
 
+// InvokeBatchCtx is InvokeBatch behind the same context gate as InvokeCtx.
+func (d *Device) InvokeBatchCtx(ctx context.Context, rows int) (Timing, error) {
+	if err := ctx.Err(); err != nil {
+		return Timing{}, err
+	}
+	return d.InvokeBatch(rows)
+}
+
 // EstimateInvoke returns the timing one Invoke would take without
 // executing any kernels. It uses the same cycle and transfer models as
 // Invoke, so runtime experiments can be evaluated at the paper's full
 // dataset scale where functional execution would be wasteful. Estimation
 // never injects faults and never poisons the device.
 func (d *Device) EstimateInvoke() (Timing, error) {
-	t, _, err := d.run(false, false)
+	t, _, err := d.run(false, false, 0)
+	return t, err
+}
+
+// EstimateInvokeBatch is EstimateInvoke at an effective batch of rows
+// occupied sample rows: the same rows-scaled pricing as InvokeBatch with no
+// kernel execution.
+func (d *Device) EstimateInvokeBatch(rows int) (Timing, error) {
+	t, _, err := d.run(false, false, rows)
 	return t, err
 }
 
 // run is the single op-walk behind Invoke, InvokeProfiled and
 // EstimateInvoke. execute selects functional execution (kernels run, faults
 // inject) versus pure estimation; trace additionally collects per-op
-// traces.
-func (d *Device) run(execute, trace bool) (Timing, []OpTrace, error) {
+// traces. rows limits execution and pricing to the first rows sample rows
+// of the batch; rows <= 0 (or >= the compiled batch capacity) is a full
+// invoke and takes exactly the unscaled arithmetic, so the full path stays
+// bit-identical to the pre-batching runtime.
+func (d *Device) run(execute, trace bool, rows int) (Timing, []OpTrace, error) {
 	if d.loaded == nil {
 		return Timing{}, nil, ErrNoModel
 	}
@@ -153,6 +184,27 @@ func (d *Device) run(execute, trace bool) (Timing, []OpTrace, error) {
 		return Timing{}, nil, ErrPoisoned
 	}
 	cm := d.loaded
+	capacity := cm.BatchCapacity()
+	partial := rows > 0 && rows < capacity
+	if partial && !cm.Model.RowSliceable() {
+		return Timing{}, nil, fmt.Errorf("edgetpu: model %q is not row-sliceable; cannot invoke %d of %d rows",
+			cm.Model.Name, rows, capacity)
+	}
+	vrows := 0 // rows argument for the interpreter's view resolution
+	if partial {
+		vrows = rows
+	}
+	// scaleElems prices a batch-leading tensor quantity at the effective
+	// batch. Boundary tensors and activations are batch-leading on
+	// row-sliceable models, so n is divisible by capacity and the division
+	// is exact — partial-batch pricing is exact integer arithmetic, not a
+	// rounded approximation.
+	scaleElems := func(n int) int {
+		if !partial {
+			return n
+		}
+		return n * rows / capacity
+	}
 	var t Timing
 	t.Host = d.cfg.InvokeOverhead
 
@@ -167,14 +219,17 @@ func (d *Device) run(execute, trace bool) (Timing, []OpTrace, error) {
 	}
 
 	if cm.DelegatedOps() > 0 {
+		inBytes := scaleElems(cm.TransferInBytes)
 		if inject {
-			if le, penalty := d.faults.linkFault(PhaseTransferIn, cm.TransferInBytes); le != nil {
+			if le, penalty := d.faults.linkFault(PhaseTransferIn, inBytes); le != nil {
 				t.TransferIn = penalty
 				return t, nil, le
 			}
 		}
-		t.TransferIn = d.cfg.transferTime(cm.TransferInBytes)
+		t.TransferIn = d.cfg.transferTime(inBytes)
 		if !cm.Resident {
+			// Streamed parameters are batch-independent: the full weight
+			// set crosses the link however many rows are occupied.
 			if inject {
 				if le, penalty := d.faults.linkFault(PhaseWeightStream, cm.ParamBytes); le != nil {
 					t.WeightStream = penalty
@@ -198,12 +253,12 @@ func (d *Device) run(execute, trace bool) (Timing, []OpTrace, error) {
 		tr := OpTrace{Op: oi, Code: op.Op, Placement: cm.Placements[oi]}
 		if cm.Placements[oi] == PlaceCPU {
 			if execute {
-				if err := d.interp.InvokeOp(oi); err != nil {
+				if err := d.interp.InvokeOpRows(oi, vrows); err != nil {
 					d.poisoned = true
 					return t, traces, err
 				}
 			}
-			tr.HostTime = d.hostOpCost(op)
+			tr.HostTime = d.hostOpCost(op, scaleElems)
 			t.HostFallback += tr.HostTime
 			if trace {
 				traces = append(traces, tr)
@@ -214,10 +269,10 @@ func (d *Device) run(execute, trace bool) (Timing, []OpTrace, error) {
 		case tflite.OpFullyConnected:
 			var stats FCStats
 			if execute {
-				in := d.interp.Tensor(op.Inputs[0])
+				in := d.interp.TensorRows(op.Inputs[0], vrows)
 				w := d.interp.Tensor(op.Inputs[1])
 				bias := d.interp.Tensor(op.Inputs[2])
-				out := d.interp.Tensor(op.Outputs[0])
+				out := d.interp.TensorRows(op.Outputs[0], vrows)
 				var err error
 				stats, err = d.array.RunFullyConnected(in, w, bias, out)
 				if err != nil {
@@ -227,7 +282,11 @@ func (d *Device) run(execute, trace bool) (Timing, []OpTrace, error) {
 			} else {
 				in := cm.Model.Tensors[op.Inputs[0]]
 				w := cm.Model.Tensors[op.Inputs[1]]
-				stats = d.array.fcCycles(in.Shape[0], in.Shape[1], w.Shape[0])
+				batch := in.Shape[0]
+				if partial {
+					batch = rows
+				}
+				stats = d.array.fcCycles(batch, in.Shape[1], w.Shape[0])
 			}
 			tr.Cycles = stats.Cycles
 			tr.MACs = stats.MACs
@@ -236,13 +295,13 @@ func (d *Device) run(execute, trace bool) (Timing, []OpTrace, error) {
 		case tflite.OpTanh, tflite.OpLogistic, tflite.OpConcat, tflite.OpReshape:
 			var elems int
 			if execute {
-				if err := d.interp.InvokeOp(oi); err != nil {
+				if err := d.interp.InvokeOpRows(oi, vrows); err != nil {
 					d.poisoned = true
 					return t, traces, err
 				}
-				elems = d.interp.Tensor(op.Outputs[0]).Elems()
+				elems = d.interp.TensorRows(op.Outputs[0], vrows).Elems()
 			} else {
-				elems = cm.Model.Tensors[op.Outputs[0]].Shape.Elems()
+				elems = scaleElems(cm.Model.Tensors[op.Outputs[0]].Shape.Elems())
 			}
 			tr.Cycles = d.array.lutCycles(elems)
 			cycles += tr.Cycles
@@ -259,25 +318,27 @@ func (d *Device) run(execute, trace bool) (Timing, []OpTrace, error) {
 	t.Cycles = cycles
 	t.Compute = d.cfg.cyclesToTime(cycles)
 
-	if inject && cm.DelegatedOps() > 0 {
-		if le, penalty := d.faults.linkFault(PhaseTransferOut, cm.TransferOutBytes); le != nil {
-			// Compute completed, but the results never made it back: the
-			// attempt pays everything up to here plus the timeout.
-			t.TransferOut = penalty
-			return t, traces, le
-		}
-	}
 	if cm.DelegatedOps() > 0 {
-		t.TransferOut = d.cfg.transferTime(cm.TransferOutBytes)
+		outBytes := scaleElems(cm.TransferOutBytes)
+		if inject {
+			if le, penalty := d.faults.linkFault(PhaseTransferOut, outBytes); le != nil {
+				// Compute completed, but the results never made it back: the
+				// attempt pays everything up to here plus the timeout.
+				t.TransferOut = penalty
+				return t, traces, le
+			}
+		}
+		t.TransferOut = d.cfg.transferTime(outBytes)
 	}
 	return t, traces, nil
 }
 
-// hostOpCost prices a CPU-fallback operator by its produced elements.
-func (d *Device) hostOpCost(op tflite.Operator) time.Duration {
+// hostOpCost prices a CPU-fallback operator by its produced elements,
+// scaled to the effective batch by scaleElems.
+func (d *Device) hostOpCost(op tflite.Operator, scaleElems func(int) int) time.Duration {
 	elems := 0
 	for _, ti := range op.Outputs {
-		elems += d.loaded.Model.Tensors[ti].Shape.Elems()
+		elems += scaleElems(d.loaded.Model.Tensors[ti].Shape.Elems())
 	}
 	return time.Duration(float64(elems) * d.cfg.HostNsPerElem)
 }

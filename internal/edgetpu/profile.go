@@ -80,7 +80,7 @@ func (p *Profiler) Report(cfg Config) string {
 // returns the per-op trace of this invocation; when the device has an
 // attached profiler the trace is folded in.
 func (d *Device) InvokeProfiled() (Timing, []OpTrace, error) {
-	t, traces, err := d.run(true, true)
+	t, traces, err := d.run(true, true, 0)
 	if err != nil {
 		return t, nil, err
 	}

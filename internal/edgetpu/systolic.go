@@ -2,10 +2,17 @@ package edgetpu
 
 import (
 	"fmt"
+	"sync"
 
 	"hdcedge/internal/tensor"
 	"hdcedge/internal/tflite"
 )
+
+// accPool recycles the accumulator scratch across RunFullyConnected calls
+// (and across concurrent devices): the serving hot path invokes the array
+// per batch, and per-invoke allocation of batch×units int32s was the
+// dominant steady-state garbage.
+var accPool = sync.Pool{New: func() any { return new([]int32) }}
 
 // Array is the weight-stationary systolic matrix unit. A weight tile of
 // Rows×Cols int8 values is shifted into the array, then activation rows
@@ -79,8 +86,15 @@ func (a Array) RunFullyConnected(in, w, bias, out *tensor.Tensor) (FCStats, erro
 	zpOut := out.Quant.ZeroPoint
 
 	// On-chip accumulators, initialized with the bias (TFLite folds the
-	// bias into the accumulator before the MAC stream).
-	acc := make([]int32, batch*units)
+	// bias into the accumulator before the MAC stream). The backing slice
+	// is pooled across invokes — every entry is overwritten by the bias
+	// copy below, so reuse cannot leak state between invocations.
+	accp := accPool.Get().(*[]int32)
+	defer accPool.Put(accp)
+	if cap(*accp) < batch*units {
+		*accp = make([]int32, batch*units)
+	}
+	acc := (*accp)[:batch*units]
 	for b := 0; b < batch; b++ {
 		copy(acc[b*units:(b+1)*units], bias.I32)
 	}

@@ -12,7 +12,8 @@ var AllExperiments = []string{
 	"ablation-encoding", "ablation-fused", "ablation-subwidth", "ablation-batch",
 	"ablation-robustness", "ablation-online", "ablation-binary",
 	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
-	"ablation-scaleout", "ablation-faults", "ablation-overload", "table-variance",
+	"ablation-scaleout", "ablation-faults", "ablation-overload", "ablation-batching",
+	"table-variance",
 }
 
 // RunOne executes the named experiment and renders it to w.
@@ -156,6 +157,12 @@ func RunOne(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		RenderAblationOverload(w, res)
+	case "ablation-batching":
+		res, err := AblationBatching(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationBatching(w, res)
 	case "ablation-online":
 		rows, err := AblationOnline(cfg)
 		if err != nil {

@@ -89,6 +89,18 @@ func (m *Model) PredictBatch(x *tensor.Tensor) []int {
 func (m *Model) ClassifyEncodedBatch(enc *tensor.Tensor) []int {
 	s := enc.Shape[0]
 	out := make([]int, s)
+	if m.Metric == DotSimilarity && s > 1 {
+		// One blocked, parallel GEMM against the transposed class matrix
+		// replaces s MatVec passes over Classes. Scores can differ from the
+		// per-row path only in the sign of a zero (the GEMM skips zero
+		// operands), which cannot change an ArgMax comparison.
+		scores := tensor.New(tensor.Float32, s, m.K())
+		tensor.MatMul(scores, enc, tensor.Transpose(m.Classes))
+		for i := 0; i < s; i++ {
+			out[i] = tensor.ArgMax(scores.Row(i))
+		}
+		return out
+	}
 	scores := make([]float32, m.K())
 	for i := 0; i < s; i++ {
 		m.Scores(scores, enc.Row(i))

@@ -215,7 +215,7 @@ type ResilientRunner struct {
 	lastWasFallback bool
 
 	hostInterp *tflite.Interpreter
-	hostTime   time.Duration
+	hostTimes  map[int]time.Duration // host fallback cost per effective rows (0 = full batch)
 
 	// SetupTime is the initial LoadModel cost (not counted as overhead).
 	SetupTime time.Duration
@@ -282,7 +282,17 @@ func (r *ResilientRunner) Output(i int) *tensor.Tensor {
 // healthy path it is exactly the device's own timing. Backoff waits are
 // accounted in simulated time only — Invoke never sleeps.
 func (r *ResilientRunner) Invoke(fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
-	return r.invoke(nil, fill)
+	return r.invoke(nil, 0, fill)
+}
+
+// InvokeBatch is Invoke limited to the first rows sample rows of the
+// compiled batch: the device executes and prices only the occupied rows
+// (edgetpu.Device.InvokeBatch), and a host fallback runs and is priced at
+// the same effective batch. rows <= 0 (or >= the model's batch capacity)
+// is a full invoke. fill receives the full-capacity input tensor; it must
+// populate the first rows rows.
+func (r *ResilientRunner) InvokeBatch(rows int, fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
+	return r.invoke(nil, rows, fill)
 }
 
 // InvokeCtx is Invoke under a context: the deadline or cancellation is
@@ -295,12 +305,22 @@ func (r *ResilientRunner) InvokeCtx(ctx context.Context, fill func(in *tensor.Te
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return r.invoke(ctx, fill)
+	return r.invoke(ctx, 0, fill)
+}
+
+// InvokeBatchCtx is InvokeBatch under a context, with the same cancellation
+// semantics as InvokeCtx. It is the serving micro-batcher's entry point.
+func (r *ResilientRunner) InvokeBatchCtx(ctx context.Context, rows int, fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return r.invoke(ctx, rows, fill)
 }
 
 // invoke is the shared retry/reload/breaker loop. A nil ctx selects the
-// batch behavior (no wall-clock waits, no cancellation points).
-func (r *ResilientRunner) invoke(ctx context.Context, fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
+// batch behavior (no wall-clock waits, no cancellation points); rows
+// limits device execution and pricing to the occupied sample rows.
+func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
 	r.report.Invokes++
 	var waste edgetpu.Timing
 	if err := ctxErr(ctx); err != nil {
@@ -319,7 +339,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, fill func(in *tensor.Tenso
 			}
 		}
 		if r.breaker == BreakerOpen {
-			return r.invokeHost(fill, waste)
+			return r.invokeHost(fill, waste, rows)
 		}
 		probing = true
 		r.report.BreakerProbes++
@@ -348,7 +368,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, fill func(in *tensor.Tenso
 		}
 		attempts++
 		r.report.DeviceInvokes++
-		t, err := r.deviceInvoke(ctx)
+		t, err := r.deviceInvoke(ctx, rows)
 		if err == nil {
 			r.consecutive = 0
 			r.lastWasFallback = false
@@ -376,7 +396,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, fill func(in *tensor.Tenso
 		if probing {
 			// The trial attempt failed: back to open for another cooldown.
 			r.trip()
-			return r.invokeHost(fill, waste)
+			return r.invokeHost(fill, waste, rows)
 		}
 		if attempts > r.policy.MaxRetries {
 			// This invoke is out of device attempts: complete it on the
@@ -386,7 +406,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, fill func(in *tensor.Tenso
 			if r.consecutive >= r.policy.BreakerThreshold {
 				r.trip()
 			}
-			return r.invokeHost(fill, waste)
+			return r.invokeHost(fill, waste, rows)
 		}
 		r.report.Retries++
 		wait := r.policy.backoff(attempts, r.jitter)
@@ -409,12 +429,12 @@ func (r *ResilientRunner) invoke(ctx context.Context, fill func(in *tensor.Tenso
 }
 
 // deviceInvoke dispatches one device attempt, context-gated when a ctx is
-// present.
-func (r *ResilientRunner) deviceInvoke(ctx context.Context) (edgetpu.Timing, error) {
+// present and limited to rows occupied sample rows (0 = full batch).
+func (r *ResilientRunner) deviceInvoke(ctx context.Context, rows int) (edgetpu.Timing, error) {
 	if ctx != nil {
-		return r.dev.InvokeCtx(ctx)
+		return r.dev.InvokeBatchCtx(ctx, rows)
 	}
-	return r.dev.Invoke()
+	return r.dev.InvokeBatch(rows)
 }
 
 // trip opens the breaker and arms the cooldown.
@@ -454,26 +474,34 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // interpreter, priced by the cpuarch fallback model. The quantized graph is
 // bit-exact with the healthy device, so degradation costs throughput, not
 // accuracy.
-func (r *ResilientRunner) invokeHost(fill func(in *tensor.Tensor), waste edgetpu.Timing) (edgetpu.Timing, error) {
+func (r *ResilientRunner) invokeHost(fill func(in *tensor.Tensor), waste edgetpu.Timing, rows int) (edgetpu.Timing, error) {
 	if r.hostInterp == nil {
 		it, err := tflite.NewInterpreter(r.cm.Model)
 		if err != nil {
 			return waste, fmt.Errorf("pipeline: host fallback unavailable: %w", err)
 		}
 		r.hostInterp = it
-		r.hostTime = HostModelTime(r.host, r.cm.Model)
+		r.hostTimes = make(map[int]time.Duration)
+	}
+	if rows >= r.cm.BatchCapacity() {
+		rows = 0 // full batch: share the unscaled cache entry
+	}
+	hostTime, ok := r.hostTimes[rows]
+	if !ok {
+		hostTime = HostModelTimeRows(r.host, r.cm.Model, rows)
+		r.hostTimes[rows] = hostTime
 	}
 	if fill != nil {
 		fill(r.hostInterp.Input(0))
 	}
-	if err := r.hostInterp.Invoke(); err != nil {
+	if err := r.hostInterp.InvokeRows(rows); err != nil {
 		return waste, fmt.Errorf("pipeline: host fallback invoke: %w", err)
 	}
 	r.lastWasFallback = true
 	r.report.FallbackInvokes++
-	r.report.FallbackTime += r.hostTime
+	r.report.FallbackTime += hostTime
 	t := waste
-	t.HostFallback += r.hostTime
+	t.HostFallback += hostTime
 	return t, nil
 }
 
@@ -481,17 +509,37 @@ func (r *ResilientRunner) invokeHost(fill func(in *tensor.Tensor), waste edgetpu
 // on the host CPU using the cpuarch primitives — the cost the resilient
 // runtime pays per invoke once it has degraded off the accelerator.
 func HostModelTime(host cpuarch.Spec, m *tflite.Model) time.Duration {
+	return HostModelTimeRows(host, m, 0)
+}
+
+// HostModelTimeRows prices one invocation at an effective batch of rows
+// occupied sample rows. rows <= 0 (or >= the model's batch capacity) prices
+// the full batch with exactly the unscaled arithmetic. On row-sliceable
+// models the per-op element counts are batch-leading, so the scaling is an
+// exact integer division, mirroring the device-side partial-batch pricing.
+func HostModelTimeRows(host cpuarch.Spec, m *tflite.Model, rows int) time.Duration {
+	capacity := m.BatchCapacity()
+	partial := rows > 0 && rows < capacity
+	scale := func(n int) int {
+		if !partial {
+			return n
+		}
+		return n * rows / capacity
+	}
 	var total time.Duration
 	for _, op := range m.Operators {
 		outElems := 0
 		for _, ti := range op.Outputs {
-			outElems += m.Tensors[ti].Shape.Elems()
+			outElems += scale(m.Tensors[ti].Shape.Elems())
 		}
 		switch op.Op {
 		case tflite.OpFullyConnected:
 			in := m.Tensors[op.Inputs[0]]
 			w := m.Tensors[op.Inputs[1]]
 			batch, depth, units := in.Shape[0], in.Shape[1], w.Shape[0]
+			if partial {
+				batch = rows
+			}
 			if in.DType == tensor.Int8 {
 				total += host.Int8GEMMTime(batch, depth, units)
 			} else {
@@ -507,14 +555,14 @@ func HostModelTime(host cpuarch.Spec, m *tflite.Model) time.Duration {
 			total += host.QuantizeTime(outElems)
 		case tflite.OpArgMax:
 			in := m.Tensors[op.Inputs[0]]
-			total += host.ArgMaxTime(in.Shape.Elems())
+			total += host.ArgMaxTime(scale(in.Shape.Elems()))
 		case tflite.OpSoftmax:
 			total += host.TanhTime(outElems)
 		default: // CONCAT, RESHAPE and other data movement
 			bytes := 0
 			for _, ti := range op.Outputs {
 				info := m.Tensors[ti]
-				bytes += info.Shape.Elems() * info.DType.Size()
+				bytes += scale(info.Shape.Elems()) * info.DType.Size()
 			}
 			total += host.StreamTime(2 * bytes)
 		}

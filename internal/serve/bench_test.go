@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/pipeline"
+	"hdcedge/internal/tensor"
+)
+
+// benchFill fills every occupied row of the batch input from the dataset.
+func benchFill(x *tensor.Tensor, rows int) func(in *tensor.Tensor) {
+	n := x.Shape[1]
+	return func(in *tensor.Tensor) {
+		copy(in.F32[:rows*n], x.F32[:rows*n])
+	}
+}
+
+// BenchmarkInvokeBatch measures one device invoke at increasing occupancy of
+// a batch-16 compiled model. b.N invokes; per-sample wall cost is ns/op
+// divided by the row count.
+func BenchmarkInvokeBatch(b *testing.B) {
+	p, cm, ds := serveBatchModel(b, 16)
+	r, err := pipeline.NewResilientRunner(p, cm, edgetpu.FaultPlan{}, pipeline.DefaultRecoveryPolicy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rows := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			fill := benchFill(ds.X, rows)
+			if _, err := r.InvokeBatch(rows, fill); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.InvokeBatch(rows, fill); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestInvokeBatchSteadyStateAllocs(t *testing.T) {
+	// The serving hot path must not allocate per invoke beyond a small
+	// fixed overhead: the accumulator comes from a pool, activation views
+	// and LUTs are cached after the first invoke. Pinned to one P so
+	// ParallelFor runs inline and the measurement is deterministic.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	p, cm, ds := serveBatchModel(t, 8)
+	r, err := pipeline.NewResilientRunner(p, cm, edgetpu.FaultPlan{}, pipeline.DefaultRecoveryPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range []int{1, 8} {
+		fill := benchFill(ds.X, rows)
+		for i := 0; i < 3; i++ { // warm caches and the pool
+			if _, err := r.InvokeBatch(rows, fill); err != nil {
+				t.Fatal(err)
+			}
+		}
+		avg := testing.AllocsPerRun(50, func() {
+			if _, err := r.InvokeBatch(rows, fill); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg > 8 {
+			t.Errorf("rows=%d: %v allocs per steady-state invoke, want <= 8", rows, avg)
+		}
+	}
+}
+
+// serveBenchRow is one line of BENCH_serve.json.
+type serveBenchRow struct {
+	Rows            int     `json:"rows"`
+	WallNsPerInvoke int64   `json:"wall_ns_per_invoke"`
+	WallNsPerSample int64   `json:"wall_ns_per_sample"`
+	SimUsPerSample  float64 `json:"sim_us_per_sample"`
+	AllocsPerInvoke int64   `json:"allocs_per_invoke"`
+}
+
+// TestWriteServeBench renders the micro-batching benchmark to the JSON file
+// named by BENCH_SERVE_OUT (skipped when unset). `make bench-serve` drives it.
+func TestWriteServeBench(t *testing.T) {
+	out := os.Getenv("BENCH_SERVE_OUT")
+	if out == "" {
+		t.Skip("BENCH_SERVE_OUT not set; run via `make bench-serve`")
+	}
+	p, cm, ds := serveBatchModel(t, 16)
+	r, err := pipeline.NewResilientRunner(p, cm, edgetpu.FaultPlan{}, pipeline.DefaultRecoveryPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rowsOut []serveBenchRow
+	for _, rows := range []int{1, 2, 4, 8, 16} {
+		fill := benchFill(ds.X, rows)
+		sim, err := r.InvokeBatch(rows, fill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.InvokeBatch(rows, fill); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rowsOut = append(rowsOut, serveBenchRow{
+			Rows:            rows,
+			WallNsPerInvoke: res.NsPerOp(),
+			WallNsPerSample: res.NsPerOp() / int64(rows),
+			SimUsPerSample:  float64(sim.Total()) / float64(time.Microsecond) / float64(rows),
+			AllocsPerInvoke: res.AllocsPerOp(),
+		})
+	}
+	doc := struct {
+		Note     string          `json:"note"`
+		Model    string          `json:"model"`
+		Capacity int             `json:"batch_capacity"`
+		Rows     []serveBenchRow `json:"rows"`
+	}{
+		Note:     "micro-batched invoke cost; regenerate with `make bench-serve`",
+		Model:    cm.Model.Name,
+		Capacity: cm.BatchCapacity(),
+		Rows:     rowsOut,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

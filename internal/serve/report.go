@@ -22,6 +22,15 @@ type ServeReport struct {
 // Shed returns the total requests refused at admission, by any cause.
 func (r ServeReport) Shed() int { return r.ShedQueueFull + r.ShedDraining }
 
+// MeanOccupancy returns the mean occupied rows per device invoke, or zero
+// before the first completed invoke.
+func (r ServeReport) MeanOccupancy() float64 {
+	if r.BatchInvokes == 0 {
+		return 0
+	}
+	return float64(r.BatchRows) / float64(r.BatchInvokes)
+}
+
 // Settled returns how many submitted requests have reached a terminal state.
 func (r ServeReport) Settled() int {
 	return r.Completed + r.Shed() + r.DeadlineExceeded + r.Cancelled + r.DrainForced + r.Failed
@@ -39,6 +48,9 @@ func (r ServeReport) String() string {
 	fmt.Fprintf(&sb, "  queue-wait n=%d p50=%s p99=%s max=%s\n",
 		r.QueueWait.Count(), metrics.FmtDur(r.QueueWait.Quantile(0.5)),
 		metrics.FmtDur(r.QueueWait.Quantile(0.99)), metrics.FmtDur(r.QueueWait.Max()))
+	fmt.Fprintf(&sb, "  batching: %d invokes, %d rows, occupancy mean %.2f max %d, per-sample p50=%s p99=%s\n",
+		r.BatchInvokes, r.BatchRows, r.MeanOccupancy(), r.MaxBatchRows,
+		metrics.FmtDur(r.PerSample.Quantile(0.5)), metrics.FmtDur(r.PerSample.Quantile(0.99)))
 	fmt.Fprintf(&sb, "  %s", r.Reliability)
 	return sb.String()
 }

@@ -55,6 +55,27 @@ type Config struct {
 	// so that offered load beyond capacity actually queues. Zero disables
 	// pacing: the simulated invoke is then wall-clock instantaneous.
 	PacePerInvoke time.Duration
+
+	// PaceScale adds PaceScale × the invoke's simulated total to the pace,
+	// so worker occupancy tracks the cost model: a batched invoke then
+	// occupies its worker barely longer than a single-row one and the
+	// systolic amortization shows up as wall-clock throughput. Zero keeps
+	// pacing flat per invoke.
+	PaceScale float64
+
+	// MaxBatch is how many queued requests one worker may coalesce into a
+	// single device invoke (rows of one input tensor, one InvokeCtx). It
+	// must not exceed the compiled model's batch capacity. Zero or one
+	// serves one request per invoke — the pre-batching behavior.
+	MaxBatch int
+
+	// BatchWindow bounds how long a worker holds an underfull batch open
+	// for more arrivals before dispatching it. Each queued request is held
+	// at most half its remaining deadline slack, whichever is smaller, so
+	// a request never misses its deadline waiting for a window to fill.
+	// Zero dispatches immediately with whatever is queued (batching still
+	// coalesces a backlog, but never waits for one).
+	BatchWindow time.Duration
 }
 
 // Validate checks the configuration for sanity.
@@ -70,6 +91,15 @@ func (c Config) Validate() error {
 	}
 	if c.PacePerInvoke < 0 {
 		return fmt.Errorf("serve: negative PacePerInvoke %v", c.PacePerInvoke)
+	}
+	if c.PaceScale < 0 {
+		return fmt.Errorf("serve: negative PaceScale %v", c.PaceScale)
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("serve: negative MaxBatch %d", c.MaxBatch)
+	}
+	if c.BatchWindow < 0 {
+		return fmt.Errorf("serve: negative BatchWindow %v", c.BatchWindow)
 	}
 	if len(c.Plans) != 0 && len(c.Plans) != max(c.Devices, 1) {
 		return fmt.Errorf("serve: %d per-device plans for %d devices", len(c.Plans), max(c.Devices, 1))
@@ -141,6 +171,7 @@ type Result struct {
 	Timing    edgetpu.Timing // simulated per-invoke timing (incl. recovery)
 	OnHost    bool           // served by the host CPU fallback
 	Device    int            // worker/device index that served it
+	BatchSize int            // occupied rows of the invoke that served it
 	QueueWait time.Duration  // wall-clock time spent queued
 	Latency   time.Duration  // wall-clock admission → completion
 }
@@ -173,6 +204,34 @@ type worker struct {
 
 	mu     sync.Mutex
 	report pipeline.ReliabilityReport // snapshot after the last invoke
+
+	// invokeMu guards invokeCancel, the cancel func of the in-flight
+	// batched invoke's merged context; the drain force path fires it so a
+	// multi-request invoke cannot outlive the drain deadline.
+	invokeMu     sync.Mutex
+	invokeCancel context.CancelFunc
+
+	// rowViews caches per-row views of the engine tensors the worker
+	// scatters to, keyed by the backing tensor (which changes when the
+	// runner reloads the model or switches to the host interpreter). Only
+	// the worker goroutine touches it.
+	rowViews map[*tensor.Tensor][]*tensor.Tensor
+}
+
+// rowView returns a cached single-row view of t ([1, ...] at row i).
+func (w *worker) rowView(t *tensor.Tensor, i int) *tensor.Tensor {
+	if w.rowViews == nil {
+		w.rowViews = make(map[*tensor.Tensor][]*tensor.Tensor)
+	}
+	vs, ok := w.rowViews[t]
+	if !ok {
+		vs = make([]*tensor.Tensor, t.Shape[0])
+		w.rowViews[t] = vs
+	}
+	if vs[i] == nil {
+		vs[i] = t.ViewRows(i, i+1)
+	}
+	return vs[i]
 }
 
 // Server is the serving runtime. Create with New; shut down with Drain or
@@ -204,8 +263,12 @@ type counters struct {
 	Failed           int
 	HostFallback     int
 	MaxQueueDepth    int
+	BatchInvokes     int // successful device invokes (batched or single)
+	BatchRows        int // occupied rows summed across those invokes
+	MaxBatchRows     int // largest single-invoke occupancy observed
 	Latency          *metrics.Histogram
 	QueueWait        *metrics.Histogram
+	PerSample        *metrics.Histogram // simulated compute time per sample row
 }
 
 // New builds a server with cfg.Devices simulated devices, each loaded with
@@ -217,6 +280,14 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 	if cfg.Policy == (pipeline.RecoveryPolicy{}) {
 		cfg.Policy = pipeline.DefaultRecoveryPolicy()
 	}
+	if cfg.MaxBatch > 1 {
+		if cap := cm.BatchCapacity(); cfg.MaxBatch > cap {
+			return nil, fmt.Errorf("serve: MaxBatch %d exceeds compiled batch capacity %d", cfg.MaxBatch, cap)
+		}
+		if !cm.Model.RowSliceable() {
+			return nil, fmt.Errorf("serve: model %q is not row-sliceable; cannot micro-batch", cm.Model.Name)
+		}
+	}
 	n := max(cfg.Devices, 1)
 	s := &Server{
 		cfg:     cfg,
@@ -224,6 +295,7 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 		counters: counters{
 			Latency:   metrics.NewHistogram(),
 			QueueWait: metrics.NewHistogram(),
+			PerSample: metrics.NewHistogram(),
 		},
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -363,73 +435,227 @@ func (s *Server) accountLocked(o outcome) {
 	}
 }
 
-// next blocks for the next queued request; nil means the server is draining
-// and the queue is empty, so the worker should exit.
-func (s *Server) next() *request {
+// popLocked moves up to n unsettled requests from the queue head into batch.
+// Requests that settled while queued (deadline, force-drain) are dropped
+// without consuming a slot. Caller holds s.mu.
+func (s *Server) popLocked(n int, batch []*request) []*request {
+	for n > 0 && len(s.queue) > 0 {
+		r := s.queue[0]
+		s.queue = s.queue[1:]
+		if r.settled.Load() {
+			continue
+		}
+		batch = append(batch, r)
+		n--
+	}
+	return batch
+}
+
+// nextBatch blocks for the next coalesced batch of queued requests: up to
+// MaxBatch of them, holding an underfull batch open for BatchWindow so more
+// arrivals can ride the same invoke. The hold is capped at half of each
+// member's remaining deadline slack, so batching never costs a request its
+// deadline. nil means the server is draining and the queue is empty, so the
+// worker should exit.
+func (s *Server) nextBatch() []*request {
+	maxBatch := max(s.cfg.MaxBatch, 1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.queue) == 0 && !s.draining {
 		s.cond.Wait()
 	}
-	if len(s.queue) == 0 {
+	if len(s.queue) == 0 && s.draining {
 		return nil
 	}
-	r := s.queue[0]
-	s.queue = s.queue[1:]
-	return r
+	batch := s.popLocked(maxBatch, nil)
+	if len(batch) == 0 || len(batch) >= maxBatch || s.cfg.BatchWindow <= 0 || s.draining {
+		return batch
+	}
+
+	// Hold the underfull batch open. Every member tightens the collection
+	// deadline to half its remaining slack.
+	deadline := time.Now().Add(s.cfg.BatchWindow)
+	tighten := func(rs []*request) {
+		for _, r := range rs {
+			if d, ok := r.ctx.Deadline(); ok {
+				if cap := time.Now().Add(time.Until(d) / 2); cap.Before(deadline) {
+					deadline = cap
+				}
+			}
+		}
+	}
+	tighten(batch)
+	for len(batch) < maxBatch && !s.draining {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			break
+		}
+		// Arrivals Signal the cond; the timer broadcasts so a window expiry
+		// always wakes this worker even if an arrival woke a different one.
+		t := time.AfterFunc(wait, s.cond.Broadcast)
+		s.cond.Wait()
+		t.Stop()
+		n := len(batch)
+		batch = s.popLocked(maxBatch-n, batch)
+		tighten(batch[n:])
+	}
+	return batch
 }
 
 // workerLoop drains the queue through one device until shutdown.
 func (s *Server) workerLoop(w *worker) {
 	defer s.wg.Done()
 	for {
-		r := s.next()
-		if r == nil {
+		batch := s.nextBatch()
+		if batch == nil {
 			return
 		}
-		if r.settled.Load() {
-			continue // settled while queued (deadline or force-drain)
+		// Filter members that settled or expired while queued.
+		live := batch[:0]
+		for _, r := range batch {
+			if r.settled.Load() {
+				continue
+			}
+			if err := r.ctx.Err(); err != nil {
+				s.settle(r, outcome{err: s.reasonFor(err)})
+				continue
+			}
+			live = append(live, r)
 		}
-		if err := r.ctx.Err(); err != nil {
-			s.settle(r, outcome{err: s.reasonFor(err)})
-			continue
+		if len(live) > 0 {
+			s.invokeBatch(w, live)
 		}
-		start := time.Now()
-		qwait := start.Sub(r.enq)
+	}
+}
 
-		before := w.runner.Report().FallbackInvokes
-		t, err := w.runner.InvokeCtx(r.ctx, r.fill)
-		rep := w.runner.Report()
-		onHost := rep.FallbackInvokes > before
-		if err == nil && r.consume != nil {
-			r.consume(w.runner.Output(0))
-		}
-		w.state.Store(int32(w.runner.BreakerState()))
-		w.mu.Lock()
-		w.report = rep
-		w.mu.Unlock()
+// invokeBatch serves a coalesced batch through one device invoke: members'
+// samples pack into consecutive rows of the input tensor, the runner executes
+// the occupied row prefix, and each member reads back its own output row.
+// With MaxBatch ≤ 1 the batch is always a single request and the invoke takes
+// exactly the pre-batching path (full-tensor fill, InvokeCtx).
+func (s *Server) invokeBatch(w *worker, batch []*request) {
+	rows := len(batch)
+	start := time.Now()
+	batched := s.cfg.MaxBatch > 1
 
-		if err != nil {
-			s.settle(r, outcome{err: s.reasonFor(err)})
-			continue
-		}
-		if s.cfg.PacePerInvoke > 0 {
-			// Occupy the worker for the pace interval, but let a cancelled
-			// request (deadline, force-drain) release it early — the result
-			// is already computed either way.
-			timer := time.NewTimer(s.cfg.PacePerInvoke)
-			select {
-			case <-timer.C:
-			case <-r.ctx.Done():
-				timer.Stop()
+	// One context governs the merged invoke. A single-request invoke uses
+	// the request's own context; a multi-request one gets a context bounded
+	// by the latest member deadline — members expiring earlier settle
+	// individually from Do — and cancellable by the drain force path.
+	ictx := batch[0].ctx
+	var icancel context.CancelFunc
+	if rows > 1 {
+		latest, all := time.Time{}, true
+		for _, r := range batch {
+			d, ok := r.ctx.Deadline()
+			if !ok {
+				all = false
+				break
+			}
+			if d.After(latest) {
+				latest = d
 			}
 		}
+		if all {
+			ictx, icancel = context.WithDeadline(context.Background(), latest)
+		} else {
+			ictx, icancel = context.WithCancel(context.Background())
+		}
+		defer icancel()
+		w.invokeMu.Lock()
+		w.invokeCancel = icancel
+		w.invokeMu.Unlock()
+		defer func() {
+			w.invokeMu.Lock()
+			w.invokeCancel = nil
+			w.invokeMu.Unlock()
+		}()
+	}
+
+	before := w.runner.Report().FallbackInvokes
+	var t edgetpu.Timing
+	var err error
+	if batched {
+		t, err = w.runner.InvokeBatchCtx(ictx, rows, func(in *tensor.Tensor) {
+			for i, r := range batch {
+				r.fill(w.rowView(in, i))
+			}
+		})
+	} else {
+		t, err = w.runner.InvokeCtx(ictx, batch[0].fill)
+	}
+	rep := w.runner.Report()
+	onHost := rep.FallbackInvokes > before
+	if err == nil {
+		out := w.runner.Output(0)
+		for i, r := range batch {
+			if r.consume == nil || r.settled.Load() {
+				continue
+			}
+			if batched {
+				r.consume(w.rowView(out, i))
+			} else {
+				r.consume(out)
+			}
+		}
+	}
+	w.state.Store(int32(w.runner.BreakerState()))
+	w.mu.Lock()
+	w.report = rep
+	w.mu.Unlock()
+
+	if err != nil {
+		// A merged invoke fails as a unit; settle each member with its own
+		// context error when it has one, else the batch error. (A
+		// single-request invoke propagates the invoke error unchanged.)
+		for _, r := range batch {
+			cause := err
+			if rows > 1 {
+				if cerr := r.ctx.Err(); cerr != nil {
+					cause = cerr
+				}
+			}
+			s.settle(r, outcome{err: s.reasonFor(cause)})
+		}
+		return
+	}
+
+	s.mu.Lock()
+	s.counters.BatchInvokes++
+	s.counters.BatchRows += rows
+	if rows > s.counters.MaxBatchRows {
+		s.counters.MaxBatchRows = rows
+	}
+	per := t.Total() / time.Duration(rows)
+	for i := 0; i < rows; i++ {
+		s.counters.PerSample.Observe(per)
+	}
+	s.mu.Unlock()
+
+	pace := s.cfg.PacePerInvoke
+	if s.cfg.PaceScale > 0 {
+		pace += time.Duration(s.cfg.PaceScale * float64(t.Total()))
+	}
+	if pace > 0 {
+		// Occupy the worker for the pace interval, but let a cancelled
+		// invoke (deadline, force-drain) release it early — the result is
+		// already computed either way.
+		timer := time.NewTimer(pace)
+		select {
+		case <-timer.C:
+		case <-ictx.Done():
+			timer.Stop()
+		}
+	}
+	now := time.Now()
+	for _, r := range batch {
 		s.settle(r, outcome{res: Result{
 			Timing:    t,
 			OnHost:    onHost,
 			Device:    w.id,
-			QueueWait: qwait,
-			Latency:   time.Since(r.enq),
+			BatchSize: rows,
+			QueueWait: start.Sub(r.enq),
+			Latency:   now.Sub(r.enq),
 		}})
 	}
 }
@@ -501,6 +727,16 @@ func (s *Server) Drain(ctx context.Context) error {
 	for _, r := range inflight {
 		r.cancel() // settles as DrainError{"in-flight"} via reasonFor
 	}
+	// A multi-request invoke runs under a merged context that member cancels
+	// don't reach; fire each worker's in-flight cancel so a coalesced invoke
+	// cannot outlive the drain deadline either.
+	for _, w := range s.workers {
+		w.invokeMu.Lock()
+		if c := w.invokeCancel; c != nil {
+			c()
+		}
+		w.invokeMu.Unlock()
+	}
 	<-done
 	return &DrainError{Stage: "deadline"}
 }
@@ -515,6 +751,7 @@ func (s *Server) Report() ServeReport {
 	c := s.counters
 	c.Latency = s.counters.Latency.Clone()
 	c.QueueWait = s.counters.QueueWait.Clone()
+	c.PerSample = s.counters.PerSample.Clone()
 	s.mu.Unlock()
 	rep := ServeReport{counters: c, Devices: len(s.workers), Health: s.Health()}
 	for _, w := range s.workers {

@@ -457,6 +457,9 @@ func TestServeConfigValidate(t *testing.T) {
 		{DefaultDeadline: -time.Second},
 		{DrainDeadline: -time.Second},
 		{PacePerInvoke: -time.Second},
+		{PaceScale: -0.5},
+		{MaxBatch: -1},
+		{BatchWindow: -time.Millisecond},
 		{Devices: 2, Plans: []edgetpu.FaultPlan{{}}},
 	}
 	for i, cfg := range bad {

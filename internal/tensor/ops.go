@@ -121,19 +121,26 @@ func VecMat(dst []float32, x []float32, a *Tensor) {
 	if len(x) != m || len(dst) != k {
 		panic(fmt.Sprintf("tensor: VecMat dims: matrix %v, x %d, dst %d", a.Shape, len(x), len(dst)))
 	}
-	for j := range dst {
-		dst[j] = 0
-	}
-	for i := 0; i < m; i++ {
-		xv := x[i]
-		if xv == 0 {
-			continue
+	// Parallelize over disjoint column blocks: every dst[j] is owned by
+	// exactly one worker and accumulates its contributions in the same
+	// ascending-i order (with the same xv == 0 skips) as the serial loop,
+	// so the float results are bit-identical regardless of worker count.
+	ParallelFor(k, 1024, func(j0, j1 int) {
+		out := dst[j0:j1]
+		for j := range out {
+			out[j] = 0
 		}
-		row := a.F32[i*k : (i+1)*k]
-		for j, v := range row {
-			dst[j] += xv * v
+		for i := 0; i < m; i++ {
+			xv := x[i]
+			if xv == 0 {
+				continue
+			}
+			row := a.F32[i*k+j0 : i*k+j1]
+			for j, v := range row {
+				out[j] += xv * v
+			}
 		}
-	}
+	})
 }
 
 // Transpose returns the transpose of a 2-D tensor (float or int8).
@@ -177,11 +184,14 @@ func Tanh(t *Tensor) {
 	}
 }
 
-// TanhSlice applies tanh in place on a raw slice.
+// TanhSlice applies tanh in place on a raw slice. Elements are independent,
+// so the parallel chunks produce bit-identical results to a serial pass.
 func TanhSlice(xs []float32) {
-	for i, v := range xs {
-		xs[i] = float32(math.Tanh(float64(v)))
-	}
+	ParallelFor(len(xs), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = float32(math.Tanh(float64(xs[i])))
+		}
+	})
 }
 
 // Axpy computes y += alpha * x over raw float slices of equal length.

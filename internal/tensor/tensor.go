@@ -214,6 +214,39 @@ func (t *Tensor) Row(r int) []float32 {
 	return t.F32[r*cols : (r+1)*cols]
 }
 
+// ViewRows returns a tensor aliasing rows [lo, hi) of t along its leading
+// dimension: same dtype, shared backing storage and quantization params,
+// with the leading dimension clipped to hi-lo. Writes through the view are
+// visible in t. It is the batching primitive: a model compiled at capacity
+// B executes on a ViewRows(0, rows) prefix to serve rows occupied samples.
+func (t *Tensor) ViewRows(lo, hi int) *Tensor {
+	if len(t.Shape) == 0 {
+		panic("tensor: ViewRows on a scalar")
+	}
+	if lo < 0 || hi < lo || hi > t.Shape[0] {
+		panic(fmt.Sprintf("tensor: ViewRows [%d, %d) outside leading dim %d", lo, hi, t.Shape[0]))
+	}
+	stride := 1
+	for _, d := range t.Shape[1:] {
+		stride *= d
+	}
+	shape := t.Shape.Clone()
+	shape[0] = hi - lo
+	v := &Tensor{DType: t.DType, Shape: shape, Quant: t.Quant}
+	a, b := lo*stride, hi*stride
+	switch t.DType {
+	case Float32:
+		v.F32 = t.F32[a:b]
+	case Int8:
+		v.I8 = t.I8[a:b]
+	case Int32:
+		v.I32 = t.I32[a:b]
+	case UInt8:
+		v.U8 = t.U8[a:b]
+	}
+	return v
+}
+
 // RowI8 returns a view of row r of a 2-D int8 tensor.
 func (t *Tensor) RowI8(r int) []int8 {
 	if t.DType != Int8 || len(t.Shape) != 2 {

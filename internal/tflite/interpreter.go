@@ -10,9 +10,24 @@ import (
 // Interpreter executes a Model on the host CPU. It is the reference
 // implementation: the Edge TPU simulator must agree with it bit-exactly on
 // quantized graphs.
+//
+// An interpreter built from a RowSliceable model can also execute a row
+// prefix of the batch (InvokeRows / InvokeOpRows): kernels then run on
+// cached ViewRows views of the activation tensors, computing exactly the
+// first rows samples and touching nothing past them.
 type Interpreter struct {
 	model   *Model
 	tensors []*tensor.Tensor
+
+	capacity  int
+	sliceable bool
+
+	// views caches the row-prefix views per (rows) value so steady-state
+	// batched invokes allocate nothing; luts caches the int8 activation
+	// lookup tables per operator index (quantization params are fixed at
+	// build time, so the tables never change).
+	views map[int][]*tensor.Tensor
+	luts  map[int]*[256]int8
 }
 
 // NewInterpreter validates the model and allocates all activations.
@@ -20,7 +35,12 @@ func NewInterpreter(m *Model) (*Interpreter, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	it := &Interpreter{model: m, tensors: make([]*tensor.Tensor, len(m.Tensors))}
+	it := &Interpreter{
+		model:     m,
+		tensors:   make([]*tensor.Tensor, len(m.Tensors)),
+		capacity:  m.BatchCapacity(),
+		sliceable: m.RowSliceable(),
+	}
 	for i, ti := range m.Tensors {
 		if ti.Buffer != NoBuffer {
 			ct, err := m.ConstTensor(i)
@@ -53,60 +73,110 @@ func (it *Interpreter) Output(i int) *tensor.Tensor {
 // Tensor returns the runtime tensor at graph index idx.
 func (it *Interpreter) Tensor(idx int) *tensor.Tensor { return it.tensors[idx] }
 
+// TensorRows returns the tensor at graph index idx as seen by a rows-limited
+// invoke: constants in full, activations as a cached prefix view of rows
+// leading rows. rows <= 0 (or >= the batch capacity) returns the full tensor.
+func (it *Interpreter) TensorRows(idx, rows int) *tensor.Tensor {
+	if rows <= 0 || rows >= it.capacity {
+		return it.tensors[idx]
+	}
+	return it.viewFor(idx, rows)
+}
+
+// viewFor resolves graph index ti for a rows-limited execution. Constant
+// tensors (weights, biases, axes) are never clipped; activations resolve to
+// a cached prefix view sharing the full tensor's storage.
+func (it *Interpreter) viewFor(ti, rows int) *tensor.Tensor {
+	if it.model.Tensors[ti].Buffer != NoBuffer {
+		return it.tensors[ti]
+	}
+	if it.views == nil {
+		it.views = make(map[int][]*tensor.Tensor)
+	}
+	vs, ok := it.views[rows]
+	if !ok {
+		vs = make([]*tensor.Tensor, len(it.tensors))
+		it.views[rows] = vs
+	}
+	if vs[ti] == nil {
+		vs[ti] = it.tensors[ti].ViewRows(0, rows)
+	}
+	return vs[ti]
+}
+
 // InvokeOp executes the single operator at index i. It lets a delegate
 // runtime (the Edge TPU simulator) interleave its own kernels with the
 // reference CPU kernels while sharing one tensor store.
 func (it *Interpreter) InvokeOp(i int) error {
+	return it.InvokeOpRows(i, 0)
+}
+
+// InvokeOpRows executes the single operator at index i on the first rows
+// sample rows only. rows <= 0 (or >= the batch capacity) executes the full
+// batch; anything between requires a RowSliceable model.
+func (it *Interpreter) InvokeOpRows(i, rows int) error {
 	if i < 0 || i >= len(it.model.Operators) {
 		return fmt.Errorf("tflite: op index %d out of range", i)
 	}
+	at := it.Tensor
+	if rows > 0 && rows < it.capacity {
+		if !it.sliceable {
+			return fmt.Errorf("tflite: model %q is not row-sliceable; cannot invoke %d of %d rows",
+				it.model.Name, rows, it.capacity)
+		}
+		at = func(ti int) *tensor.Tensor { return it.viewFor(ti, rows) }
+	}
 	op := it.model.Operators[i]
-	if err := it.exec(op); err != nil {
+	if err := it.exec(i, op, at); err != nil {
 		return fmt.Errorf("tflite: op %d (%v): %w", i, op.Op, err)
 	}
 	return nil
 }
 
 // Invoke runs all operators in graph order.
-func (it *Interpreter) Invoke() error {
-	for oi, op := range it.model.Operators {
-		if err := it.exec(op); err != nil {
-			return fmt.Errorf("tflite: op %d (%v): %w", oi, op.Op, err)
+func (it *Interpreter) Invoke() error { return it.InvokeRows(0) }
+
+// InvokeRows runs all operators in graph order on the first rows sample
+// rows. rows <= 0 (or >= the batch capacity) runs the full batch.
+func (it *Interpreter) InvokeRows(rows int) error {
+	for oi := range it.model.Operators {
+		if err := it.InvokeOpRows(oi, rows); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-func (it *Interpreter) exec(op Operator) error {
+func (it *Interpreter) exec(oi int, op Operator, at func(int) *tensor.Tensor) error {
 	switch op.Op {
 	case OpFullyConnected:
-		return it.execFullyConnected(op)
+		return it.execFullyConnected(op, at)
 	case OpTanh:
-		return it.execTanh(op)
+		return it.execTanh(oi, op, at)
 	case OpLogistic:
-		return it.execLogistic(op)
+		return it.execLogistic(oi, op, at)
 	case OpQuantize:
-		return it.execQuantize(op)
+		return it.execQuantize(op, at)
 	case OpDequantize:
-		return it.execDequantize(op)
+		return it.execDequantize(op, at)
 	case OpArgMax:
-		return it.execArgMax(op)
+		return it.execArgMax(op, at)
 	case OpConcat:
-		return it.execConcat(op)
+		return it.execConcat(op, at)
 	case OpReshape:
-		return it.execReshape(op)
+		return it.execReshape(op, at)
 	case OpSoftmax:
-		return it.execSoftmax(op)
+		return it.execSoftmax(op, at)
 	default:
 		return fmt.Errorf("unsupported opcode %v", op.Op)
 	}
 }
 
-func (it *Interpreter) execFullyConnected(op Operator) error {
-	in := it.tensors[op.Inputs[0]]
-	w := it.tensors[op.Inputs[1]]
-	bias := it.tensors[op.Inputs[2]]
-	out := it.tensors[op.Outputs[0]]
+func (it *Interpreter) execFullyConnected(op Operator, at func(int) *tensor.Tensor) error {
+	in := at(op.Inputs[0])
+	w := at(op.Inputs[1])
+	bias := at(op.Inputs[2])
+	out := at(op.Outputs[0])
 	switch in.DType {
 	case tensor.Float32:
 		return fullyConnectedFloat(in, w, bias, out)
@@ -190,9 +260,26 @@ func fullyConnectedInt8(in, w, bias, out *tensor.Tensor) error {
 	return nil
 }
 
-func (it *Interpreter) execTanh(op Operator) error {
-	in := it.tensors[op.Inputs[0]]
-	out := it.tensors[op.Outputs[0]]
+// lutFor returns the activation lookup table for operator oi. The global
+// table store in lut.go already memoizes by quantization params, but behind
+// a mutex; caching per (interpreter, op) keeps concurrent serving workers
+// off that lock on the steady path. Params are fixed at build time, so the
+// cache never invalidates.
+func (it *Interpreter) lutFor(oi int, build func() *[256]int8) *[256]int8 {
+	if lut, ok := it.luts[oi]; ok {
+		return lut
+	}
+	if it.luts == nil {
+		it.luts = make(map[int]*[256]int8)
+	}
+	lut := build()
+	it.luts[oi] = lut
+	return lut
+}
+
+func (it *Interpreter) execTanh(oi int, op Operator, at func(int) *tensor.Tensor) error {
+	in := at(op.Inputs[0])
+	out := at(op.Outputs[0])
 	switch in.DType {
 	case tensor.Float32:
 		copy(out.F32, in.F32)
@@ -202,7 +289,7 @@ func (it *Interpreter) execTanh(op Operator) error {
 		if in.Quant == nil || out.Quant == nil {
 			return fmt.Errorf("int8 TANH missing quantization parameters")
 		}
-		lut := tanhLUT(*in.Quant, *out.Quant)
+		lut := it.lutFor(oi, func() *[256]int8 { return tanhLUT(*in.Quant, *out.Quant) })
 		for i, v := range in.I8 {
 			out.I8[i] = lut[uint8(v)]
 		}
@@ -212,9 +299,9 @@ func (it *Interpreter) execTanh(op Operator) error {
 	}
 }
 
-func (it *Interpreter) execLogistic(op Operator) error {
-	in := it.tensors[op.Inputs[0]]
-	out := it.tensors[op.Outputs[0]]
+func (it *Interpreter) execLogistic(oi int, op Operator, at func(int) *tensor.Tensor) error {
+	in := at(op.Inputs[0])
+	out := at(op.Outputs[0])
 	switch in.DType {
 	case tensor.Float32:
 		for i, v := range in.F32 {
@@ -225,7 +312,7 @@ func (it *Interpreter) execLogistic(op Operator) error {
 		if in.Quant == nil || out.Quant == nil {
 			return fmt.Errorf("int8 LOGISTIC missing quantization parameters")
 		}
-		lut := logisticLUT(*in.Quant, *out.Quant)
+		lut := it.lutFor(oi, func() *[256]int8 { return logisticLUT(*in.Quant, *out.Quant) })
 		for i, v := range in.I8 {
 			out.I8[i] = lut[uint8(v)]
 		}
@@ -235,9 +322,9 @@ func (it *Interpreter) execLogistic(op Operator) error {
 	}
 }
 
-func (it *Interpreter) execQuantize(op Operator) error {
-	in := it.tensors[op.Inputs[0]]
-	out := it.tensors[op.Outputs[0]]
+func (it *Interpreter) execQuantize(op Operator, at func(int) *tensor.Tensor) error {
+	in := at(op.Inputs[0])
+	out := at(op.Outputs[0])
 	if in.DType != tensor.Float32 || out.DType != tensor.Int8 || out.Quant == nil {
 		return fmt.Errorf("QUANTIZE needs float input and quantized int8 output")
 	}
@@ -248,9 +335,9 @@ func (it *Interpreter) execQuantize(op Operator) error {
 	return nil
 }
 
-func (it *Interpreter) execDequantize(op Operator) error {
-	in := it.tensors[op.Inputs[0]]
-	out := it.tensors[op.Outputs[0]]
+func (it *Interpreter) execDequantize(op Operator, at func(int) *tensor.Tensor) error {
+	in := at(op.Inputs[0])
+	out := at(op.Outputs[0])
 	if in.DType != tensor.Int8 || in.Quant == nil || out.DType != tensor.Float32 {
 		return fmt.Errorf("DEQUANTIZE needs quantized int8 input and float output")
 	}
@@ -261,9 +348,9 @@ func (it *Interpreter) execDequantize(op Operator) error {
 	return nil
 }
 
-func (it *Interpreter) execArgMax(op Operator) error {
-	in := it.tensors[op.Inputs[0]]
-	out := it.tensors[op.Outputs[0]]
+func (it *Interpreter) execArgMax(op Operator, at func(int) *tensor.Tensor) error {
+	in := at(op.Inputs[0])
+	out := at(op.Outputs[0])
 	if len(in.Shape) != 2 {
 		return fmt.Errorf("ARG_MAX supports 2-D inputs, got %v", in.Shape)
 	}
@@ -288,15 +375,15 @@ func (it *Interpreter) execArgMax(op Operator) error {
 	return nil
 }
 
-func (it *Interpreter) execConcat(op Operator) error {
-	out := it.tensors[op.Outputs[0]]
+func (it *Interpreter) execConcat(op Operator, at func(int) *tensor.Tensor) error {
+	out := at(op.Outputs[0])
 	if len(out.Shape) != 2 || int(op.Opts.Axis) != 1 {
 		return fmt.Errorf("CONCATENATION supports axis 1 of 2-D tensors")
 	}
 	batch, total := out.Shape[0], out.Shape[1]
 	off := 0
 	for _, idx := range op.Inputs {
-		in := it.tensors[idx]
+		in := at(idx)
 		if in.DType != out.DType || in.Shape[0] != batch {
 			return fmt.Errorf("CONCATENATION input mismatch")
 		}
@@ -319,9 +406,9 @@ func (it *Interpreter) execConcat(op Operator) error {
 	return nil
 }
 
-func (it *Interpreter) execReshape(op Operator) error {
-	in := it.tensors[op.Inputs[0]]
-	out := it.tensors[op.Outputs[0]]
+func (it *Interpreter) execReshape(op Operator, at func(int) *tensor.Tensor) error {
+	in := at(op.Inputs[0])
+	out := at(op.Outputs[0])
 	if in.Elems() != out.Elems() || in.DType != out.DType {
 		return fmt.Errorf("RESHAPE size mismatch %v -> %v", in.Shape, out.Shape)
 	}
@@ -338,9 +425,9 @@ func (it *Interpreter) execReshape(op Operator) error {
 	return nil
 }
 
-func (it *Interpreter) execSoftmax(op Operator) error {
-	in := it.tensors[op.Inputs[0]]
-	out := it.tensors[op.Outputs[0]]
+func (it *Interpreter) execSoftmax(op Operator, at func(int) *tensor.Tensor) error {
+	in := at(op.Inputs[0])
+	out := at(op.Outputs[0])
 	if in.DType != tensor.Float32 || len(in.Shape) != 2 {
 		return fmt.Errorf("SOFTMAX supports 2-D float inputs")
 	}

@@ -176,6 +176,41 @@ func (m *Model) ParamBytes() int {
 	return n
 }
 
+// BatchCapacity returns the leading dimension of the first model input —
+// the number of sample rows one invocation processes. Zero when the model
+// has no inputs or a scalar input.
+func (m *Model) BatchCapacity() int {
+	if len(m.Inputs) == 0 {
+		return 0
+	}
+	shape := m.Tensors[m.Inputs[0]].Shape
+	if len(shape) == 0 {
+		return 0
+	}
+	return shape[0]
+}
+
+// RowSliceable reports whether every runtime (non-constant) tensor is
+// batch-leading: its leading dimension equals the model's batch capacity.
+// Such a graph can execute on a row prefix — all kernels are row-independent,
+// so running on ViewRows(0, rows) views computes exactly the first rows
+// samples, bit-identically to a full-capacity invoke.
+func (m *Model) RowSliceable() bool {
+	cap := m.BatchCapacity()
+	if cap <= 0 {
+		return false
+	}
+	for _, ti := range m.Tensors {
+		if ti.Buffer != NoBuffer {
+			continue
+		}
+		if len(ti.Shape) == 0 || ti.Shape[0] != cap {
+			return false
+		}
+	}
+	return true
+}
+
 // TensorByName returns the index of the first tensor with the given name,
 // or -1.
 func (m *Model) TensorByName(name string) int {
