@@ -14,11 +14,13 @@ vet:
 	$(GO) vet ./...
 
 # The serving runtime is concurrency-heavy, so its package always runs
-# under the race detector even when the full -race pass is trimmed.
+# under the race detector even when the full -race pass is trimmed; the
+# backend conformance suite rides along so every execution backend keeps
+# its contract under the race detector too.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/serve/...
+	$(GO) test -race ./internal/serve/... ./internal/backend/...
 	$(GO) test -race ./...
 	@$(MAKE) fuzz-smoke
 
@@ -39,7 +41,8 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
-# Measure the micro-batched serving invoke and refresh BENCH_serve.json.
+# Measure the micro-batched serving invoke (plus a heterogeneous-fleet
+# throughput row) and refresh BENCH_serve.json.
 bench-serve:
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -run TestWriteServeBench -count=1 ./internal/serve/
 	@cat BENCH_serve.json

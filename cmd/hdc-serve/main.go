@@ -1,9 +1,11 @@
 // Command hdc-serve runs the request-level serving runtime against a
-// simulated Edge TPU fleet and reports what happened under load.
+// simulated fleet — all Edge TPU by default, or a heterogeneous TPU+CPU
+// mix via -fleet — and reports what happened under load.
 //
 // Usage:
 //
-//	hdc-serve [-data test.bin] [-devices 4] [-queue 8] [-deadline 250ms]
+//	hdc-serve [-data test.bin] [-devices 4] [-fleet "tpu=2,cpu=2"]
+//	          [-queue 8] [-deadline 250ms]
 //	          [-drain 2s] [-requests 400] [-load 2.0] [-pace 4ms]
 //	          [-batch 1] [-window 0] [-pace-scale 0]
 //	          [-faults "link=0.05"] [-fault-seed 1] [-seed 7]
@@ -14,9 +16,11 @@
 // admission queue. With -batch > 1 the model compiles at that batch
 // capacity and workers coalesce up to -batch queued requests into one
 // device invoke, holding an underfull batch open for up to -window.
-// The run ends with a graceful drain and the serving report:
-// admission/shed/deadline counters, latency quantiles, batch occupancy,
-// per-device breaker health. See docs/serving.md for the semantics.
+// With -fleet, the pool mixes accelerator and host-CPU workers; fault
+// plans apply to the accelerator workers only. The run ends with a
+// graceful drain and the serving report: admission/shed/deadline counters,
+// latency quantiles, batch occupancy, per-backend throughput/latency
+// breakdowns, per-worker breaker health. See docs/serving.md.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 func main() {
 	data := flag.String("data", "", "dataset to serve (synthetic when empty)")
 	devices := flag.Int("devices", 4, "simulated devices (workers)")
+	fleetSpec := flag.String("fleet", "", "heterogeneous worker fleet, e.g. \"tpu=2,cpu=2\" (overrides -devices)")
 	queue := flag.Int("queue", 8, "admission queue capacity (0 = unbounded)")
 	deadline := flag.Duration("deadline", 250*time.Millisecond, "default per-request deadline (0 = none)")
 	drain := flag.Duration("drain", 2*time.Second, "graceful-drain deadline (0 = wait forever)")
@@ -59,6 +64,13 @@ func main() {
 	}
 	if *batch < 1 {
 		fail("-batch must be at least 1")
+	}
+	var fleet serve.FleetSpec
+	if *fleetSpec != "" {
+		var err error
+		if fleet, err = serve.ParseFleet(*fleetSpec); err != nil {
+			fail(err.Error())
+		}
 	}
 	ds, err := loadDataset(*data, *seed)
 	if err != nil {
@@ -83,8 +95,7 @@ func main() {
 			fail(err.Error())
 		}
 	}
-	s, err := serve.New(p, cm, serve.Config{
-		Devices:         *devices,
+	cfg := serve.Config{
 		QueueCapacity:   *queue,
 		DefaultDeadline: *deadline,
 		DrainDeadline:   *drain,
@@ -93,14 +104,26 @@ func main() {
 		PaceScale:       *paceScale,
 		MaxBatch:        *batch,
 		BatchWindow:     *window,
-	})
+	}
+	workers := *devices
+	if len(fleet) > 0 {
+		cfg.Fleet = fleet
+		workers = len(fleet)
+	} else {
+		cfg.Devices = *devices
+	}
+	s, err := serve.New(p, cm, cfg)
 	if err != nil {
 		fail(err.Error())
 	}
 
-	interarrival := time.Duration(float64(*pace) / (float64(*devices) * *load))
-	fmt.Printf("serving %d requests at %.1fx capacity (%d devices, pace %v, interarrival %v)\n",
-		*requests, *load, *devices, *pace, interarrival)
+	fleetStr := cfg.Fleet.String()
+	if len(cfg.Fleet) == 0 {
+		fleetStr = fmt.Sprintf("tpu=%d", workers)
+	}
+	interarrival := time.Duration(float64(*pace) / (float64(workers) * *load))
+	fmt.Printf("serving %d requests at %.1fx capacity (%d workers [%s], pace %v, interarrival %v)\n",
+		*requests, *load, workers, fleetStr, *pace, interarrival)
 	n := ds.Features()
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -134,6 +157,12 @@ func main() {
 	fmt.Printf("goodput: %.0f req/s over %v (mean batch occupancy %.2f)\n",
 		float64(rep.Completed)/elapsed.Seconds(), elapsed.Round(time.Millisecond),
 		rep.MeanOccupancy())
+	for _, b := range rep.Backends {
+		fmt.Printf("  %s: %.0f req/s across %d worker(s), e2e p50=%s p99=%s\n",
+			b.Name, float64(b.Requests)/elapsed.Seconds(), b.Workers,
+			b.Latency.Quantile(0.5).Round(time.Microsecond),
+			b.Latency.Quantile(0.99).Round(time.Microsecond))
+	}
 }
 
 func loadDataset(path string, seed uint64) (*dataset.Dataset, error) {

@@ -1,0 +1,64 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"hdcedge/internal/backend"
+	"hdcedge/internal/backend/conformance"
+	"hdcedge/internal/backend/hostcpu"
+	"hdcedge/internal/backend/tpu"
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/pipeline"
+)
+
+// confModel trains a tiny HDC classifier and compiles inference at the
+// given batch capacity — the same fixture the serving tests use.
+func confModel(t *testing.T, batch int) (pipeline.Platform, *edgetpu.CompiledModel) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.SyntheticSpec(16, 120, 3, 99), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := hdc.Train(ds, nil, hdc.TrainConfig{
+		Dim: 256, Epochs: 2, LearningRate: 1, Nonlinear: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pipeline.EdgeTPU()
+	cm, err := pipeline.CompileInference(p, model, ds, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cm
+}
+
+func TestTPUConformance(t *testing.T) {
+	p, cm := confModel(t, 4)
+	conformance.Run(t, func() (backend.Backend, error) {
+		return tpu.New(*p.Accel, cm, edgetpu.FaultPlan{})
+	})
+}
+
+func TestTPUConformanceSingleSample(t *testing.T) {
+	p, cm := confModel(t, 1)
+	conformance.Run(t, func() (backend.Backend, error) {
+		return tpu.New(*p.Accel, cm, edgetpu.FaultPlan{})
+	})
+}
+
+func TestHostCPUConformance(t *testing.T) {
+	p, cm := confModel(t, 4)
+	conformance.Run(t, func() (backend.Backend, error) {
+		return hostcpu.New(p.Host, cm.Model)
+	})
+}
+
+func TestHostCPUConformanceSingleSample(t *testing.T) {
+	p, cm := confModel(t, 1)
+	conformance.Run(t, func() (backend.Backend, error) {
+		return hostcpu.New(p.Host, cm.Model)
+	})
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFleetCompositionAddsCapacity checks the acceptance bar for the
+// heterogeneous fleet: under the same fixed offered load, a 2-TPU + 2-CPU
+// fleet completes more requests per second than the saturated 2-TPU
+// baseline, and mixed fleets really serve from both classes. The
+// throughput comparison is a wall-clock measurement, so it gets a bounded
+// retry against scheduler noise; the structural properties are asserted on
+// every attempt.
+func TestFleetCompositionAddsCapacity(t *testing.T) {
+	skipLongUnderRace(t)
+	const attempts = 3
+	var res *FleetResult
+	for try := 1; ; try++ {
+		var err error
+		res, err = AblationFleet(fastCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := checkFleetResult(t, res); msg == "" {
+			break
+		} else if try == attempts {
+			t.Fatalf("after %d attempts: %s", attempts, msg)
+		} else {
+			t.Logf("attempt %d: %s (scheduler noise; retrying)", try, msg)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblationFleet(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "Fleet composition") || !strings.Contains(out, "tpu=2,cpu=2") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+// checkFleetResult asserts the deterministic properties of one sweep and
+// returns a non-empty description if only the wall-clock throughput
+// comparison failed.
+func checkFleetResult(t *testing.T, res *FleetResult) string {
+	t.Helper()
+	if len(res.Points) != len(FleetCompositions) {
+		t.Fatalf("%d sweep points for %d compositions", len(res.Points), len(FleetCompositions))
+	}
+	byFleet := map[string]FleetPoint{}
+	for _, pt := range res.Points {
+		byFleet[pt.Fleet] = pt
+		if pt.Offered == 0 || pt.Admitted != pt.Completed+pt.DeadlineExceeded {
+			t.Fatalf("cell %q does not balance: %+v", pt.Fleet, pt)
+		}
+		if pt.Admitted+pt.Shed != pt.Offered {
+			t.Fatalf("cell %q admission does not balance: %+v", pt.Fleet, pt)
+		}
+		if pt.TPURequests+pt.CPURequests != pt.Completed {
+			t.Fatalf("cell %q backend split does not balance: %+v", pt.Fleet, pt)
+		}
+	}
+	base, ok := byFleet["tpu=2"]
+	if !ok {
+		t.Fatal("sweep missing the 2-TPU baseline")
+	}
+	mixed, ok := byFleet["tpu=2,cpu=2"]
+	if !ok {
+		t.Fatal("sweep missing the 2-TPU + 2-CPU fleet")
+	}
+	if base.Shed == 0 {
+		t.Fatalf("2-TPU baseline at %.1fx reference load shed nothing: %+v", res.Load, base)
+	}
+	for _, spec := range []string{"tpu=3,cpu=1", "tpu=2,cpu=2"} {
+		pt := byFleet[spec]
+		if pt.TPURequests == 0 || pt.CPURequests == 0 {
+			t.Fatalf("mixed fleet %q did not serve from both classes: %+v", spec, pt)
+		}
+	}
+	if cpu := byFleet["cpu=4"]; cpu.TPURequests != 0 {
+		t.Fatalf("all-CPU fleet served from a TPU: %+v", cpu)
+	}
+	if mixed.CompletedRPS <= base.CompletedRPS {
+		return fmt.Sprintf("2+2 fleet completed %.0f req/s, not above the 2-TPU baseline's %.0f req/s",
+			mixed.CompletedRPS, base.CompletedRPS)
+	}
+	return ""
+}

@@ -13,6 +13,7 @@ var AllExperiments = []string{
 	"ablation-robustness", "ablation-online", "ablation-binary",
 	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
 	"ablation-scaleout", "ablation-faults", "ablation-overload", "ablation-batching",
+	"ablation-fleet",
 	"table-variance",
 }
 
@@ -163,6 +164,12 @@ func RunOne(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		RenderAblationBatching(w, res)
+	case "ablation-fleet":
+		res, err := AblationFleet(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationFleet(w, res)
 	case "ablation-online":
 		rows, err := AblationOnline(cfg)
 		if err != nil {

@@ -8,6 +8,9 @@ import (
 	"strings"
 	"time"
 
+	"hdcedge/internal/backend"
+	"hdcedge/internal/backend/hostcpu"
+	"hdcedge/internal/backend/tpu"
 	"hdcedge/internal/cpuarch"
 	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/rng"
@@ -15,13 +18,13 @@ import (
 	"hdcedge/internal/tflite"
 )
 
-// This file is the resilient runtime on top of the simulator's fault model:
+// This file is the resilient runtime on top of the backend seam:
 // typed-error classification, bounded retry with seeded exponential backoff,
 // automatic model reload after device resets, a three-state circuit breaker
-// (closed → open → half-open probe), and graceful degradation to the host
-// CPU. The design goal is that a training or inference run never hard-fails
-// on transient accelerator faults — it completes with degraded throughput
-// instead.
+// (closed → open → half-open probe), and graceful degradation to a
+// secondary backend (classically the host CPU). The design goal is that a
+// training or inference run never hard-fails on transient accelerator
+// faults — it completes with degraded throughput instead.
 //
 // Two invoke entry points share one loop: Invoke is the batch path, where
 // backoff is accounted in simulated time only; InvokeCtx is the serving
@@ -197,13 +200,19 @@ func (r ReliabilityReport) String() string {
 	return sb.String()
 }
 
-// ResilientRunner wraps one simulated device with retry, reload, circuit
-// breaking and host-CPU graceful degradation. It is not safe for concurrent
-// use; drive it from one goroutine like the device it wraps.
+// ResilientRunner wraps a primary execution backend with retry, reload,
+// circuit breaking and graceful degradation to a secondary backend. It is
+// not safe for concurrent use; drive it from one goroutine like the
+// backends it wraps.
 type ResilientRunner struct {
-	dev    *edgetpu.Device
-	cm     *edgetpu.CompiledModel
-	host   cpuarch.Spec
+	primary   backend.Backend
+	secondary backend.Backend
+
+	// makeSecondary lazily constructs the secondary the first time the
+	// runner degrades, so a healthy run never pays for an engine it does
+	// not use. nil (with a nil secondary) means there is no degraded mode.
+	makeSecondary func() (backend.Backend, error)
+
 	policy RecoveryPolicy
 	jitter *rng.RNG
 
@@ -214,47 +223,67 @@ type ResilientRunner struct {
 	pendingReload   bool
 	lastWasFallback bool
 
-	hostInterp *tflite.Interpreter
-	hostTimes  map[int]time.Duration // host fallback cost per effective rows (0 = full batch)
-
-	// SetupTime is the initial LoadModel cost (not counted as overhead).
+	// SetupTime is the primary's initial load cost (not counted as
+	// overhead).
 	SetupTime time.Duration
 }
 
-// NewResilientRunner creates a device for the platform's accelerator, loads
-// cm, arms the fault plan, and wraps it with the recovery policy. A disabled
-// plan plus a healthy device makes the runner a zero-overhead pass-through:
-// its Invoke timing is bit-identical to driving the device directly.
+// NewResilientRunner creates a TPU backend for the platform's accelerator,
+// loads cm, arms the fault plan, and wraps it with the recovery policy; the
+// host CPU (priced by the platform's cpuarch spec) stands by as the
+// secondary backend. A disabled plan plus a healthy device makes the runner
+// a zero-overhead pass-through: its Invoke timing is bit-identical to
+// driving the device directly.
 func NewResilientRunner(p Platform, cm *edgetpu.CompiledModel, plan edgetpu.FaultPlan, policy RecoveryPolicy) (*ResilientRunner, error) {
 	if !p.HasAccel() {
 		return nil, fmt.Errorf("pipeline: platform %s has no accelerator", p.Name)
 	}
-	if err := policy.Validate(); err != nil {
-		return nil, err
-	}
-	if err := plan.Validate(); err != nil {
-		return nil, err
-	}
-	dev := edgetpu.NewDevice(*p.Accel)
-	setup, err := dev.LoadModel(cm)
+	primary, err := tpu.New(*p.Accel, cm, plan)
 	if err != nil {
 		return nil, err
 	}
-	if err := dev.InjectFaults(plan); err != nil {
+	r, err := WrapBackends(primary, nil, policy)
+	if err != nil {
+		return nil, err
+	}
+	r.makeSecondary = func() (backend.Backend, error) {
+		return hostcpu.New(p.Host, cm.Model)
+	}
+	r.SetupTime = primary.SetupTime
+	return r, nil
+}
+
+// WrapBackends wraps an already-constructed primary backend with the
+// recovery policy, degrading to secondary once device attempts are
+// exhausted or the breaker opens. secondary may be nil, in which case an
+// invoke that would degrade fails instead — appropriate for backends (like
+// the host CPU itself) that never fault.
+func WrapBackends(primary, secondary backend.Backend, policy RecoveryPolicy) (*ResilientRunner, error) {
+	if primary == nil {
+		return nil, fmt.Errorf("pipeline: nil primary backend")
+	}
+	if err := policy.Validate(); err != nil {
 		return nil, err
 	}
 	return &ResilientRunner{
-		dev:       dev,
-		cm:        cm,
-		host:      p.Host,
+		primary:   primary,
+		secondary: secondary,
 		policy:    policy,
 		jitter:    rng.New(policy.Seed),
-		SetupTime: setup,
 	}, nil
 }
 
-// Device exposes the wrapped device (for tests and fault-stat readers).
-func (r *ResilientRunner) Device() *edgetpu.Device { return r.dev }
+// Backend exposes the primary backend.
+func (r *ResilientRunner) Backend() backend.Backend { return r.primary }
+
+// Device exposes the wrapped simulator device when the primary backend is
+// device-backed (for tests and fault-stat readers), and nil otherwise.
+func (r *ResilientRunner) Device() *edgetpu.Device {
+	if d, ok := r.primary.(interface{ Device() *edgetpu.Device }); ok {
+		return d.Device()
+	}
+	return nil
+}
 
 // Degraded reports whether the circuit breaker currently routes invokes
 // away from the device (open or half-open).
@@ -266,13 +295,13 @@ func (r *ResilientRunner) BreakerState() BreakerState { return r.breaker }
 // Report returns a copy of the reliability accounting so far.
 func (r *ResilientRunner) Report() ReliabilityReport { return r.report }
 
-// Output returns the i-th model output tensor of whichever engine ran the
-// last successful invoke (device, or host interpreter in degraded mode).
+// Output returns the i-th model output tensor of whichever backend ran the
+// last successful invoke (primary, or secondary in degraded mode).
 func (r *ResilientRunner) Output(i int) *tensor.Tensor {
-	if r.hostInterp != nil && r.lastWasFallback {
-		return r.hostInterp.Output(i)
+	if r.secondary != nil && r.lastWasFallback {
+		return r.secondary.Output(i)
 	}
-	return r.dev.Output(i)
+	return r.primary.Output(i)
 }
 
 // Invoke runs the model once. fill is called with the current input tensor
@@ -339,7 +368,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 			}
 		}
 		if r.breaker == BreakerOpen {
-			return r.invokeHost(fill, waste, rows)
+			return r.invokeSecondary(fill, waste, rows)
 		}
 		probing = true
 		r.report.BreakerProbes++
@@ -352,19 +381,14 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 		}
 		if r.pendingReload {
 			// A previous invoke abandoned the device mid-recovery (host
-			// fallback after a reset-class error): re-pay LoadModel before
-			// attempting the device again.
-			setup, lerr := r.dev.LoadModel(r.cm)
-			if lerr != nil {
-				return waste, fmt.Errorf("pipeline: model reload failed: %w", lerr)
+			// fallback after a reset-class error): re-pay the model load
+			// before attempting the device again.
+			if err := r.reload(&waste); err != nil {
+				return waste, err
 			}
-			r.pendingReload = false
-			r.report.Reloads++
-			waste.Host += setup
-			r.report.ReloadTime += setup
 		}
 		if fill != nil {
-			fill(r.dev.Input(0))
+			fill(r.primary.Input(0))
 		}
 		attempts++
 		r.report.DeviceInvokes++
@@ -381,13 +405,13 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 		}
 		waste.Add(t)
 		r.report.WastedTime += t.Total()
-		if !edgetpu.IsRetryable(err) {
+		if !backend.IsRetryable(err) {
 			if ctx != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 				return waste, err
 			}
 			return waste, fmt.Errorf("pipeline: resilient invoke failed permanently: %w", err)
 		}
-		if edgetpu.NeedsReload(err) {
+		if backend.NeedsReload(err) {
 			r.report.Resets++
 			r.pendingReload = true
 		} else {
@@ -396,31 +420,26 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 		if probing {
 			// The trial attempt failed: back to open for another cooldown.
 			r.trip()
-			return r.invokeHost(fill, waste, rows)
+			return r.invokeSecondary(fill, waste, rows)
 		}
 		if attempts > r.policy.MaxRetries {
 			// This invoke is out of device attempts: complete it on the
-			// host so the run survives, and let the breaker decide whether
-			// the device is worth trying again.
+			// secondary so the run survives, and let the breaker decide
+			// whether the device is worth trying again.
 			r.consecutive++
 			if r.consecutive >= r.policy.BreakerThreshold {
 				r.trip()
 			}
-			return r.invokeHost(fill, waste, rows)
+			return r.invokeSecondary(fill, waste, rows)
 		}
 		r.report.Retries++
 		wait := r.policy.backoff(attempts, r.jitter)
 		waste.Host += wait
 		r.report.BackoffTime += wait
 		if r.pendingReload {
-			setup, lerr := r.dev.LoadModel(r.cm)
-			if lerr != nil {
-				return waste, fmt.Errorf("pipeline: model reload failed: %w", lerr)
+			if err := r.reload(&waste); err != nil {
+				return waste, err
 			}
-			r.pendingReload = false
-			r.report.Reloads++
-			waste.Host += setup
-			r.report.ReloadTime += setup
 		}
 		if err := sleepCtx(ctx, wait); err != nil {
 			return waste, err
@@ -428,13 +447,27 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 	}
 }
 
-// deviceInvoke dispatches one device attempt, context-gated when a ctx is
+// reload re-pays the primary's model load after a reset-class fault,
+// accounting the setup cost as recovery overhead.
+func (r *ResilientRunner) reload(waste *edgetpu.Timing) error {
+	setup, err := r.primary.Reset()
+	if err != nil {
+		return fmt.Errorf("pipeline: model reload failed: %w", err)
+	}
+	r.pendingReload = false
+	r.report.Reloads++
+	waste.Host += setup
+	r.report.ReloadTime += setup
+	return nil
+}
+
+// deviceInvoke dispatches one primary attempt, context-gated when a ctx is
 // present and limited to rows occupied sample rows (0 = full batch).
 func (r *ResilientRunner) deviceInvoke(ctx context.Context, rows int) (edgetpu.Timing, error) {
 	if ctx != nil {
-		return r.dev.InvokeBatchCtx(ctx, rows)
+		return r.primary.InvokeBatchCtx(ctx, rows)
 	}
-	return r.dev.InvokeBatch(rows)
+	return r.primary.InvokeBatch(rows)
 }
 
 // trip opens the breaker and arms the cooldown.
@@ -470,102 +503,46 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// invokeHost completes one invoke on the host CPU with the reference
-// interpreter, priced by the cpuarch fallback model. The quantized graph is
-// bit-exact with the healthy device, so degradation costs throughput, not
-// accuracy.
-func (r *ResilientRunner) invokeHost(fill func(in *tensor.Tensor), waste edgetpu.Timing, rows int) (edgetpu.Timing, error) {
-	if r.hostInterp == nil {
-		it, err := tflite.NewInterpreter(r.cm.Model)
+// invokeSecondary completes one invoke on the secondary backend
+// (classically the host CPU interpreter priced by the cpuarch model). The
+// quantized graph is bit-exact with the healthy device, so degradation
+// costs throughput, not accuracy.
+func (r *ResilientRunner) invokeSecondary(fill func(in *tensor.Tensor), waste edgetpu.Timing, rows int) (edgetpu.Timing, error) {
+	if r.secondary == nil {
+		if r.makeSecondary == nil {
+			return waste, fmt.Errorf("pipeline: no secondary backend to degrade to")
+		}
+		b, err := r.makeSecondary()
 		if err != nil {
 			return waste, fmt.Errorf("pipeline: host fallback unavailable: %w", err)
 		}
-		r.hostInterp = it
-		r.hostTimes = make(map[int]time.Duration)
-	}
-	if rows >= r.cm.BatchCapacity() {
-		rows = 0 // full batch: share the unscaled cache entry
-	}
-	hostTime, ok := r.hostTimes[rows]
-	if !ok {
-		hostTime = HostModelTimeRows(r.host, r.cm.Model, rows)
-		r.hostTimes[rows] = hostTime
+		r.secondary = b
 	}
 	if fill != nil {
-		fill(r.hostInterp.Input(0))
+		fill(r.secondary.Input(0))
 	}
-	if err := r.hostInterp.InvokeRows(rows); err != nil {
+	st, err := r.secondary.InvokeBatch(rows)
+	if err != nil {
 		return waste, fmt.Errorf("pipeline: host fallback invoke: %w", err)
 	}
 	r.lastWasFallback = true
 	r.report.FallbackInvokes++
-	r.report.FallbackTime += hostTime
+	r.report.FallbackTime += st.Total()
 	t := waste
-	t.HostFallback += hostTime
+	t.Add(st)
 	return t, nil
 }
 
 // HostModelTime prices one full invocation of a (typically quantized) model
 // on the host CPU using the cpuarch primitives — the cost the resilient
-// runtime pays per invoke once it has degraded off the accelerator.
+// runtime pays per invoke once it has degraded off the accelerator. It is
+// hostcpu.ModelTime, re-exported where the pipeline's consumers expect it.
 func HostModelTime(host cpuarch.Spec, m *tflite.Model) time.Duration {
-	return HostModelTimeRows(host, m, 0)
+	return hostcpu.ModelTime(host, m)
 }
 
 // HostModelTimeRows prices one invocation at an effective batch of rows
-// occupied sample rows. rows <= 0 (or >= the model's batch capacity) prices
-// the full batch with exactly the unscaled arithmetic. On row-sliceable
-// models the per-op element counts are batch-leading, so the scaling is an
-// exact integer division, mirroring the device-side partial-batch pricing.
+// occupied sample rows; see hostcpu.ModelTimeRows.
 func HostModelTimeRows(host cpuarch.Spec, m *tflite.Model, rows int) time.Duration {
-	capacity := m.BatchCapacity()
-	partial := rows > 0 && rows < capacity
-	scale := func(n int) int {
-		if !partial {
-			return n
-		}
-		return n * rows / capacity
-	}
-	var total time.Duration
-	for _, op := range m.Operators {
-		outElems := 0
-		for _, ti := range op.Outputs {
-			outElems += scale(m.Tensors[ti].Shape.Elems())
-		}
-		switch op.Op {
-		case tflite.OpFullyConnected:
-			in := m.Tensors[op.Inputs[0]]
-			w := m.Tensors[op.Inputs[1]]
-			batch, depth, units := in.Shape[0], in.Shape[1], w.Shape[0]
-			if partial {
-				batch = rows
-			}
-			if in.DType == tensor.Int8 {
-				total += host.Int8GEMMTime(batch, depth, units)
-			} else {
-				total += host.GEMMTime(batch, depth, units)
-			}
-		case tflite.OpTanh, tflite.OpLogistic:
-			if m.Tensors[op.Inputs[0]].DType == tensor.Int8 {
-				total += host.LUTTime(outElems)
-			} else {
-				total += host.TanhTime(outElems)
-			}
-		case tflite.OpQuantize, tflite.OpDequantize:
-			total += host.QuantizeTime(outElems)
-		case tflite.OpArgMax:
-			in := m.Tensors[op.Inputs[0]]
-			total += host.ArgMaxTime(scale(in.Shape.Elems()))
-		case tflite.OpSoftmax:
-			total += host.TanhTime(outElems)
-		default: // CONCAT, RESHAPE and other data movement
-			bytes := 0
-			for _, ti := range op.Outputs {
-				info := m.Tensors[ti]
-				bytes += scale(info.Shape.Elems()) * info.DType.Size()
-			}
-			total += host.StreamTime(2 * bytes)
-		}
-	}
-	return total
+	return hostcpu.ModelTimeRows(host, m, rows)
 }

@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"hdcedge/internal/dataset"
 	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/pipeline"
 	"hdcedge/internal/tensor"
@@ -85,6 +88,79 @@ type serveBenchRow struct {
 	AllocsPerInvoke int64   `json:"allocs_per_invoke"`
 }
 
+// serveFleetBench is the heterogeneous-fleet throughput row of
+// BENCH_serve.json: a mixed pool under fixed open-loop load.
+type serveFleetBench struct {
+	Fleet        string  `json:"fleet"`
+	Offered      int     `json:"offered"`
+	Completed    int     `json:"completed"`
+	TPURequests  int     `json:"tpu_requests"`
+	CPURequests  int     `json:"cpu_requests"`
+	CompletedRPS float64 `json:"completed_rps"`
+	P99Us        int64   `json:"e2e_p99_us"`
+}
+
+// measureFleetBench drives a short open-loop burst through a mixed fleet.
+func measureFleetBench(t *testing.T, p pipeline.Platform, cm *edgetpu.CompiledModel, ds *dataset.Dataset) serveFleetBench {
+	t.Helper()
+	fleet, err := ParseFleet("tpu=2,cpu=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		n       = 200
+		service = time.Millisecond
+	)
+	s, err := New(p, cm, Config{
+		Fleet:         fleet,
+		QueueCapacity: 8,
+		DrainDeadline: 5 * time.Second,
+		PacePerInvoke: service,
+		PaceScale:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interarrival := service / time.Duration(2*len(fleet)) // 2x fleet capacity
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interarrival)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Do(context.Background(), benchFill(ds.X, 1), nil) // sheds are expected at 2x
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Failed > 0 {
+		t.Fatalf("%d fleet-bench requests failed:\n%s", rep.Failed, rep)
+	}
+	row := serveFleetBench{
+		Fleet:        fleet.String(),
+		Offered:      rep.Submitted,
+		Completed:    rep.Completed,
+		CompletedRPS: float64(rep.Completed) / elapsed.Seconds(),
+		P99Us:        rep.Latency.Quantile(0.99).Microseconds(),
+	}
+	for _, b := range rep.Backends {
+		switch b.Name {
+		case "tpu":
+			row.TPURequests = b.Requests
+		case "cpu":
+			row.CPURequests = b.Requests
+		}
+	}
+	return row
+}
+
 // TestWriteServeBench renders the micro-batching benchmark to the JSON file
 // named by BENCH_SERVE_OUT (skipped when unset). `make bench-serve` drives it.
 func TestWriteServeBench(t *testing.T) {
@@ -125,11 +201,13 @@ func TestWriteServeBench(t *testing.T) {
 		Model    string          `json:"model"`
 		Capacity int             `json:"batch_capacity"`
 		Rows     []serveBenchRow `json:"rows"`
+		Fleet    serveFleetBench `json:"fleet"`
 	}{
 		Note:     "micro-batched invoke cost; regenerate with `make bench-serve`",
 		Model:    cm.Model.Name,
 		Capacity: cm.BatchCapacity(),
 		Rows:     rowsOut,
+		Fleet:    measureFleetBench(t, p, cm, ds),
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

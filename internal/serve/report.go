@@ -3,20 +3,63 @@ package serve
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"hdcedge/internal/metrics"
 	"hdcedge/internal/pipeline"
 )
 
+// BackendStats aggregates the workers of one backend class ("tpu", "cpu"):
+// how much of the fleet they are, their breaker health, and their share of
+// the serving work.
+type BackendStats struct {
+	Name           string // backend class name
+	Workers        int    // workers of this class in the fleet
+	BreakersClosed int    // of those, how many breakers are currently closed
+
+	Invokes  int                // successful engine invokes
+	Rows     int                // occupied rows summed across those invokes
+	MaxRows  int                // largest single-invoke occupancy
+	Requests int                // completed requests settled by this class
+	SimTime  time.Duration      // simulated invoke time summed
+	Busy     time.Duration      // wall-clock invoke + pacing occupancy
+	Latency  *metrics.Histogram // e2e latency of requests served here
+
+	Reliability pipeline.ReliabilityReport
+}
+
+// MeanOccupancy returns the class's mean occupied rows per invoke, or zero
+// before its first invoke.
+func (b BackendStats) MeanOccupancy() float64 {
+	if b.Invokes == 0 {
+		return 0
+	}
+	return float64(b.Rows) / float64(b.Invokes)
+}
+
 // ServeReport is a point-in-time snapshot of everything the server counted:
 // admission outcomes, completion latencies, the aggregated reliability work
-// across all devices, and the derived health.
+// across all workers, the per-backend-class breakdowns, and the derived
+// health.
 type ServeReport struct {
 	counters
 
-	Devices     int
+	Devices     int       // worker-pool size
+	Fleet       FleetSpec // backend class of each worker, in dispatch order
+	Backends    []BackendStats
 	Reliability pipeline.ReliabilityReport
 	Health      Health
+}
+
+// Backend returns the stats of one backend class by name, if the fleet has
+// workers of that class.
+func (r ServeReport) Backend(name string) (BackendStats, bool) {
+	for _, b := range r.Backends {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return BackendStats{}, false
 }
 
 // Shed returns the total requests refused at admission, by any cause.
@@ -43,7 +86,7 @@ func (r ServeReport) String() string {
 		r.Submitted, r.Admitted, r.Completed, r.HostFallback, r.Health)
 	fmt.Fprintf(&sb, "  shed %d (%d queue-full, %d draining), %d deadline-exceeded, %d cancelled, %d drain-forced, %d failed\n",
 		r.Shed(), r.ShedQueueFull, r.ShedDraining, r.DeadlineExceeded, r.Cancelled, r.DrainForced, r.Failed)
-	fmt.Fprintf(&sb, "  queue depth max %d across %d device(s)\n", r.MaxQueueDepth, r.Devices)
+	fmt.Fprintf(&sb, "  queue depth max %d across %d worker(s) [%s]\n", r.MaxQueueDepth, r.Devices, r.Fleet)
 	fmt.Fprintf(&sb, "  e2e %s\n", r.Latency)
 	fmt.Fprintf(&sb, "  queue-wait n=%d p50=%s p99=%s max=%s\n",
 		r.QueueWait.Count(), metrics.FmtDur(r.QueueWait.Quantile(0.5)),
@@ -51,6 +94,13 @@ func (r ServeReport) String() string {
 	fmt.Fprintf(&sb, "  batching: %d invokes, %d rows, occupancy mean %.2f max %d, per-sample p50=%s p99=%s\n",
 		r.BatchInvokes, r.BatchRows, r.MeanOccupancy(), r.MaxBatchRows,
 		metrics.FmtDur(r.PerSample.Quantile(0.5)), metrics.FmtDur(r.PerSample.Quantile(0.99)))
+	for _, b := range r.Backends {
+		fmt.Fprintf(&sb, "  backend %s: %d worker(s) (%d/%d breakers closed), %d requests via %d invokes (occupancy mean %.2f max %d), sim %s busy %s, e2e p50=%s p99=%s\n",
+			b.Name, b.Workers, b.BreakersClosed, b.Workers,
+			b.Requests, b.Invokes, b.MeanOccupancy(), b.MaxRows,
+			metrics.FmtDur(b.SimTime), metrics.FmtDur(b.Busy),
+			metrics.FmtDur(b.Latency.Quantile(0.5)), metrics.FmtDur(b.Latency.Quantile(0.99)))
+	}
 	fmt.Fprintf(&sb, "  %s", r.Reliability)
 	return sb.String()
 }

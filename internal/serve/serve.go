@@ -1,30 +1,99 @@
 // Package serve is the request-level serving runtime on top of
 // ResilientRunner: a bounded admission queue with load shedding, per-request
 // deadlines threaded as contexts through the invoke path, a worker pool
-// dispatching across one or more simulated devices, per-device circuit
-// breakers feeding a server-level health state, and graceful drain on
-// shutdown. See docs/serving.md for the admission and drain semantics.
+// dispatching across a fleet of heterogeneous execution backends (simulated
+// Edge TPUs, host-CPU interpreters), per-backend circuit breakers feeding a
+// server-level health state, and graceful drain on shutdown. See
+// docs/serving.md for the admission, fleet and drain semantics.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hdcedge/internal/backend"
+	"hdcedge/internal/backend/hostcpu"
+	"hdcedge/internal/backend/tpu"
 	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/metrics"
 	"hdcedge/internal/pipeline"
 	"hdcedge/internal/tensor"
 )
 
+// FleetSpec lists the backend class of each worker in dispatch order, e.g.
+// {"tpu", "tpu", "cpu", "cpu"}. Supported classes are tpu.Name ("tpu") and
+// hostcpu.Name ("cpu").
+type FleetSpec []string
+
+// ParseFleet parses a composition spec like "tpu=2,cpu=2" (classes in the
+// given order, counts >= 0) into a FleetSpec.
+func ParseFleet(spec string) (FleetSpec, error) {
+	var fleet FleetSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, countStr, ok := strings.Cut(part, "=")
+		kind = strings.TrimSpace(kind)
+		count := 1
+		if ok {
+			n, err := strconv.Atoi(strings.TrimSpace(countStr))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("serve: bad fleet count in %q", part)
+			}
+			count = n
+		}
+		if kind != tpu.Name && kind != hostcpu.Name {
+			return nil, fmt.Errorf("serve: unknown backend class %q (have %q, %q)", kind, tpu.Name, hostcpu.Name)
+		}
+		for i := 0; i < count; i++ {
+			fleet = append(fleet, kind)
+		}
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("serve: empty fleet spec %q", spec)
+	}
+	return fleet, nil
+}
+
+// String renders the fleet back into "tpu=2,cpu=2" form, classes in first-
+// appearance order.
+func (f FleetSpec) String() string {
+	counts := map[string]int{}
+	var order []string
+	for _, kind := range f {
+		if counts[kind] == 0 {
+			order = append(order, kind)
+		}
+		counts[kind]++
+	}
+	parts := make([]string, 0, len(order))
+	for _, kind := range order {
+		parts = append(parts, fmt.Sprintf("%s=%d", kind, counts[kind]))
+	}
+	return strings.Join(parts, ",")
+}
+
 // Config sizes the serving runtime.
 type Config struct {
 	// Devices is the number of simulated accelerator devices (and worker
-	// goroutines). Zero defaults to one.
+	// goroutines). Zero defaults to one. Ignored when Fleet is set.
 	Devices int
+
+	// Fleet, when non-empty, makes the worker pool heterogeneous: one
+	// worker per entry, backed by that backend class. TPU workers keep the
+	// host CPU as their degraded mode exactly as before; CPU workers run
+	// the interpreter as their primary engine and have no degraded mode
+	// (they cannot fault). Empty means Devices all-TPU workers — the
+	// legacy, bit-identical configuration.
+	Fleet FleetSpec
 
 	// QueueCapacity bounds the admission queue; a request arriving at a
 	// full queue is shed with a *ShedError rather than queued. Zero or
@@ -101,10 +170,39 @@ func (c Config) Validate() error {
 	if c.BatchWindow < 0 {
 		return fmt.Errorf("serve: negative BatchWindow %v", c.BatchWindow)
 	}
-	if len(c.Plans) != 0 && len(c.Plans) != max(c.Devices, 1) {
-		return fmt.Errorf("serve: %d per-device plans for %d devices", len(c.Plans), max(c.Devices, 1))
+	for i, kind := range c.Fleet {
+		if kind != tpu.Name && kind != hostcpu.Name {
+			return fmt.Errorf("serve: fleet worker %d has unknown backend class %q", i, kind)
+		}
+	}
+	if len(c.Fleet) > 0 && c.Devices > 0 && c.Devices != len(c.Fleet) {
+		return fmt.Errorf("serve: Devices %d disagrees with %d-worker Fleet %q", c.Devices, len(c.Fleet), c.Fleet)
+	}
+	if len(c.Plans) != 0 && len(c.Plans) != c.workers() {
+		return fmt.Errorf("serve: %d per-device plans for %d workers", len(c.Plans), c.workers())
 	}
 	return nil
+}
+
+// workers returns the worker-pool size the config asks for.
+func (c Config) workers() int {
+	if len(c.Fleet) > 0 {
+		return len(c.Fleet)
+	}
+	return max(c.Devices, 1)
+}
+
+// fleet returns the effective fleet composition: Fleet verbatim, or the
+// legacy all-TPU pool.
+func (c Config) fleet() FleetSpec {
+	if len(c.Fleet) > 0 {
+		return c.Fleet
+	}
+	fleet := make(FleetSpec, c.workers())
+	for i := range fleet {
+		fleet[i] = tpu.Name
+	}
+	return fleet
 }
 
 // ShedCause says why admission refused a request.
@@ -168,9 +266,10 @@ func (h Health) String() string {
 
 // Result is what a completed request observed.
 type Result struct {
-	Timing    edgetpu.Timing // simulated per-invoke timing (incl. recovery)
-	OnHost    bool           // served by the host CPU fallback
-	Device    int            // worker/device index that served it
+	Timing    backend.Timing // simulated per-invoke timing (incl. recovery)
+	OnHost    bool           // served by the primary backend's degraded mode
+	Device    int            // worker index that served it
+	Backend   string         // backend class of that worker ("tpu", "cpu")
 	BatchSize int            // occupied rows of the invoke that served it
 	QueueWait time.Duration  // wall-clock time spent queued
 	Latency   time.Duration  // wall-clock admission → completion
@@ -193,17 +292,31 @@ type request struct {
 	settled atomic.Bool  // CAS gate: first settler wins
 }
 
-// worker owns one device-backed runner. The runner is not safe for
+// workerStats is one worker's serving breakdown, aggregated per backend
+// class into ServeReport.Backends. Guarded by worker.mu.
+type workerStats struct {
+	Invokes  int                // successful engine invokes
+	Rows     int                // occupied rows summed across those invokes
+	MaxRows  int                // largest single-invoke occupancy
+	Requests int                // completed requests this worker settled
+	SimTime  time.Duration      // simulated invoke time summed
+	Busy     time.Duration      // wall-clock invoke + pacing occupancy
+	Latency  *metrics.Histogram // e2e latency of requests served here
+}
+
+// worker owns one backend-backed runner. The runner is not safe for
 // concurrent use and is touched only by the worker goroutine; after every
 // invoke the worker publishes a reliability snapshot under mu so Report can
 // read it without blocking behind an in-flight invoke.
 type worker struct {
 	id     int
+	name   string // backend class (tpu.Name or hostcpu.Name)
 	runner *pipeline.ResilientRunner
 	state  atomic.Int32 // pipeline.BreakerState, updated after every invoke
 
 	mu     sync.Mutex
 	report pipeline.ReliabilityReport // snapshot after the last invoke
+	stats  workerStats
 
 	// invokeMu guards invokeCancel, the cancel func of the in-flight
 	// batched invoke's merged context; the drain force path fires it so a
@@ -271,8 +384,10 @@ type counters struct {
 	PerSample        *metrics.Histogram // simulated compute time per sample row
 }
 
-// New builds a server with cfg.Devices simulated devices, each loaded with
-// cm and armed with its fault plan, and starts the worker pool.
+// New builds a server over the configured fleet — by default cfg.Devices
+// simulated accelerator workers, each loaded with cm and armed with its
+// fault plan; with cfg.Fleet set, a heterogeneous mix of accelerator and
+// host-CPU workers — and starts the worker pool.
 func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -288,7 +403,8 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 			return nil, fmt.Errorf("serve: model %q is not row-sliceable; cannot micro-batch", cm.Model.Name)
 		}
 	}
-	n := max(cfg.Devices, 1)
+	n := cfg.workers()
+	fleet := cfg.fleet()
 	s := &Server{
 		cfg:     cfg,
 		pending: make(map[*request]struct{}),
@@ -300,6 +416,8 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < n; i++ {
+		// Every worker takes its positional seed offsets, whatever its class,
+		// so swapping one worker's class never re-seeds its neighbours.
 		policy := cfg.Policy
 		policy.Seed += uint64(i)
 		plan := cfg.Plan
@@ -308,11 +426,26 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 		} else {
 			plan.Seed += uint64(i)
 		}
-		r, err := pipeline.NewResilientRunner(p, cm, plan, policy)
-		if err != nil {
-			return nil, fmt.Errorf("serve: device %d: %w", i, err)
+		var r *pipeline.ResilientRunner
+		var err error
+		if fleet[i] == hostcpu.Name {
+			// Host-CPU workers run the interpreter as their primary engine
+			// with no degraded mode; fault plans are accelerator-only and do
+			// not apply.
+			var prim *hostcpu.Backend
+			if prim, err = hostcpu.New(p.Host, cm.Model); err == nil {
+				r, err = pipeline.WrapBackends(prim, nil, policy)
+			}
+		} else {
+			r, err = pipeline.NewResilientRunner(p, cm, plan, policy)
 		}
-		s.workers = append(s.workers, &worker{id: i, runner: r})
+		if err != nil {
+			return nil, fmt.Errorf("serve: worker %d (%s): %w", i, fleet[i], err)
+		}
+		s.workers = append(s.workers, &worker{
+			id: i, name: fleet[i], runner: r,
+			stats: workerStats{Latency: metrics.NewHistogram()},
+		})
 	}
 	s.wg.Add(n)
 	for _, w := range s.workers {
@@ -573,7 +706,7 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 	}
 
 	before := w.runner.Report().FallbackInvokes
-	var t edgetpu.Timing
+	var t backend.Timing
 	var err error
 	if batched {
 		t, err = w.runner.InvokeBatchCtx(ictx, rows, func(in *tensor.Tensor) {
@@ -648,15 +781,32 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 		}
 	}
 	now := time.Now()
+	w.mu.Lock()
+	w.stats.Invokes++
+	w.stats.Rows += rows
+	if rows > w.stats.MaxRows {
+		w.stats.MaxRows = rows
+	}
+	w.stats.SimTime += t.Total()
+	w.stats.Busy += now.Sub(start)
+	w.mu.Unlock()
 	for _, r := range batch {
-		s.settle(r, outcome{res: Result{
+		lat := now.Sub(r.enq)
+		won := s.settle(r, outcome{res: Result{
 			Timing:    t,
 			OnHost:    onHost,
 			Device:    w.id,
+			Backend:   w.name,
 			BatchSize: rows,
 			QueueWait: start.Sub(r.enq),
-			Latency:   now.Sub(r.enq),
+			Latency:   lat,
 		}})
+		if won {
+			w.mu.Lock()
+			w.stats.Requests++
+			w.stats.Latency.Observe(lat)
+			w.mu.Unlock()
+		}
 	}
 }
 
@@ -745,7 +895,8 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Close() error { return s.Drain(context.Background()) }
 
 // Report snapshots the serving counters, latency histograms, aggregated
-// reliability accounting across all devices, and the current health.
+// reliability accounting across all workers, the per-backend-class
+// breakdowns, and the current health.
 func (s *Server) Report() ServeReport {
 	s.mu.Lock()
 	c := s.counters
@@ -753,12 +904,40 @@ func (s *Server) Report() ServeReport {
 	c.QueueWait = s.counters.QueueWait.Clone()
 	c.PerSample = s.counters.PerSample.Clone()
 	s.mu.Unlock()
-	rep := ServeReport{counters: c, Devices: len(s.workers), Health: s.Health()}
+	rep := ServeReport{counters: c, Devices: len(s.workers), Fleet: s.cfg.fleet(), Health: s.Health()}
+	byName := make(map[string]int) // backend class -> index into rep.Backends
 	for _, w := range s.workers {
 		w.mu.Lock()
 		r := w.report
+		st := w.stats
+		st.Latency = w.stats.Latency.Clone()
 		w.mu.Unlock()
 		mergeReliability(&rep.Reliability, r)
+
+		bi, ok := byName[w.name]
+		if !ok {
+			bi = len(rep.Backends)
+			byName[w.name] = bi
+			rep.Backends = append(rep.Backends, BackendStats{
+				Name:    w.name,
+				Latency: metrics.NewHistogram(),
+			})
+		}
+		b := &rep.Backends[bi]
+		b.Workers++
+		if pipeline.BreakerState(w.state.Load()) == pipeline.BreakerClosed {
+			b.BreakersClosed++
+		}
+		b.Invokes += st.Invokes
+		b.Rows += st.Rows
+		if st.MaxRows > b.MaxRows {
+			b.MaxRows = st.MaxRows
+		}
+		b.Requests += st.Requests
+		b.SimTime += st.SimTime
+		b.Busy += st.Busy
+		b.Latency.Merge(st.Latency)
+		mergeReliability(&b.Reliability, r)
 	}
 	return rep
 }
