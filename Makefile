@@ -10,8 +10,11 @@ all: vet test
 build:
 	$(GO) build ./...
 
+# go vet runs every enabled-by-default analyzer; shadowcheck covers the
+# builtin-shadowing class (`cap := ...`) vet has no default analyzer for.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./tools/shadowcheck .
 
 # The serving runtime is concurrency-heavy, so its package always runs
 # under the race detector even when the full -race pass is trimmed; the
@@ -19,6 +22,7 @@ vet:
 # its contract under the race detector too.
 test:
 	$(GO) vet ./...
+	$(GO) run ./tools/shadowcheck .
 	$(GO) test ./...
 	$(GO) test -race ./internal/serve/... ./internal/backend/...
 	$(GO) test -race ./...

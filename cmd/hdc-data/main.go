@@ -23,7 +23,7 @@ func main() {
 	samples := flag.Int("samples", 10000, "synthetic: sample count")
 	classes := flag.Int("classes", 8, "synthetic: class count")
 	seed := flag.Uint64("seed", 1, "synthetic: generator seed")
-	max := flag.Int("max", 0, "cap generated samples (0 = full size)")
+	maxSamples := flag.Int("max", 0, "cap generated samples (0 = full size)")
 	out := flag.String("out", "", "output path (required)")
 	csv := flag.Bool("csv", false, "write CSV instead of binary")
 	list := flag.Bool("list", false, "list catalog datasets and exit")
@@ -54,7 +54,7 @@ func main() {
 		fail("need -name or -features")
 	}
 
-	ds, err := dataset.Generate(spec, *max)
+	ds, err := dataset.Generate(spec, *maxSamples)
 	if err != nil {
 		fail(err.Error())
 	}

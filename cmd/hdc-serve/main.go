@@ -9,6 +9,7 @@
 //	          [-drain 2s] [-requests 400] [-load 2.0] [-pace 4ms]
 //	          [-batch 1] [-window 0] [-pace-scale 0]
 //	          [-faults "link=0.05"] [-fault-seed 1] [-seed 7]
+//	          [-listen :8080]
 //
 // Without -data, a synthetic dataset is generated and a tiny model is
 // trained on it. Requests arrive open-loop at -load times the fleet's
@@ -17,16 +18,21 @@
 // capacity and workers coalesce up to -batch queued requests into one
 // device invoke, holding an underfull batch open for up to -window.
 // With -fleet, the pool mixes accelerator and host-CPU workers; fault
-// plans apply to the accelerator workers only. The run ends with a
+// plans apply to the accelerator workers only. With -listen, the live
+// observability endpoints (/metrics, /snapshot, /traces, /debug/pprof)
+// serve on that address for the duration of the run. The run ends with a
 // graceful drain and the serving report: admission/shed/deadline counters,
 // latency quantiles, batch occupancy, per-backend throughput/latency
-// breakdowns, per-worker breaker health. See docs/serving.md.
+// breakdowns, per-worker breaker health. See docs/serving.md and
+// docs/observability.md.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -39,95 +45,206 @@ import (
 	"hdcedge/internal/tensor"
 )
 
-func main() {
-	data := flag.String("data", "", "dataset to serve (synthetic when empty)")
-	devices := flag.Int("devices", 4, "simulated devices (workers)")
-	fleetSpec := flag.String("fleet", "", "heterogeneous worker fleet, e.g. \"tpu=2,cpu=2\" (overrides -devices)")
-	queue := flag.Int("queue", 8, "admission queue capacity (0 = unbounded)")
-	deadline := flag.Duration("deadline", 250*time.Millisecond, "default per-request deadline (0 = none)")
-	drain := flag.Duration("drain", 2*time.Second, "graceful-drain deadline (0 = wait forever)")
-	requests := flag.Int("requests", 400, "requests to offer")
-	load := flag.Float64("load", 2.0, "offered load as a multiple of fleet capacity")
-	pace := flag.Duration("pace", 4*time.Millisecond, "emulated per-invoke device occupancy")
-	batch := flag.Int("batch", 1, "max requests coalesced into one device invoke")
-	window := flag.Duration("window", 0, "how long to hold an underfull batch open")
-	paceScale := flag.Float64("pace-scale", 0, "extra occupancy per invoke as a multiple of its simulated cost")
-	faults := flag.String("faults", "", "fault plan for every device, e.g. \"link=0.05\"")
-	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection streams")
-	seed := flag.Uint64("seed", 7, "training / synthetic-data seed")
-	dim := flag.Int("dim", 512, "hypervector dimension for the trained model")
-	epochs := flag.Int("epochs", 3, "training epochs")
-	flag.Parse()
+// flagError is a CLI validation failure tied to one flag, so tests (and
+// error messages) can pin down exactly which input was rejected.
+type flagError struct {
+	flag   string // flag name without the leading dash
+	reason string
+}
 
-	if *load <= 0 || *requests <= 0 || *devices <= 0 {
-		fail("-load, -requests and -devices must be positive")
+func (e *flagError) Error() string { return "-" + e.flag + ": " + e.reason }
+
+// options is every CLI input, collected so validation is testable apart
+// from flag.Parse and os.Exit.
+type options struct {
+	data      string
+	devices   int
+	fleetSpec string
+	queue     int
+	deadline  time.Duration
+	drain     time.Duration
+	requests  int
+	load      float64
+	pace      time.Duration
+	batch     int
+	window    time.Duration
+	paceScale float64
+	faults    string
+	faultSeed uint64
+	seed      uint64
+	dim       int
+	epochs    int
+	listen    string
+
+	// Parsed by validate.
+	fleet serve.FleetSpec
+	plan  edgetpu.FaultPlan
+}
+
+// validate checks every option and parses the structured ones (-fleet,
+// -faults). Each failure is a *flagError naming the offending flag.
+func (o *options) validate() error {
+	if o.requests <= 0 {
+		return &flagError{"requests", fmt.Sprintf("must be positive, got %d", o.requests)}
 	}
-	if *batch < 1 {
-		fail("-batch must be at least 1")
+	if o.load <= 0 {
+		return &flagError{"load", fmt.Sprintf("must be positive, got %g", o.load)}
 	}
-	var fleet serve.FleetSpec
-	if *fleetSpec != "" {
-		var err error
-		if fleet, err = serve.ParseFleet(*fleetSpec); err != nil {
-			fail(err.Error())
+	if o.devices <= 0 {
+		return &flagError{"devices", fmt.Sprintf("must be positive, got %d", o.devices)}
+	}
+	if o.queue < 0 {
+		return &flagError{"queue", fmt.Sprintf("must be non-negative (0 = unbounded), got %d", o.queue)}
+	}
+	if o.deadline < 0 {
+		return &flagError{"deadline", fmt.Sprintf("must be non-negative, got %v", o.deadline)}
+	}
+	if o.drain < 0 {
+		return &flagError{"drain", fmt.Sprintf("must be non-negative, got %v", o.drain)}
+	}
+	if o.pace < 0 {
+		return &flagError{"pace", fmt.Sprintf("must be non-negative, got %v", o.pace)}
+	}
+	if o.paceScale < 0 {
+		return &flagError{"pace-scale", fmt.Sprintf("must be non-negative, got %g", o.paceScale)}
+	}
+	if o.batch < 1 {
+		return &flagError{"batch", fmt.Sprintf("must be at least 1, got %d", o.batch)}
+	}
+	if o.window < 0 {
+		return &flagError{"window", fmt.Sprintf("must be non-negative, got %v", o.window)}
+	}
+	if o.window > 0 && o.batch < 2 {
+		return &flagError{"window", fmt.Sprintf("needs -batch > 1 to hold a batch open, got -batch %d", o.batch)}
+	}
+	if o.dim <= 0 {
+		return &flagError{"dim", fmt.Sprintf("must be positive, got %d", o.dim)}
+	}
+	if o.epochs <= 0 {
+		return &flagError{"epochs", fmt.Sprintf("must be positive, got %d", o.epochs)}
+	}
+	if o.fleetSpec != "" {
+		fleet, err := serve.ParseFleet(o.fleetSpec)
+		if err != nil {
+			return &flagError{"fleet", err.Error()}
 		}
+		o.fleet = fleet
 	}
-	ds, err := loadDataset(*data, *seed)
+	if o.faults != "" {
+		plan, err := edgetpu.ParseFaultPlan(o.faults, o.faultSeed)
+		if err != nil {
+			return &flagError{"faults", err.Error()}
+		}
+		o.plan = plan
+	}
+	return nil
+}
+
+// config assembles the serving Config from validated options.
+func (o *options) config() serve.Config {
+	cfg := serve.Config{
+		QueueCapacity:   o.queue,
+		DefaultDeadline: o.deadline,
+		DrainDeadline:   o.drain,
+		Plan:            o.plan,
+		PacePerInvoke:   o.pace,
+		PaceScale:       o.paceScale,
+		MaxBatch:        o.batch,
+		BatchWindow:     o.window,
+	}
+	if len(o.fleet) > 0 {
+		cfg.Fleet = o.fleet
+	} else {
+		cfg.Devices = o.devices
+	}
+	return cfg
+}
+
+// workers returns the fleet size the options describe.
+func (o *options) workers() int {
+	if len(o.fleet) > 0 {
+		return len(o.fleet)
+	}
+	return o.devices
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("hdc-serve", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.data, "data", "", "dataset to serve (synthetic when empty)")
+	fs.IntVar(&o.devices, "devices", 4, "simulated devices (workers)")
+	fs.StringVar(&o.fleetSpec, "fleet", "", "heterogeneous worker fleet, e.g. \"tpu=2,cpu=2\" (overrides -devices)")
+	fs.IntVar(&o.queue, "queue", 8, "admission queue capacity (0 = unbounded)")
+	fs.DurationVar(&o.deadline, "deadline", 250*time.Millisecond, "default per-request deadline (0 = none)")
+	fs.DurationVar(&o.drain, "drain", 2*time.Second, "graceful-drain deadline (0 = wait forever)")
+	fs.IntVar(&o.requests, "requests", 400, "requests to offer")
+	fs.Float64Var(&o.load, "load", 2.0, "offered load as a multiple of fleet capacity")
+	fs.DurationVar(&o.pace, "pace", 4*time.Millisecond, "emulated per-invoke device occupancy")
+	fs.IntVar(&o.batch, "batch", 1, "max requests coalesced into one device invoke")
+	fs.DurationVar(&o.window, "window", 0, "how long to hold an underfull batch open")
+	fs.Float64Var(&o.paceScale, "pace-scale", 0, "extra occupancy per invoke as a multiple of its simulated cost")
+	fs.StringVar(&o.faults, "faults", "", "fault plan for every device, e.g. \"link=0.05\"")
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "seed for the fault-injection streams")
+	fs.Uint64Var(&o.seed, "seed", 7, "training / synthetic-data seed")
+	fs.IntVar(&o.dim, "dim", 512, "hypervector dimension for the trained model")
+	fs.IntVar(&o.epochs, "epochs", 3, "training epochs")
+	fs.StringVar(&o.listen, "listen", "", "HTTP observability address, e.g. \":8080\" (empty = disabled)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fail(err.Error())
+	}
+	ds, err := loadDataset(o.data, o.seed)
 	if err != nil {
 		fail(err.Error())
 	}
 	model, _, err := hdc.Train(ds, nil, hdc.TrainConfig{
-		Dim: *dim, Epochs: *epochs, LearningRate: 1, Nonlinear: true, Seed: *seed,
+		Dim: o.dim, Epochs: o.epochs, LearningRate: 1, Nonlinear: true, Seed: o.seed,
 	})
 	if err != nil {
 		fail(err.Error())
 	}
 	p := pipeline.EdgeTPU()
-	cm, err := pipeline.CompileInference(p, model, ds, *batch)
+	cm, err := pipeline.CompileInference(p, model, ds, o.batch)
+	if err != nil {
+		fail(err.Error())
+	}
+	s, err := serve.New(p, cm, o.config())
 	if err != nil {
 		fail(err.Error())
 	}
 
-	var plan edgetpu.FaultPlan
-	if *faults != "" {
-		plan, err = edgetpu.ParseFaultPlan(*faults, *faultSeed)
+	if o.listen != "" {
+		ln, err := net.Listen("tcp", o.listen)
 		if err != nil {
-			fail(err.Error())
+			fail(fmt.Sprintf("-listen: %v", err))
 		}
-	}
-	cfg := serve.Config{
-		QueueCapacity:   *queue,
-		DefaultDeadline: *deadline,
-		DrainDeadline:   *drain,
-		Plan:            plan,
-		PacePerInvoke:   *pace,
-		PaceScale:       *paceScale,
-		MaxBatch:        *batch,
-		BatchWindow:     *window,
-	}
-	workers := *devices
-	if len(fleet) > 0 {
-		cfg.Fleet = fleet
-		workers = len(fleet)
-	} else {
-		cfg.Devices = *devices
-	}
-	s, err := serve.New(p, cm, cfg)
-	if err != nil {
-		fail(err.Error())
+		defer ln.Close()
+		fmt.Printf("observability: http://%s/{metrics,snapshot,traces,debug/pprof}\n", ln.Addr())
+		go func() { _ = http.Serve(ln, s.Handler()) }()
 	}
 
-	fleetStr := cfg.Fleet.String()
-	if len(cfg.Fleet) == 0 {
+	workers := o.workers()
+	fleetStr := o.fleet.String()
+	if len(o.fleet) == 0 {
 		fleetStr = fmt.Sprintf("tpu=%d", workers)
 	}
-	interarrival := time.Duration(float64(*pace) / (float64(workers) * *load))
+	interarrival := time.Duration(float64(o.pace) / (float64(workers) * o.load))
 	fmt.Printf("serving %d requests at %.1fx capacity (%d workers [%s], pace %v, interarrival %v)\n",
-		*requests, *load, workers, fleetStr, *pace, interarrival)
+		o.requests, o.load, workers, fleetStr, o.pace, interarrival)
 	n := ds.Features()
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i := 0; i < *requests; i++ {
+	for i := 0; i < o.requests; i++ {
 		// Pace against absolute deadlines so OS timer slack becomes small
 		// catch-up bursts instead of silently capping the offered rate.
 		if d := time.Until(start.Add(time.Duration(i) * interarrival)); d > 0 {

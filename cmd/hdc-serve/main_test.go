@@ -1,0 +1,115 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// validOptions returns a baseline that passes validation; tests perturb one
+// field at a time.
+func validOptions() *options {
+	return &options{
+		devices:  4,
+		queue:    8,
+		deadline: 250 * time.Millisecond,
+		drain:    2 * time.Second,
+		requests: 400,
+		load:     2.0,
+		pace:     4 * time.Millisecond,
+		batch:    1,
+		dim:      512,
+		epochs:   3,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validOptions().validate(); err != nil {
+		t.Fatalf("baseline options rejected: %v", err)
+	}
+}
+
+// TestValidateRejections drives every flag-level rejection and pins the
+// typed error to the offending flag name.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(o *options)
+		wantArg string
+	}{
+		{"zero requests", func(o *options) { o.requests = 0 }, "requests"},
+		{"negative requests", func(o *options) { o.requests = -5 }, "requests"},
+		{"zero load", func(o *options) { o.load = 0 }, "load"},
+		{"negative load", func(o *options) { o.load = -1 }, "load"},
+		{"zero devices", func(o *options) { o.devices = 0 }, "devices"},
+		{"negative queue", func(o *options) { o.queue = -1 }, "queue"},
+		{"negative deadline", func(o *options) { o.deadline = -time.Second }, "deadline"},
+		{"negative drain", func(o *options) { o.drain = -time.Second }, "drain"},
+		{"negative pace", func(o *options) { o.pace = -time.Millisecond }, "pace"},
+		{"negative pace-scale", func(o *options) { o.paceScale = -0.5 }, "pace-scale"},
+		{"zero batch", func(o *options) { o.batch = 0 }, "batch"},
+		{"negative window", func(o *options) { o.window = -time.Millisecond }, "window"},
+		{"window without batching", func(o *options) { o.window = time.Millisecond; o.batch = 1 }, "window"},
+		{"zero dim", func(o *options) { o.dim = 0 }, "dim"},
+		{"zero epochs", func(o *options) { o.epochs = 0 }, "epochs"},
+		{"bad fleet class", func(o *options) { o.fleetSpec = "gpu=2" }, "fleet"},
+		{"bad fleet count", func(o *options) { o.fleetSpec = "tpu=-1" }, "fleet"},
+		{"bad fault plan", func(o *options) { o.faults = "nonsense=??" }, "faults"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOptions()
+			tc.mutate(o)
+			err := o.validate()
+			if err == nil {
+				t.Fatalf("expected a validation error")
+			}
+			var fe *flagError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v (%T) is not a *flagError", err, err)
+			}
+			if fe.flag != tc.wantArg {
+				t.Fatalf("error blames -%s, want -%s (%v)", fe.flag, tc.wantArg, err)
+			}
+		})
+	}
+}
+
+// TestValidateParsesStructuredFlags checks the happy path for -fleet and
+// -faults: validation parses them into the options.
+func TestValidateParsesStructuredFlags(t *testing.T) {
+	o := validOptions()
+	o.fleetSpec = "tpu=2,cpu=2"
+	o.faults = "link=0.05"
+	if err := o.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got := len(o.fleet); got != 4 {
+		t.Fatalf("fleet has %d workers, want 4", got)
+	}
+	if o.workers() != 4 {
+		t.Fatalf("workers() = %d, want 4", o.workers())
+	}
+	cfg := o.config()
+	if len(cfg.Fleet) != 4 || cfg.Devices != 0 {
+		t.Fatalf("config fleet %v devices %d, want 4-worker fleet", cfg.Fleet, cfg.Devices)
+	}
+}
+
+// TestParseFlags exercises the end-to-end flag path: parse failure from the
+// flag package, validation failure, and success.
+func TestParseFlags(t *testing.T) {
+	if _, err := parseFlags([]string{"-requests", "0"}); err == nil {
+		t.Fatal("parseFlags accepted -requests 0")
+	}
+	if _, err := parseFlags([]string{"-window", "-1ms", "-batch", "4"}); err == nil {
+		t.Fatal("parseFlags accepted negative -window")
+	}
+	o, err := parseFlags([]string{"-batch", "4", "-window", "2ms", "-fleet", "tpu=1,cpu=1"})
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	if o.batch != 4 || o.window != 2*time.Millisecond || len(o.fleet) != 2 {
+		t.Fatalf("parsed options %+v lost flag values", o)
+	}
+}

@@ -11,10 +11,12 @@ import (
 // geometrically from histMin so that relative error per observation is
 // bounded by the bucket ratio (~10%), which keeps quantile comparisons
 // such as "p99 within 2× of baseline" meaningful without storing every
-// sample. The zero value is not usable; call NewHistogram.
+// sample. Observations above the top bucket bound (~100s) land in a
+// dedicated overflow bucket whose quantile estimate is the observed max,
+// so Quantile and Max always agree for out-of-range data. The zero value
+// is not usable; call NewHistogram.
 type Histogram struct {
-	bounds []time.Duration // upper bound per bucket, ascending
-	counts []int
+	counts []int // histBuckets regular buckets + 1 overflow bucket
 	count  int
 	sum    time.Duration
 	min    time.Duration
@@ -22,7 +24,8 @@ type Histogram struct {
 }
 
 // Histogram bucket layout: histBuckets buckets spanning histMin ..
-// histMin·ratio^histBuckets with ratio chosen to cover ~100s.
+// histMin·ratio^histBuckets with ratio chosen to cover ~100s, plus one
+// overflow bucket for anything beyond the top bound.
 const (
 	histMin     = time.Microsecond
 	histBuckets = 192
@@ -31,18 +34,21 @@ const (
 // histRatio is the per-bucket growth factor: 192 buckets from 1µs to 100s.
 var histRatio = math.Pow(float64(100*time.Second)/float64(histMin), 1.0/float64(histBuckets-1))
 
-// NewHistogram returns an empty latency histogram.
-func NewHistogram() *Histogram {
-	h := &Histogram{
-		bounds: make([]time.Duration, histBuckets),
-		counts: make([]int, histBuckets),
-	}
+// histBounds is the shared per-bucket upper bound table (ascending). Every
+// histogram uses the same layout, so the table is computed once.
+var histBounds = func() []time.Duration {
+	bounds := make([]time.Duration, histBuckets)
 	b := float64(histMin)
-	for i := range h.bounds {
-		h.bounds[i] = time.Duration(b)
+	for i := range bounds {
+		bounds[i] = time.Duration(b)
 		b *= histRatio
 	}
-	return h
+	return bounds
+}()
+
+// NewHistogram returns an empty latency histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]int, histBuckets+1)}
 }
 
 // Observe records one duration. Negative durations clamp to zero.
@@ -58,20 +64,25 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.count++
 	h.sum += d
-	h.counts[h.bucket(d)]++
+	h.counts[histBucket(d)]++
 }
 
-// bucket returns the index of the bucket covering d.
-func (h *Histogram) bucket(d time.Duration) int {
-	if d <= h.bounds[0] {
+// histBucket returns the index of the bucket covering d: the regular
+// log-spaced bucket, or histBuckets (the overflow bucket) when d exceeds
+// the top bound.
+func histBucket(d time.Duration) int {
+	if d <= histBounds[0] {
 		return 0
+	}
+	if d > histBounds[histBuckets-1] {
+		return histBuckets
 	}
 	// Geometric layout ⇒ index is logarithmic in d; binary search keeps
 	// it exact at bucket edges.
-	lo, hi := 0, len(h.bounds)-1
+	lo, hi := 0, histBuckets-1
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if h.bounds[mid] < d {
+		if histBounds[mid] < d {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -97,9 +108,15 @@ func (h *Histogram) Min() time.Duration { return h.min }
 // Max returns the largest observation (zero when empty).
 func (h *Histogram) Max() time.Duration { return h.max }
 
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
 // Quantile returns an upper estimate of the q-quantile (q in [0, 1]): the
 // upper bound of the bucket holding the q·count-th observation, clamped
-// to the observed max. Returns zero when the histogram is empty.
+// to the observed max. An observation that landed in the overflow bucket
+// (beyond the ~100s top bound) estimates as the observed max, so Quantile
+// never reports the top bound while Max says otherwise. Returns zero when
+// the histogram is empty.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
@@ -118,7 +135,10 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, c := range h.counts {
 		seen += c
 		if seen >= rank {
-			b := h.bounds[i]
+			if i >= histBuckets {
+				return h.max // overflow bucket: only the max is known
+			}
+			b := histBounds[i]
 			if b > h.max {
 				b = h.max
 			}
@@ -152,6 +172,48 @@ func (h *Histogram) Clone() *Histogram {
 	c := NewHistogram()
 	c.Merge(h)
 	return c
+}
+
+// Buckets calls fn for every non-empty bucket in ascending order with the
+// bucket's upper bound and its (non-cumulative) count. The overflow bucket
+// is reported with an upper bound of the observed max. Used by exposition
+// formats; the layout itself stays private.
+func (h *Histogram) Buckets(fn func(bound time.Duration, count int)) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if i >= histBuckets {
+			fn(h.max, c)
+			continue
+		}
+		fn(histBounds[i], c)
+	}
+}
+
+// HistogramSummary is the quantile digest of one histogram, convenient for
+// JSON snapshots.
+type HistogramSummary struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Summary digests the histogram into its headline quantiles.
+func (h *Histogram) Summary() HistogramSummary {
+	return HistogramSummary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.Quantile(0.5),
+		P90:   h.Quantile(0.9),
+		P99:   h.Quantile(0.99),
+	}
 }
 
 // String renders the summary quantiles on one line.

@@ -104,6 +104,65 @@ func TestHistogramMergeClone(t *testing.T) {
 	}
 }
 
+func TestHistogramOverflowQuantileMaxAgreement(t *testing.T) {
+	// Observations beyond the ~100s top bucket bound land in the overflow
+	// bucket, whose quantile estimate is the observed max — Quantile must
+	// never report the top bound while Max says otherwise.
+	h := NewHistogram()
+	h.Observe(400 * time.Second)
+	if h.Max() != 400*time.Second {
+		t.Fatalf("max %v", h.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got := h.Quantile(q); got != h.Max() {
+			t.Fatalf("q=%v: quantile %v != max %v for out-of-range observation", q, got, h.Max())
+		}
+	}
+
+	// Mixed in-range and overflow data: low quantiles stay in range, the
+	// tail quantile agrees with the max, and the order stays monotone.
+	m := NewHistogram()
+	for i := 0; i < 99; i++ {
+		m.Observe(time.Millisecond)
+	}
+	m.Observe(300 * time.Second)
+	if p50 := m.Quantile(0.5); p50 > 2*time.Millisecond {
+		t.Fatalf("p50 %v dragged up by the overflow bucket", p50)
+	}
+	if got := m.Quantile(0.999); got != m.Max() {
+		t.Fatalf("tail quantile %v != max %v", got, m.Max())
+	}
+
+	// Merge preserves the overflow bucket.
+	c := NewHistogram()
+	c.Merge(h)
+	if got := c.Quantile(0.99); got != 400*time.Second {
+		t.Fatalf("merged overflow quantile %v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(200 * time.Second) // overflow
+	total := 0
+	var last time.Duration
+	h.Buckets(func(bound time.Duration, count int) {
+		if bound < last {
+			t.Fatalf("bucket bounds not ascending: %v after %v", bound, last)
+		}
+		last = bound
+		total += count
+	})
+	if total != 3 {
+		t.Fatalf("bucket counts sum to %d, want 3", total)
+	}
+	if last != 200*time.Second {
+		t.Fatalf("overflow bucket bound %v, want the observed max", last)
+	}
+}
+
 func TestHistogramClampsNegative(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(-5 * time.Second)

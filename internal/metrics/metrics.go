@@ -92,13 +92,13 @@ func Normalize(base time.Duration, values ...time.Duration) []float64 {
 	return out
 }
 
-// Speedup returns base/new as a factor (the paper's "N.NN×" numbers).
-// A zero new duration yields +Inf-like large output guarded to zero base.
-func Speedup(base, new time.Duration) float64 {
-	if new == 0 {
+// Speedup returns base/after as a factor (the paper's "N.NN×" numbers).
+// A zero after duration yields +Inf-like large output guarded to zero base.
+func Speedup(base, after time.Duration) float64 {
+	if after == 0 {
 		return 0
 	}
-	return float64(base) / float64(new)
+	return float64(base) / float64(after)
 }
 
 // Table renders an aligned plain-text table.

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counter and gauge names pass through
+// verbatim (any inline `{label="v"}` suffix is already well-formed
+// exposition syntax). Histograms expand into cumulative `_bucket` series
+// with `le` bounds in seconds (only non-empty buckets are emitted, plus
+// the mandatory `+Inf`), a `_sum` in seconds, and a `_count`.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var sb strings.Builder
+	writeSorted(&sb, s.Counters, "counter")
+	writeSorted(&sb, s.Gauges, "gauge")
+
+	hists := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		h := s.Histograms[name]
+		base, labels := SplitName(name)
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", base)
+		cum := 0
+		h.Buckets(func(bound time.Duration, count int) {
+			cum += count
+			fmt.Fprintf(&sb, "%s_bucket{%sle=%q} %d\n",
+				base, labelPrefix(labels), formatSeconds(bound), cum)
+		})
+		fmt.Fprintf(&sb, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labelPrefix(labels), h.Count())
+		fmt.Fprintf(&sb, "%s_sum%s %s\n", base, braced(labels), formatSeconds(h.Sum()))
+		fmt.Fprintf(&sb, "%s_count%s %d\n", base, braced(labels), h.Count())
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeSorted emits one plain `name value` line per metric, sorted by
+// name, with a TYPE comment per distinct base name.
+func writeSorted(sb *strings.Builder, values map[string]int64, kind string) {
+	names := make([]string, 0, len(values))
+	for name := range values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	lastBase := ""
+	for _, name := range names {
+		if base, _ := SplitName(name); base != lastBase {
+			fmt.Fprintf(sb, "# TYPE %s %s\n", base, kind)
+			lastBase = base
+		}
+		fmt.Fprintf(sb, "%s %d\n", name, values[name])
+	}
+}
+
+// SplitName splits a registry metric name into its base name and inline
+// label suffix: `a_total{x="y"}` → ("a_total", `x="y"`). A name without a
+// suffix returns empty labels.
+func SplitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// labelPrefix renders labels ready to be followed by another label pair.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// braced re-wraps a label set in braces, or nothing when empty.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatSeconds renders a duration as a seconds value for Prometheus.
+func formatSeconds(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}

@@ -1,0 +1,283 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the live-observability half of the package: a concurrent
+// Registry of named counters, gauges and histograms that the serving
+// runtime streams into as requests flow, with a Snapshot that is safe to
+// take while workers are mid-invoke. Writes are lock-free (atomic adds and
+// CAS loops); Snapshot copies the histograms, so readers never block a hot
+// path and a snapshot never mutates under the reader.
+//
+// Metric names follow the Prometheus convention, optionally carrying a
+// label suffix inline: `hdc_serve_shed_total{cause="queue_full"}`. The
+// registry treats the whole string as the identity; the exposition layer
+// (WritePrometheus) splits base name and labels back apart.
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, breaker state).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to n if n is larger (a monotone high-water mark).
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// LiveHistogram is the concurrent counterpart of Histogram: the same
+// log-bucket layout with atomic buckets, safe for Observe from any number
+// of goroutines. Snapshot copies it into a plain Histogram. Mid-flight, a
+// snapshot may trail in-progress observations by a few atomic writes
+// (count is derived from the bucket sums); at quiescence it is exact,
+// which is what makes the final ServeReport bit-identical to the live
+// stream.
+type LiveHistogram struct {
+	counts []atomic.Int64 // histBuckets + overflow, same layout as Histogram
+	sum    atomic.Int64   // nanoseconds
+	min    atomic.Int64   // nanoseconds; MaxInt64 while empty
+	max    atomic.Int64   // nanoseconds
+}
+
+// NewLiveHistogram returns an empty concurrent histogram.
+func NewLiveHistogram() *LiveHistogram {
+	h := &LiveHistogram{counts: make([]atomic.Int64, histBuckets+1)}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration. Negative durations clamp to zero. Safe for
+// concurrent use.
+func (h *LiveHistogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	casMin(&h.min, int64(d))
+	casMax(&h.max, int64(d))
+	h.sum.Add(int64(d))
+	h.counts[histBucket(d)].Add(1)
+}
+
+// Count returns the number of fully recorded observations.
+func (h *LiveHistogram) Count() int {
+	n := int64(0)
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return int(n)
+}
+
+// Snapshot copies the live histogram into an independent plain Histogram.
+// Safe to call while observations are in flight.
+func (h *LiveHistogram) Snapshot() *Histogram {
+	s := NewHistogram()
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.counts[i] = int(c)
+		s.count += int(c)
+	}
+	if s.count == 0 {
+		return s
+	}
+	s.sum = time.Duration(h.sum.Load())
+	if lo := h.min.Load(); lo != math.MaxInt64 {
+		s.min = time.Duration(lo)
+	}
+	s.max = time.Duration(h.max.Load())
+	return s
+}
+
+func casMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Registry is a concurrent collection of named metrics. Get-or-create
+// accessors take a read lock on the fast path; the metric objects
+// themselves are lock-free, so instrumented code holds no registry lock
+// while recording.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*LiveHistogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*LiveHistogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named live histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *LiveHistogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
+		h = NewLiveHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. The
+// histograms are independent copies: reading them never races with
+// in-flight observations.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]*Histogram
+}
+
+// Snapshot copies the registry. Safe to call at any time, including while
+// instrumented code is recording; counters in successive snapshots never
+// decrease.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make([]namedCounter, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, namedCounter{name, c})
+	}
+	gauges := make([]namedGauge, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, namedGauge{name, g})
+	}
+	hists := make([]namedHist, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, namedHist{name, h})
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]*Histogram, len(hists)),
+	}
+	for _, nc := range counters {
+		s.Counters[nc.name] = nc.c.Value()
+	}
+	for _, ng := range gauges {
+		s.Gauges[ng.name] = ng.g.Value()
+	}
+	for _, nh := range hists {
+		s.Histograms[nh.name] = nh.h.Snapshot()
+	}
+	return s
+}
+
+type namedCounter struct {
+	name string
+	c    *Counter
+}
+
+type namedGauge struct {
+	name string
+	g    *Gauge
+}
+
+type namedHist struct {
+	name string
+	h    *LiveHistogram
+}
+
+// Names returns every metric name in the snapshot, sorted, for
+// deterministic rendering.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total")
+	if c != r.Counter("a_total") {
+		t.Fatal("counter identity not stable across lookups")
+	}
+	c.Inc()
+	c.Add(2)
+	if got := r.Counter("a_total").Value(); got != 3 {
+		t.Fatalf("counter value %d, want 3", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.Add(-2)
+	if got := r.Gauge("depth").Value(); got != 3 {
+		t.Fatalf("gauge value %d, want 3", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax did not raise the gauge: %d", got)
+	}
+	h := r.Histogram("lat")
+	h.Observe(time.Millisecond)
+	if got := r.Histogram("lat").Count(); got != 1 {
+		t.Fatalf("histogram count %d, want 1", got)
+	}
+}
+
+func TestLiveHistogramMatchesHistogram(t *testing.T) {
+	// A LiveHistogram fed the same observations as a plain Histogram must
+	// snapshot to an identical value — the bit-identity contract the
+	// serving report relies on.
+	live := NewLiveHistogram()
+	plain := NewHistogram()
+	durs := []time.Duration{
+		0, time.Nanosecond, time.Microsecond, 37 * time.Microsecond,
+		time.Millisecond, 250 * time.Millisecond, 3 * time.Second,
+		99 * time.Second, 250 * time.Second, // the last one overflows
+	}
+	for _, d := range durs {
+		live.Observe(d)
+		plain.Observe(d)
+	}
+	snap := live.Snapshot()
+	if !reflect.DeepEqual(snap, plain) {
+		t.Fatalf("snapshot %+v != plain histogram %+v", snap, plain)
+	}
+	// The snapshot is independent: further observations must not leak in.
+	live.Observe(time.Second)
+	if snap.Count() != len(durs) {
+		t.Fatal("snapshot mutated by a later observation")
+	}
+}
+
+func TestLiveHistogramConcurrentObserve(t *testing.T) {
+	h := NewLiveHistogram()
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	// Concurrent snapshots must be well-formed and monotone in count.
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		prev := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count() < prev {
+				t.Errorf("snapshot count went backwards: %d -> %d", prev, s.Count())
+				return
+			}
+			prev = s.Count()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	s := h.Snapshot()
+	if s.Count() != goroutines*per {
+		t.Fatalf("final count %d, want %d", s.Count(), goroutines*per)
+	}
+	if s.Min() != 0 || s.Max() != time.Duration(goroutines*per-1)*time.Microsecond {
+		t.Fatalf("min/max off: %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestRegistrySnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Histogram("h").Observe(time.Millisecond)
+	s1 := r.Snapshot()
+	r.Counter("c").Inc()
+	r.Histogram("h").Observe(time.Second)
+	if s1.Counters["c"] != 1 || s1.Histograms["h"].Count() != 1 {
+		t.Fatalf("snapshot not isolated from later writes: %+v", s1)
+	}
+	s2 := r.Snapshot()
+	if s2.Counters["c"] != 2 || s2.Histograms["h"].Count() != 2 {
+		t.Fatalf("second snapshot stale: %+v", s2)
+	}
+	names := s2.Names()
+	if len(names) != 2 || names[0] != "c" || names[1] != "h" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`shed_total{cause="queue_full"}`).Add(4)
+	r.Counter(`shed_total{cause="draining"}`).Add(1)
+	r.Gauge("queue_depth").Set(7)
+	h := r.Histogram(`invoke_latency{backend="tpu"}`)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE shed_total counter",
+		`shed_total{cause="queue_full"} 4`,
+		`shed_total{cause="draining"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+		"# TYPE invoke_latency histogram",
+		`invoke_latency_bucket{backend="tpu",le="+Inf"} 2`,
+		`invoke_latency_count{backend="tpu"} 2`,
+		`invoke_latency_sum{backend="tpu"} 0.005`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be ascending.
+	if strings.Index(out, `le="+Inf"`) < strings.Index(out, "invoke_latency_bucket{") {
+		t.Fatalf("+Inf bucket not last:\n%s", out)
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	for _, tc := range []struct{ in, base, labels string }{
+		{"plain_total", "plain_total", ""},
+		{`x_total{a="b"}`, "x_total", `a="b"`},
+		{`x{a="b",c="d"}`, "x", `a="b",c="d"`},
+		{"odd{unclosed", "odd{unclosed", ""},
+	} {
+		base, labels := SplitName(tc.in)
+		if base != tc.base || labels != tc.labels {
+			t.Fatalf("SplitName(%q) = %q, %q", tc.in, base, labels)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"hdcedge/internal/backend/tpu"
 	"hdcedge/internal/cpuarch"
 	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/metrics"
 	"hdcedge/internal/rng"
 	"hdcedge/internal/tensor"
 	"hdcedge/internal/tflite"
@@ -138,8 +139,8 @@ func (p RecoveryPolicy) backoff(attempt int, r *rng.RNG) time.Duration {
 		attempt = 1
 	}
 	d := float64(p.BaseBackoff) * math.Pow(2, float64(attempt-1))
-	if max := float64(p.MaxBackoff); d > max || math.IsInf(d, 1) {
-		d = max
+	if ceil := float64(p.MaxBackoff); d > ceil || math.IsInf(d, 1) {
+		d = ceil
 	}
 	if p.JitterFrac > 0 && r != nil {
 		d *= 1 + p.JitterFrac*(2*r.Float64()-1)
@@ -223,9 +224,114 @@ type ResilientRunner struct {
 	pendingReload   bool
 	lastWasFallback bool
 
+	// live streams the reliability events into a metrics registry as they
+	// happen (see Instrument). nil leaves the runner uninstrumented.
+	live *runnerMetrics
+
 	// SetupTime is the primary's initial load cost (not counted as
 	// overhead).
 	SetupTime time.Duration
+}
+
+// runnerMetrics holds the live-registry handles one instrumented runner
+// streams into. Every field is an atomic metric, so recording from the
+// runner's single goroutine never blocks a concurrent Snapshot.
+type runnerMetrics struct {
+	invokes, deviceInvokes, retries *metrics.Counter
+	linkFaults, resets, reloads     *metrics.Counter
+	fallbackInvokes                 *metrics.Counter
+	breakerTrips, probes, closes    *metrics.Counter
+	breakerTransitions              *metrics.Counter
+	breakerState                    *metrics.Gauge
+}
+
+// Instrument streams the runner's reliability events — invokes, retries,
+// faults, reloads, host fallbacks, and every breaker state transition —
+// into reg as they happen. labels is an inline Prometheus label set
+// (e.g. `worker="0",backend="tpu"`) appended to every metric name so a
+// fleet of runners shares one registry without colliding. Call before the
+// first invoke; the runner itself stays single-goroutine.
+func (r *ResilientRunner) Instrument(reg *metrics.Registry, labels string) {
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	r.live = &runnerMetrics{
+		invokes:            reg.Counter("hdc_runner_invokes_total" + suffix),
+		deviceInvokes:      reg.Counter("hdc_runner_device_invokes_total" + suffix),
+		retries:            reg.Counter("hdc_runner_retries_total" + suffix),
+		linkFaults:         reg.Counter("hdc_runner_link_faults_total" + suffix),
+		resets:             reg.Counter("hdc_runner_resets_total" + suffix),
+		reloads:            reg.Counter("hdc_runner_reloads_total" + suffix),
+		fallbackInvokes:    reg.Counter("hdc_runner_fallback_invokes_total" + suffix),
+		breakerTrips:       reg.Counter("hdc_runner_breaker_trips_total" + suffix),
+		probes:             reg.Counter("hdc_runner_breaker_probes_total" + suffix),
+		closes:             reg.Counter("hdc_runner_breaker_closes_total" + suffix),
+		breakerTransitions: reg.Counter("hdc_runner_breaker_transitions_total" + suffix),
+		breakerState:       reg.Gauge("hdc_runner_breaker_state" + suffix),
+	}
+	r.live.breakerState.Set(int64(r.breaker))
+}
+
+// The on* recorders are nil-safe so an uninstrumented runner pays a single
+// pointer test per event.
+
+func (m *runnerMetrics) onInvoke() {
+	if m != nil {
+		m.invokes.Inc()
+	}
+}
+
+func (m *runnerMetrics) onDeviceInvoke() {
+	if m != nil {
+		m.deviceInvokes.Inc()
+	}
+}
+
+func (m *runnerMetrics) onRetry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *runnerMetrics) onFault(reset bool) {
+	if m == nil {
+		return
+	}
+	if reset {
+		m.resets.Inc()
+	} else {
+		m.linkFaults.Inc()
+	}
+}
+
+func (m *runnerMetrics) onReload() {
+	if m != nil {
+		m.reloads.Inc()
+	}
+}
+
+func (m *runnerMetrics) onFallback() {
+	if m != nil {
+		m.fallbackInvokes.Inc()
+	}
+}
+
+// onBreaker publishes a breaker state transition.
+func (m *runnerMetrics) onBreaker(s BreakerState) {
+	if m == nil {
+		return
+	}
+	m.breakerState.Set(int64(s))
+	m.breakerTransitions.Inc()
+	switch s {
+	case BreakerOpen:
+		m.breakerTrips.Inc()
+	case BreakerHalfOpen:
+		m.probes.Inc()
+	case BreakerClosed:
+		m.closes.Inc()
+	}
 }
 
 // NewResilientRunner creates a TPU backend for the platform's accelerator,
@@ -351,6 +457,7 @@ func (r *ResilientRunner) InvokeBatchCtx(ctx context.Context, rows int, fill fun
 // limits device execution and pricing to the occupied sample rows.
 func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *tensor.Tensor)) (edgetpu.Timing, error) {
 	r.report.Invokes++
+	r.live.onInvoke()
 	var waste edgetpu.Timing
 	if err := ctxErr(ctx); err != nil {
 		return waste, err
@@ -365,6 +472,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 			r.cooldownLeft--
 			if r.cooldownLeft <= 0 {
 				r.breaker = BreakerHalfOpen
+				r.live.onBreaker(BreakerHalfOpen)
 			}
 		}
 		if r.breaker == BreakerOpen {
@@ -392,6 +500,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 		}
 		attempts++
 		r.report.DeviceInvokes++
+		r.live.onDeviceInvoke()
 		t, err := r.deviceInvoke(ctx, rows)
 		if err == nil {
 			r.consecutive = 0
@@ -399,6 +508,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 			if probing {
 				r.breaker = BreakerClosed
 				r.report.BreakerCloses++
+				r.live.onBreaker(BreakerClosed)
 			}
 			t.Add(waste)
 			return t, nil
@@ -413,9 +523,11 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 		}
 		if backend.NeedsReload(err) {
 			r.report.Resets++
+			r.live.onFault(true)
 			r.pendingReload = true
 		} else {
 			r.report.LinkFaults++
+			r.live.onFault(false)
 		}
 		if probing {
 			// The trial attempt failed: back to open for another cooldown.
@@ -433,6 +545,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 			return r.invokeSecondary(fill, waste, rows)
 		}
 		r.report.Retries++
+		r.live.onRetry()
 		wait := r.policy.backoff(attempts, r.jitter)
 		waste.Host += wait
 		r.report.BackoffTime += wait
@@ -456,6 +569,7 @@ func (r *ResilientRunner) reload(waste *edgetpu.Timing) error {
 	}
 	r.pendingReload = false
 	r.report.Reloads++
+	r.live.onReload()
 	waste.Host += setup
 	r.report.ReloadTime += setup
 	return nil
@@ -476,6 +590,7 @@ func (r *ResilientRunner) trip() {
 	r.cooldownLeft = r.policy.BreakerCooldown
 	r.report.BreakerTripped = true
 	r.report.BreakerTrips++
+	r.live.onBreaker(BreakerOpen)
 }
 
 // ctxErr returns the context's error, tolerating the batch path's nil ctx.
@@ -527,6 +642,7 @@ func (r *ResilientRunner) invokeSecondary(fill func(in *tensor.Tensor), waste ed
 	}
 	r.lastWasFallback = true
 	r.report.FallbackInvokes++
+	r.live.onFallback()
 	r.report.FallbackTime += st.Total()
 	t := waste
 	t.Add(st)

@@ -241,11 +241,11 @@ func FuzzBackoffSchedule(f *testing.F) {
 	f.Add(int64(200*time.Microsecond), int64(10*time.Millisecond), 0.2, uint64(1), 5)
 	f.Add(int64(1), int64(math.MaxInt64), 1.0, uint64(99), 63)
 	f.Add(int64(time.Hour), int64(time.Hour), 0.0, uint64(0), 1000)
-	f.Fuzz(func(t *testing.T, base, max int64, jitter float64, seed uint64, attempts int) {
+	f.Fuzz(func(t *testing.T, base, ceil int64, jitter float64, seed uint64, attempts int) {
 		p := RecoveryPolicy{
 			MaxRetries:       3,
 			BaseBackoff:      time.Duration(base),
-			MaxBackoff:       time.Duration(max),
+			MaxBackoff:       time.Duration(ceil),
 			JitterFrac:       jitter,
 			BreakerThreshold: 1,
 			Seed:             seed,

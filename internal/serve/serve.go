@@ -145,6 +145,18 @@ type Config struct {
 	// Zero dispatches immediately with whatever is queued (batching still
 	// coalesces a backlog, but never waits for one).
 	BatchWindow time.Duration
+
+	// Metrics, when non-nil, is the registry the server streams its live
+	// telemetry into (admission counters, queue depth, per-backend invoke
+	// latency, breaker states). Nil gives the server a private registry;
+	// either way it is reachable via Server.Metrics() and snapshottable at
+	// any time, including mid-invoke.
+	Metrics *metrics.Registry
+
+	// TraceDepth bounds the per-request trace ring: the most recent
+	// TraceDepth settled requests keep their span breakdown (see Trace).
+	// Zero means DefaultTraceDepth; negative disables tracing.
+	TraceDepth int
 }
 
 // Validate checks the configuration for sanity.
@@ -279,15 +291,18 @@ type Result struct {
 type outcome struct {
 	res Result
 	err error
+	inv *invokeSpan // the invoke that produced it; nil when none ran
 }
 
 // request is one admitted unit of work.
 type request struct {
+	id      uint64 // admission sequence number (trace identity)
 	ctx     context.Context
 	cancel  context.CancelFunc
 	fill    func(in *tensor.Tensor)
 	consume func(out *tensor.Tensor)
 	enq     time.Time
+	deq     time.Time    // dequeue into a batch; zero while queued (under s.mu)
 	res     chan outcome // buffered, cap 1; receives exactly one outcome
 	settled atomic.Bool  // CAS gate: first settler wins
 }
@@ -352,18 +367,23 @@ func (w *worker) rowView(t *tensor.Tensor, i int) *tensor.Tensor {
 type Server struct {
 	cfg     Config
 	workers []*worker
-	forced  atomic.Bool // drain deadline fired: cancellations are force-failures
+	met     *serveMetrics // live registry handles (one source of truth)
+	traces  *traceRing
+	reqID   atomic.Uint64 // admission sequence for trace identity
+	forced  atomic.Bool   // drain deadline fired: cancellations are force-failures
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    []*request
 	pending  map[*request]struct{} // admitted, not yet settled
 	draining bool
-	counters counters
 	wg       sync.WaitGroup
 }
 
-// counters is the mu-guarded half of ServeReport.
+// counters is the admission/outcome half of ServeReport. Since the live
+// registry became the one source of truth it is no longer the server's
+// working state: Report() materializes it from the registry handles, so the
+// report and a concurrent Snapshot can never disagree.
 type counters struct {
 	Submitted        int
 	Admitted         int
@@ -396,8 +416,8 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 		cfg.Policy = pipeline.DefaultRecoveryPolicy()
 	}
 	if cfg.MaxBatch > 1 {
-		if cap := cm.BatchCapacity(); cfg.MaxBatch > cap {
-			return nil, fmt.Errorf("serve: MaxBatch %d exceeds compiled batch capacity %d", cfg.MaxBatch, cap)
+		if capacity := cm.BatchCapacity(); cfg.MaxBatch > capacity {
+			return nil, fmt.Errorf("serve: MaxBatch %d exceeds compiled batch capacity %d", cfg.MaxBatch, capacity)
 		}
 		if !cm.Model.RowSliceable() {
 			return nil, fmt.Errorf("serve: model %q is not row-sliceable; cannot micro-batch", cm.Model.Name)
@@ -405,14 +425,15 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 	}
 	n := cfg.workers()
 	fleet := cfg.fleet()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
 		cfg:     cfg,
 		pending: make(map[*request]struct{}),
-		counters: counters{
-			Latency:   metrics.NewHistogram(),
-			QueueWait: metrics.NewHistogram(),
-			PerSample: metrics.NewHistogram(),
-		},
+		met:     newServeMetrics(reg),
+		traces:  newTraceRing(cfg.TraceDepth),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < n; i++ {
@@ -441,6 +462,14 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 		}
 		if err != nil {
 			return nil, fmt.Errorf("serve: worker %d (%s): %w", i, fleet[i], err)
+		}
+		// Stream this worker's reliability events and its backend's invoke
+		// telemetry into the shared registry, labelled per worker so the
+		// whole fleet coexists in one namespace.
+		labels := fmt.Sprintf("worker=%q,backend=%q", strconv.Itoa(i), fleet[i])
+		r.Instrument(reg, labels)
+		if ib, ok := r.Backend().(instrumentable); ok {
+			ib.Instrument(reg, labels)
 		}
 		s.workers = append(s.workers, &worker{
 			id: i, name: fleet[i], runner: r,
@@ -479,31 +508,32 @@ func (s *Server) Do(ctx context.Context, fill func(in *tensor.Tensor), consume f
 	}
 
 	s.mu.Lock()
-	s.counters.Submitted++
+	s.met.submitted.Inc()
 	if s.draining {
-		s.counters.ShedDraining++
+		s.met.shedDraining.Inc()
 		s.mu.Unlock()
 		cancel()
 		return Result{}, &ShedError{Cause: ShedDraining}
 	}
 	if err := rctx.Err(); err != nil {
-		s.accountLocked(outcome{err: err})
+		s.account(outcome{err: err})
 		s.mu.Unlock()
 		cancel()
 		return Result{}, err
 	}
 	if s.cfg.QueueCapacity > 0 && len(s.queue) >= s.cfg.QueueCapacity {
-		s.counters.ShedQueueFull++
+		s.met.shedQueueFull.Inc()
 		s.mu.Unlock()
 		cancel()
 		return Result{}, &ShedError{Cause: ShedQueueFull}
 	}
-	s.counters.Admitted++
+	s.met.admitted.Inc()
+	r.id = s.reqID.Add(1)
 	r.enq = time.Now()
 	s.queue = append(s.queue, r)
-	if d := len(s.queue); d > s.counters.MaxQueueDepth {
-		s.counters.MaxQueueDepth = d
-	}
+	depth := int64(len(s.queue))
+	s.met.queueDepth.Set(depth)
+	s.met.queueDepthMax.SetMax(depth)
 	s.pending[r] = struct{}{}
 	s.cond.Signal()
 	s.mu.Unlock()
@@ -536,35 +566,39 @@ func (s *Server) settle(r *request, o outcome) bool {
 	if !r.settled.CompareAndSwap(false, true) {
 		return false
 	}
+	now := time.Now()
 	s.mu.Lock()
 	delete(s.pending, r)
-	s.accountLocked(o)
+	s.account(o)
+	deq := r.deq
 	s.mu.Unlock()
+	s.traces.record(r, o, deq, now)
 	r.res <- o
 	r.cancel()
 	return true
 }
 
-// accountLocked buckets one settled outcome into the counters. Caller holds
-// s.mu.
-func (s *Server) accountLocked(o outcome) {
+// account buckets one settled outcome into the live registry. The metric
+// objects are atomic, but callers hold s.mu anyway (the settle path already
+// does), keeping outcome accounting ordered with queue-state changes.
+func (s *Server) account(o outcome) {
 	var de *DrainError
 	switch {
 	case o.err == nil:
-		s.counters.Completed++
+		s.met.completed.Inc()
 		if o.res.OnHost {
-			s.counters.HostFallback++
+			s.met.hostFallback.Inc()
 		}
-		s.counters.Latency.Observe(o.res.Latency)
-		s.counters.QueueWait.Observe(o.res.QueueWait)
+		s.met.latency.Observe(o.res.Latency)
+		s.met.queueWait.Observe(o.res.QueueWait)
 	case errors.As(o.err, &de):
-		s.counters.DrainForced++
+		s.met.drainForced.Inc()
 	case errors.Is(o.err, context.DeadlineExceeded):
-		s.counters.DeadlineExceeded++
+		s.met.deadlineExceeded.Inc()
 	case errors.Is(o.err, context.Canceled):
-		s.counters.Cancelled++
+		s.met.cancelled.Inc()
 	default:
-		s.counters.Failed++
+		s.met.failed.Inc()
 	}
 }
 
@@ -572,15 +606,18 @@ func (s *Server) accountLocked(o outcome) {
 // Requests that settled while queued (deadline, force-drain) are dropped
 // without consuming a slot. Caller holds s.mu.
 func (s *Server) popLocked(n int, batch []*request) []*request {
+	now := time.Now()
 	for n > 0 && len(s.queue) > 0 {
 		r := s.queue[0]
 		s.queue = s.queue[1:]
 		if r.settled.Load() {
 			continue
 		}
+		r.deq = now
 		batch = append(batch, r)
 		n--
 	}
+	s.met.queueDepth.Set(int64(len(s.queue)))
 	return batch
 }
 
@@ -611,8 +648,8 @@ func (s *Server) nextBatch() []*request {
 	tighten := func(rs []*request) {
 		for _, r := range rs {
 			if d, ok := r.ctx.Deadline(); ok {
-				if cap := time.Now().Add(time.Until(d) / 2); cap.Before(deadline) {
-					deadline = cap
+				if bound := time.Now().Add(time.Until(d) / 2); bound.Before(deadline) {
+					deadline = bound
 				}
 			}
 		}
@@ -674,7 +711,11 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 	// One context governs the merged invoke. A single-request invoke uses
 	// the request's own context; a multi-request one gets a context bounded
 	// by the latest member deadline — members expiring earlier settle
-	// individually from Do — and cancellable by the drain force path.
+	// individually from Do — and cancellable by the drain force path. The
+	// merged context is detached from the members' parents, so a watcher
+	// per member cancels it once the last live member settles or is
+	// cancelled: an invoke (or its pace interval) must not keep the worker
+	// occupied when nobody is left waiting for the result.
 	ictx := batch[0].ctx
 	var icancel context.CancelFunc
 	if rows > 1 {
@@ -695,6 +736,16 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 			ictx, icancel = context.WithCancel(context.Background())
 		}
 		defer icancel()
+		var liveMembers atomic.Int64
+		liveMembers.Store(int64(rows))
+		for _, r := range batch {
+			stop := context.AfterFunc(r.ctx, func() {
+				if liveMembers.Add(-1) == 0 {
+					icancel()
+				}
+			})
+			defer stop()
+		}
 		w.invokeMu.Lock()
 		w.invokeCancel = icancel
 		w.invokeMu.Unlock()
@@ -737,7 +788,17 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 	w.report = rep
 	w.mu.Unlock()
 
+	span := &invokeSpan{
+		worker:  w.id,
+		backend: w.name,
+		batch:   rows,
+		breaker: w.runner.BreakerState(),
+		onHost:  onHost,
+		start:   start,
+	}
+
 	if err != nil {
+		span.end = time.Now()
 		// A merged invoke fails as a unit; settle each member with its own
 		// context error when it has one, else the batch error. (A
 		// single-request invoke propagates the invoke error unchanged.)
@@ -748,22 +809,18 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 					cause = cerr
 				}
 			}
-			s.settle(r, outcome{err: s.reasonFor(cause)})
+			s.settle(r, outcome{err: s.reasonFor(cause), inv: span})
 		}
 		return
 	}
 
-	s.mu.Lock()
-	s.counters.BatchInvokes++
-	s.counters.BatchRows += rows
-	if rows > s.counters.MaxBatchRows {
-		s.counters.MaxBatchRows = rows
-	}
+	s.met.batchInvokes.Inc()
+	s.met.batchRows.Add(int64(rows))
+	s.met.batchRowsMax.SetMax(int64(rows))
 	per := t.Total() / time.Duration(rows)
 	for i := 0; i < rows; i++ {
-		s.counters.PerSample.Observe(per)
+		s.met.perSample.Observe(per)
 	}
-	s.mu.Unlock()
 
 	pace := s.cfg.PacePerInvoke
 	if s.cfg.PaceScale > 0 {
@@ -781,6 +838,7 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 		}
 	}
 	now := time.Now()
+	span.end = now
 	w.mu.Lock()
 	w.stats.Invokes++
 	w.stats.Rows += rows
@@ -800,7 +858,7 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 			BatchSize: rows,
 			QueueWait: start.Sub(r.enq),
 			Latency:   lat,
-		}})
+		}, inv: span})
 		if won {
 			w.mu.Lock()
 			w.stats.Requests++
@@ -865,6 +923,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	queued := s.queue
 	s.queue = nil
+	s.met.queueDepth.Set(0)
 	var inflight []*request
 	for r := range s.pending {
 		inflight = append(inflight, r)
@@ -894,15 +953,20 @@ func (s *Server) Drain(ctx context.Context) error {
 // Close drains with only the configured DrainDeadline as the bound.
 func (s *Server) Close() error { return s.Drain(context.Background()) }
 
+// Metrics returns the live registry the server streams into: the Config's
+// registry when one was supplied, the server's private one otherwise. Its
+// Snapshot is safe at any time, including while workers are mid-invoke, and
+// at quiescence (after Drain) it agrees with Report exactly.
+func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
+
 // Report snapshots the serving counters, latency histograms, aggregated
 // reliability accounting across all workers, the per-backend-class
-// breakdowns, and the current health.
+// breakdowns, and the current health. The counters are materialized from
+// the live registry — the report is a view of the same numbers a metrics
+// Snapshot exposes, not a second set of books.
 func (s *Server) Report() ServeReport {
 	s.mu.Lock()
-	c := s.counters
-	c.Latency = s.counters.Latency.Clone()
-	c.QueueWait = s.counters.QueueWait.Clone()
-	c.PerSample = s.counters.PerSample.Clone()
+	c := s.met.counters()
 	s.mu.Unlock()
 	rep := ServeReport{counters: c, Devices: len(s.workers), Fleet: s.cfg.fleet(), Health: s.Health()}
 	byName := make(map[string]int) // backend class -> index into rep.Backends

@@ -17,8 +17,8 @@ func ParallelFor(n, minPerWorker int, fn func(lo, hi int)) {
 	if minPerWorker < 1 {
 		minPerWorker = 1
 	}
-	if max := n / minPerWorker; workers > max {
-		workers = max
+	if bound := n / minPerWorker; workers > bound {
+		workers = bound
 	}
 	if workers <= 1 {
 		fn(0, n)

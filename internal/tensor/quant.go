@@ -13,25 +13,25 @@ type QuantParams struct {
 }
 
 // ChooseQuantParams derives int8 quantization parameters covering
-// [min, max] in the TFLite style: the range is widened to include zero so
+// [lo, hi] in the TFLite style: the range is widened to include zero so
 // the zero point is exact, and degenerate ranges get a unit scale.
-func ChooseQuantParams(min, max float64) QuantParams {
-	if min > max {
-		min, max = max, min
+func ChooseQuantParams(lo, hi float64) QuantParams {
+	if lo > hi {
+		lo, hi = hi, lo
 	}
 	// Zero must be exactly representable.
-	if min > 0 {
-		min = 0
+	if lo > 0 {
+		lo = 0
 	}
-	if max < 0 {
-		max = 0
+	if hi < 0 {
+		hi = 0
 	}
 	const qmin, qmax = -128, 127
-	if min == max {
+	if lo == hi {
 		return QuantParams{Scale: 1, ZeroPoint: 0}
 	}
-	scale := (max - min) / float64(qmax-qmin)
-	zpReal := float64(qmin) - min/scale
+	scale := (hi - lo) / float64(qmax-qmin)
+	zpReal := float64(qmin) - lo/scale
 	zp := int32(math.Round(zpReal))
 	if zp < qmin {
 		zp = qmin
@@ -96,30 +96,30 @@ func Dequantize(src *Tensor) *Tensor {
 
 // MinMax returns the minimum and maximum of a float tensor. An empty tensor
 // yields (0, 0).
-func MinMax(t *Tensor) (min, max float64) {
+func MinMax(t *Tensor) (lo, hi float64) {
 	if t.DType != Float32 {
 		panic("tensor: MinMax requires a float tensor")
 	}
 	if len(t.F32) == 0 {
 		return 0, 0
 	}
-	min, max = float64(t.F32[0]), float64(t.F32[0])
+	lo, hi = float64(t.F32[0]), float64(t.F32[0])
 	for _, v := range t.F32[1:] {
 		f := float64(v)
-		if f < min {
-			min = f
+		if f < lo {
+			lo = f
 		}
-		if f > max {
-			max = f
+		if f > hi {
+			hi = f
 		}
 	}
-	return min, max
+	return lo, hi
 }
 
 // AbsMax returns the maximum absolute value of a float tensor.
 func AbsMax(t *Tensor) float64 {
-	min, max := MinMax(t)
-	return math.Max(math.Abs(min), math.Abs(max))
+	lo, hi := MinMax(t)
+	return math.Max(math.Abs(lo), math.Abs(hi))
 }
 
 // RangeObserver accumulates the observed value range across calibration

@@ -52,10 +52,10 @@ func FuzzQuantRoundTrip(f *testing.F) {
 		code := q.QuantizeOne(v)
 		back := q.DequantizeOne(code)
 		// Dequantized values always lie in the representable envelope.
-		min := q.DequantizeOne(-128)
-		max := q.DequantizeOne(127)
-		if back < min || back > max {
-			t.Fatalf("round trip escaped the representable range: %v not in [%v, %v]", back, min, max)
+		floor := q.DequantizeOne(-128)
+		ceil := q.DequantizeOne(127)
+		if back < floor || back > ceil {
+			t.Fatalf("round trip escaped the representable range: %v not in [%v, %v]", back, floor, ceil)
 		}
 	})
 }

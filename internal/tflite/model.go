@@ -196,15 +196,15 @@ func (m *Model) BatchCapacity() int {
 // so running on ViewRows(0, rows) views computes exactly the first rows
 // samples, bit-identically to a full-capacity invoke.
 func (m *Model) RowSliceable() bool {
-	cap := m.BatchCapacity()
-	if cap <= 0 {
+	capacity := m.BatchCapacity()
+	if capacity <= 0 {
 		return false
 	}
 	for _, ti := range m.Tensors {
 		if ti.Buffer != NoBuffer {
 			continue
 		}
-		if len(ti.Shape) == 0 || ti.Shape[0] != cap {
+		if len(ti.Shape) == 0 || ti.Shape[0] != capacity {
 			return false
 		}
 	}

@@ -1,0 +1,139 @@
+// Command shadowcheck flags declarations that shadow Go's predeclared
+// builtin functions (cap, len, max, copy, ...). Shadowing a builtin is
+// legal Go, but it silently changes the meaning of the builtin for the
+// rest of the scope — `cap := ...` inside a function makes a later
+// `cap(slice)` a compile error at best and a logic bug at worst. go vet
+// has no enabled-by-default analyzer for this, so `make test` runs this
+// checker over the whole tree.
+//
+// Usage:
+//
+//	go run ./tools/shadowcheck [dir]
+//
+// Scans every .go file under dir (default ".") excluding testdata,
+// vendor and hidden directories. Exits 1 when any shadowing declaration
+// is found, listing file:line per hit. Only declarations of *variables*
+// are flagged (short declarations, var specs, function parameters,
+// results, receivers, range variables); struct fields and methods are
+// legitimately allowed to reuse builtin names and are ignored.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// builtinFuncs are the predeclared function identifiers worth protecting.
+// Predeclared type names (int, string, error, ...) are deliberately left
+// out: shadowing them is rare and flagging them is mostly noise.
+var builtinFuncs = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true, "new": true,
+	"panic": true, "print": true, "println": true, "real": true,
+	"recover": true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = strings.TrimSuffix(os.Args[1], "/...")
+	}
+	fset := token.NewFileSet()
+	var hits []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		hits = append(hits, checkFile(fset, file)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shadowcheck:", err)
+		os.Exit(2)
+	}
+	if len(hits) > 0 {
+		for _, h := range hits {
+			fmt.Fprintln(os.Stderr, h)
+		}
+		fmt.Fprintf(os.Stderr, "shadowcheck: %d declaration(s) shadow a builtin\n", len(hits))
+		os.Exit(1)
+	}
+}
+
+// checkFile walks one parsed file and reports every variable declaration
+// whose name is a predeclared builtin function.
+func checkFile(fset *token.FileSet, file *ast.File) []string {
+	var hits []string
+	flag := func(id *ast.Ident, what string) {
+		if id != nil && builtinFuncs[id.Name] {
+			hits = append(hits, fmt.Sprintf("%s: %s %q shadows builtin",
+				fset.Position(id.Pos()), what, id.Name))
+		}
+	}
+	flagFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				flag(name, what)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						flag(id, "short declaration")
+					}
+				}
+			}
+		case *ast.ValueSpec: // var / const specs (struct fields are *ast.Field)
+			for _, name := range n.Names {
+				flag(name, "declaration")
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					flag(id, "range variable")
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					flag(id, "range variable")
+				}
+			}
+		case *ast.FuncDecl:
+			flagFields(n.Recv, "receiver")
+			flagFields(n.Type.Params, "parameter")
+			flagFields(n.Type.Results, "named result")
+		case *ast.FuncLit:
+			flagFields(n.Type.Params, "parameter")
+			flagFields(n.Type.Results, "named result")
+		}
+		return true
+	})
+	return hits
+}
