@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke bench bench-serve experiments examples clean
+.PHONY: all build test vet race fuzz-smoke chaos-smoke bench bench-serve experiments examples clean
 
 all: vet test
 
@@ -26,10 +26,19 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/serve/... ./internal/backend/...
 	$(GO) test -race ./...
+	@$(MAKE) chaos-smoke
 	@$(MAKE) fuzz-smoke
 
 race:
 	$(GO) test -race ./...
+
+# A short seeded chaos scenario under the race detector: the router's
+# failover/hedging/drain machinery racing injected node failures. Fast
+# enough to run on every `make test`.
+chaos-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestRouterDrainRacesChaosHang|TestRouterHedgeAccountingUnderLoad|TestRouterFleetFailoverServesThroughCrash|TestChaosRateIsSeededDeterministic' \
+		./internal/router/
 
 # A short fuzzing pass over every Fuzz target in the tree (FUZZTIME each),
 # as a smoke test; saved counterexamples under testdata/fuzz run in `test`.

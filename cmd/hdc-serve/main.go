@@ -10,6 +10,8 @@
 //	          [-batch 1] [-window 0] [-pace-scale 0]
 //	          [-faults "link=0.05"] [-fault-seed 1] [-seed 7]
 //	          [-listen :8080]
+//	          [-nodes 4] [-chaos "0:crash,1:slow=8"] [-hedge adaptive]
+//	          [-probe 25ms]
 //
 // Without -data, a synthetic dataset is generated and a tiny model is
 // trained on it. Requests arrive open-loop at -load times the fleet's
@@ -25,6 +27,13 @@
 // latency quantiles, batch occupancy, per-backend throughput/latency
 // breakdowns, per-worker breaker health. See docs/serving.md and
 // docs/observability.md.
+//
+// With -nodes > 1 (or -chaos / -hedge), the run goes through the routing
+// tier instead: -nodes identical servers behind a health-checked
+// least-loaded router with failover, optional hedged requests (-hedge),
+// and node-grade chaos injection (-chaos, seeded by -fault-seed). The
+// report becomes the router's fleet-level accounting plus per-node
+// serving summaries. See docs/fleet.md.
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/hdc"
 	"hdcedge/internal/pipeline"
+	"hdcedge/internal/router"
 	"hdcedge/internal/serve"
 	"hdcedge/internal/tensor"
 )
@@ -75,10 +85,22 @@ type options struct {
 	dim       int
 	epochs    int
 	listen    string
+	nodes     int
+	chaosSpec string
+	hedgeSpec string
+	probe     time.Duration
 
 	// Parsed by validate.
 	fleet serve.FleetSpec
 	plan  edgetpu.FaultPlan
+	chaos map[int]router.ChaosPlan
+	hedge router.HedgeConfig
+}
+
+// routed reports whether the run goes through the routing tier rather
+// than a single bare server.
+func (o *options) routed() bool {
+	return o.nodes > 1 || o.chaosSpec != "" || o.hedgeSpec != ""
 }
 
 // validate checks every option and parses the structured ones (-fleet,
@@ -123,6 +145,15 @@ func (o *options) validate() error {
 	if o.epochs <= 0 {
 		return &flagError{"epochs", fmt.Sprintf("must be positive, got %d", o.epochs)}
 	}
+	if o.nodes <= 0 {
+		return &flagError{"nodes", fmt.Sprintf("must be positive, got %d", o.nodes)}
+	}
+	if o.probe < 0 {
+		return &flagError{"probe", fmt.Sprintf("must be non-negative (0 = no probing), got %v", o.probe)}
+	}
+	if o.listen != "" && o.routed() {
+		return &flagError{"listen", "the observability endpoint is single-node; not available behind the router"}
+	}
 	if o.fleetSpec != "" {
 		fleet, err := serve.ParseFleet(o.fleetSpec)
 		if err != nil {
@@ -136,6 +167,29 @@ func (o *options) validate() error {
 			return &flagError{"faults", err.Error()}
 		}
 		o.plan = plan
+	}
+	if o.chaosSpec != "" {
+		plans, err := router.ParseChaos(o.chaosSpec, o.faultSeed)
+		if err != nil {
+			return &flagError{"chaos", err.Error()}
+		}
+		for idx := range plans {
+			if idx >= o.nodes {
+				return &flagError{"chaos", fmt.Sprintf("plan targets node %d but -nodes is %d", idx, o.nodes)}
+			}
+		}
+		o.chaos = plans
+	}
+	switch o.hedgeSpec {
+	case "":
+	case "adaptive":
+		o.hedge = router.HedgeConfig{Enabled: true}
+	default:
+		d, err := time.ParseDuration(o.hedgeSpec)
+		if err != nil || d <= 0 {
+			return &flagError{"hedge", fmt.Sprintf("want \"adaptive\" or a positive duration, got %q", o.hedgeSpec)}
+		}
+		o.hedge = router.HedgeConfig{Enabled: true, Delay: d}
 	}
 	return nil
 }
@@ -189,6 +243,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.dim, "dim", 512, "hypervector dimension for the trained model")
 	fs.IntVar(&o.epochs, "epochs", 3, "training epochs")
 	fs.StringVar(&o.listen, "listen", "", "HTTP observability address, e.g. \":8080\" (empty = disabled)")
+	fs.IntVar(&o.nodes, "nodes", 1, "serving nodes behind the routing tier (1 = no router)")
+	fs.StringVar(&o.chaosSpec, "chaos", "", "node-grade chaos plans, e.g. \"0:crash,1:slow=8\"")
+	fs.StringVar(&o.hedgeSpec, "hedge", "", "hedged requests: \"adaptive\" (p99-tracking delay) or a fixed delay like \"12ms\"")
+	fs.DurationVar(&o.probe, "probe", 25*time.Millisecond, "router health-probe interval (0 = no probing)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -217,6 +275,10 @@ func main() {
 	cm, err := pipeline.CompileInference(p, model, ds, o.batch)
 	if err != nil {
 		fail(err.Error())
+	}
+	if o.routed() {
+		runRouted(o, p, cm, ds)
+		return
 	}
 	s, err := serve.New(p, cm, o.config())
 	if err != nil {
@@ -279,6 +341,101 @@ func main() {
 			b.Name, float64(b.Requests)/elapsed.Seconds(), b.Workers,
 			b.Latency.Quantile(0.5).Round(time.Microsecond),
 			b.Latency.Quantile(0.99).Round(time.Microsecond))
+	}
+}
+
+// runRouted serves the request stream through the routing tier: -nodes
+// identical servers (each configured like the single-node run), chaos
+// plans wrapped around their targets, health probes and optional hedging
+// on top. The report is the router's fleet-level accounting plus each
+// node's own serving report.
+func runRouted(o *options, p pipeline.Platform, cm *edgetpu.CompiledModel, ds *dataset.Dataset) {
+	n := ds.Features()
+	rowFill := func(row int) func(in *tensor.Tensor) {
+		return func(in *tensor.Tensor) {
+			copy(in.F32, ds.X.F32[row*n:(row+1)*n])
+		}
+	}
+	nodes := make([]serve.Node, o.nodes)
+	for i := range nodes {
+		cfg := o.config()
+		// Decorrelate the per-node retry-jitter streams so synchronized
+		// failures don't retry in lockstep across the fleet.
+		cfg.Policy = pipeline.DefaultRecoveryPolicy()
+		cfg.Policy.Seed = o.seed + 1 + uint64(i)*17
+		s, err := serve.New(p, cm, cfg)
+		if err != nil {
+			fail(err.Error())
+		}
+		if plan, ok := o.chaos[i]; ok {
+			cn, err := router.NewChaosNode(s, i, plan)
+			if err != nil {
+				fail(err.Error())
+			}
+			nodes[i] = cn
+		} else {
+			nodes[i] = s
+		}
+	}
+	r, err := router.New(nodes, router.Config{
+		ProbeInterval:   o.probe,
+		DegradedLatency: 4 * o.pace,
+		ProbeFill:       rowFill(0),
+		Hedge:           o.hedge,
+	})
+	if err != nil {
+		fail(err.Error())
+	}
+
+	workers := o.nodes * o.workers()
+	interarrival := time.Duration(float64(o.pace) / (float64(workers) * o.load))
+	hedgeStr := "off"
+	if o.hedge.Enabled {
+		hedgeStr = "adaptive"
+		if o.hedge.Delay > 0 {
+			hedgeStr = o.hedge.Delay.String()
+		}
+	}
+	fmt.Printf("serving %d requests at %.1fx capacity (%d nodes x %d workers, pace %v, interarrival %v, chaos %q, hedge %s)\n",
+		o.requests, o.load, o.nodes, o.workers(), o.pace, interarrival, o.chaosSpec, hedgeStr)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.requests; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interarrival)); d > 0 {
+			time.Sleep(d)
+		}
+		row := i % ds.Samples()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Sheds, deadline misses, and chaos-induced failures are all
+			// tolerated outcomes; the router report accounts for each.
+			r.Do(context.Background(), rowFill(row), nil)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err := r.Drain(context.Background()); err != nil {
+		fmt.Printf("drain: %v\n", err)
+	} else {
+		fmt.Println("drain: clean")
+	}
+	rep := r.Report()
+	fmt.Println(rep)
+	fmt.Printf("goodput: %.0f req/s over %v\n",
+		float64(rep.Completed)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	for i := range nodes {
+		srep, ok := r.NodeServeReport(i)
+		if !ok {
+			continue
+		}
+		chaosStr := ""
+		if plan, ok := o.chaos[i]; ok {
+			chaosStr = fmt.Sprintf(" chaos=%s", plan.Mode)
+		}
+		fmt.Printf("  node %d [%s%s]: completed=%d shed=%d failed=%d\n",
+			i, rep.Nodes[i].State, chaosStr, srep.Completed, srep.Shed(), srep.Failed)
 	}
 }
 

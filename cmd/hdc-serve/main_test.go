@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"hdcedge/internal/router"
 )
 
 // validOptions returns a baseline that passes validation; tests perturb one
@@ -20,6 +22,7 @@ func validOptions() *options {
 		batch:    1,
 		dim:      512,
 		epochs:   3,
+		nodes:    1,
 	}
 }
 
@@ -55,6 +58,14 @@ func TestValidateRejections(t *testing.T) {
 		{"bad fleet class", func(o *options) { o.fleetSpec = "gpu=2" }, "fleet"},
 		{"bad fleet count", func(o *options) { o.fleetSpec = "tpu=-1" }, "fleet"},
 		{"bad fault plan", func(o *options) { o.faults = "nonsense=??" }, "faults"},
+		{"zero nodes", func(o *options) { o.nodes = 0 }, "nodes"},
+		{"negative nodes", func(o *options) { o.nodes = -2 }, "nodes"},
+		{"negative probe", func(o *options) { o.probe = -time.Millisecond }, "probe"},
+		{"bad chaos mode", func(o *options) { o.nodes = 4; o.chaosSpec = "0:melt" }, "chaos"},
+		{"chaos node out of range", func(o *options) { o.nodes = 2; o.chaosSpec = "3:crash" }, "chaos"},
+		{"bad hedge spec", func(o *options) { o.hedgeSpec = "soon" }, "hedge"},
+		{"negative hedge delay", func(o *options) { o.hedgeSpec = "-5ms" }, "hedge"},
+		{"listen behind router", func(o *options) { o.nodes = 4; o.listen = ":8080" }, "listen"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -93,6 +104,47 @@ func TestValidateParsesStructuredFlags(t *testing.T) {
 	cfg := o.config()
 	if len(cfg.Fleet) != 4 || cfg.Devices != 0 {
 		t.Fatalf("config fleet %v devices %d, want 4-worker fleet", cfg.Fleet, cfg.Devices)
+	}
+}
+
+// TestValidateParsesRouterFlags checks the happy path for the routing-tier
+// flags: chaos plans land on their nodes with the fault seed, and the
+// hedge spec parses into an enabled HedgeConfig.
+func TestValidateParsesRouterFlags(t *testing.T) {
+	o := validOptions()
+	o.nodes = 4
+	o.faultSeed = 11
+	o.chaosSpec = "0:crash,1:slow=8"
+	o.hedgeSpec = "12ms"
+	if err := o.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !o.routed() {
+		t.Fatal("routed() false with -nodes 4")
+	}
+	if len(o.chaos) != 2 {
+		t.Fatalf("parsed %d chaos plans, want 2", len(o.chaos))
+	}
+	if got := o.chaos[1]; got.Mode != router.ChaosSlow || got.Factor != 8 {
+		t.Fatalf("node 1 plan %+v, want slow=8", got)
+	}
+	if got := o.chaos[0].Seed; got != 11 {
+		t.Fatalf("node 0 chaos seed %d, want faultSeed 11", got)
+	}
+	if !o.hedge.Enabled || o.hedge.Delay != 12*time.Millisecond {
+		t.Fatalf("hedge config %+v, want enabled with 12ms delay", o.hedge)
+	}
+
+	o = validOptions()
+	o.hedgeSpec = "adaptive"
+	if err := o.validate(); err != nil {
+		t.Fatalf("validate adaptive hedge: %v", err)
+	}
+	if !o.hedge.Enabled || o.hedge.Delay != 0 {
+		t.Fatalf("adaptive hedge config %+v, want enabled with p99-tracking delay", o.hedge)
+	}
+	if !o.routed() {
+		t.Fatal("routed() false with -hedge on a single node")
 	}
 }
 

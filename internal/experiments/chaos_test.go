@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestChaosAblationHoldsGoodput checks the acceptance bar for the routing
+// tier: with a quarter of the fleet crashed and another node gray-slow,
+// the router with hedging on holds at least MinChaosGoodputFrac of the
+// healthy fleet's goodput. The goodput ratio is a wall-clock measurement,
+// so it gets a bounded retry against scheduler noise; the structural
+// accounting and health-detection properties are asserted on every
+// attempt.
+func TestChaosAblationHoldsGoodput(t *testing.T) {
+	skipLongUnderRace(t)
+	const attempts = 3
+	var res *ChaosResult
+	for try := 1; ; try++ {
+		var err error
+		res, err = AblationChaos(fastCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := checkChaosResult(t, res); msg == "" {
+			break
+		} else if try == attempts {
+			t.Fatalf("after %d attempts: %s", attempts, msg)
+		} else {
+			t.Logf("attempt %d: %s (scheduler noise; retrying)", try, msg)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblationChaos(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "Chaos ablation") || !strings.Contains(out, "chaos + hedging") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+// checkChaosResult asserts the deterministic properties of one sweep and
+// returns a non-empty description if only the wall-clock goodput bar
+// failed.
+func checkChaosResult(t *testing.T, res *ChaosResult) string {
+	t.Helper()
+	if len(res.Points) != 3 {
+		t.Fatalf("%d sweep points, want 3", len(res.Points))
+	}
+	byName := map[string]ChaosPoint{}
+	for _, pt := range res.Points {
+		byName[pt.Scenario] = pt
+		// The hedge-accounting invariant: every offered request settled
+		// with exactly one outcome, however many node attempts served it.
+		if pt.Offered == 0 || pt.Settled() != pt.Offered {
+			t.Fatalf("cell %q does not settle exactly once per request: %+v", pt.Scenario, pt)
+		}
+		// A request fails hard only after exhausting every node (e.g. the
+		// last untried node is the crashed one); allow the rare straggler
+		// but never a systematic failure rate.
+		if pt.Failed > pt.Offered/50 {
+			t.Fatalf("cell %q produced %d hard failures: %+v", pt.Scenario, pt.Failed, pt)
+		}
+		if pt.Completed == 0 {
+			t.Fatalf("cell %q completed nothing: %+v", pt.Scenario, pt)
+		}
+	}
+	healthy, ok := byName["healthy"]
+	if !ok {
+		t.Fatal("sweep missing the healthy baseline")
+	}
+	// Failovers and degraded verdicts can happen under pure load (a shed
+	// on one node retries on another; a slow probe de-weights); a down
+	// node or a fired hedge cannot.
+	if healthy.DownNodes != 0 || healthy.HedgesFired != 0 {
+		t.Fatalf("healthy baseline saw chaos effects: %+v", healthy)
+	}
+	for _, name := range []string{"chaos, failover only", "chaos + hedging"} {
+		pt, ok := byName[name]
+		if !ok {
+			t.Fatalf("sweep missing %q", name)
+		}
+		if pt.Failovers == 0 {
+			t.Fatalf("cell %q routed around nothing despite a crashed node: %+v", name, pt)
+		}
+		if pt.DownNodes == 0 || pt.Transitions == 0 {
+			t.Fatalf("cell %q health machine never marked the crashed node down: %+v", name, pt)
+		}
+	}
+	hedged := byName["chaos + hedging"]
+	if hedged.HedgesFired == 0 {
+		t.Fatalf("hedging cell fired no hedges against a gray-slow node: %+v", hedged)
+	}
+	if hedged.HedgesWon > hedged.HedgesFired || hedged.HedgesWasted > hedged.HedgesFired {
+		t.Fatalf("hedge accounting inconsistent: %+v", hedged)
+	}
+	if frac := hedged.GoodputRPS / healthy.GoodputRPS; frac < MinChaosGoodputFrac {
+		return fmt.Sprintf("hedged chaos goodput %.0f/s is %.0f%% of healthy %.0f/s, bar %.0f%%",
+			hedged.GoodputRPS, 100*frac, healthy.GoodputRPS, 100*MinChaosGoodputFrac)
+	}
+	return ""
+}

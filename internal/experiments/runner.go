@@ -13,7 +13,7 @@ var AllExperiments = []string{
 	"ablation-robustness", "ablation-online", "ablation-binary",
 	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
 	"ablation-scaleout", "ablation-faults", "ablation-overload", "ablation-batching",
-	"ablation-fleet",
+	"ablation-fleet", "ablation-chaos",
 	"table-variance",
 }
 
@@ -170,6 +170,12 @@ func RunOne(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		RenderAblationFleet(w, res)
+	case "ablation-chaos":
+		res, err := AblationChaos(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationChaos(w, res)
 	case "ablation-online":
 		rows, err := AblationOnline(cfg)
 		if err != nil {

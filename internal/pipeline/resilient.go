@@ -47,8 +47,16 @@ type RecoveryPolicy struct {
 
 	// JitterFrac spreads each backoff uniformly over ±JitterFrac of its
 	// nominal value, drawn from the runner's seeded stream. Must lie in
-	// [0, 1].
+	// [0, 1]. Ignored under JitterFull.
 	JitterFrac float64
+
+	// Jitter selects the jitter distribution. JitterEqual (the zero value)
+	// keeps the legacy ±JitterFrac spread; JitterFull draws each wait
+	// uniformly from [0, nominal], which decorrelates N workers retrying a
+	// shared fault — with equal jitter their waits still cluster inside a
+	// ±20% band and re-collide as a retry storm, while full jitter spreads
+	// them across the whole backoff window.
+	Jitter JitterMode
 
 	// BreakerThreshold is how many consecutive invokes must exhaust their
 	// retries before the circuit breaker opens and routes further invokes
@@ -64,6 +72,29 @@ type RecoveryPolicy struct {
 
 	// Seed drives the backoff jitter stream.
 	Seed uint64
+}
+
+// JitterMode selects the shape of the backoff jitter distribution.
+type JitterMode int
+
+const (
+	// JitterEqual spreads each wait over ±JitterFrac of nominal (legacy;
+	// bit-identical to the pre-mode behavior).
+	JitterEqual JitterMode = iota
+	// JitterFull draws each wait uniformly from [0, nominal] — the
+	// anti-retry-storm distribution.
+	JitterFull
+)
+
+// String renders the mode.
+func (m JitterMode) String() string {
+	switch m {
+	case JitterEqual:
+		return "equal"
+	case JitterFull:
+		return "full"
+	}
+	return fmt.Sprintf("jitter(%d)", int(m))
 }
 
 // BreakerState is the circuit breaker's position.
@@ -121,6 +152,9 @@ func (p RecoveryPolicy) Validate() error {
 	if math.IsNaN(p.JitterFrac) || p.JitterFrac < 0 || p.JitterFrac > 1 {
 		return fmt.Errorf("pipeline: JitterFrac %v outside [0, 1]", p.JitterFrac)
 	}
+	if p.Jitter != JitterEqual && p.Jitter != JitterFull {
+		return fmt.Errorf("pipeline: unknown JitterMode %d", int(p.Jitter))
+	}
 	if p.BreakerThreshold < 1 {
 		return fmt.Errorf("pipeline: BreakerThreshold %d must be at least 1", p.BreakerThreshold)
 	}
@@ -131,9 +165,10 @@ func (p RecoveryPolicy) Validate() error {
 }
 
 // backoff returns the wait before retry `attempt` (1-based): exponential
-// growth from BaseBackoff capped at MaxBackoff, with seeded jitter. The
-// result is never negative and never exceeds MaxBackoff·(1+JitterFrac),
-// for any seed, attempt, or duration combination (fuzz-checked).
+// growth from BaseBackoff capped at MaxBackoff, with seeded jitter drawn
+// from r in the configured JitterMode. The result is never negative and
+// never exceeds MaxBackoff·(1+JitterFrac), for any seed, attempt, or
+// duration combination (fuzz-checked).
 func (p RecoveryPolicy) backoff(attempt int, r *rng.RNG) time.Duration {
 	if attempt < 1 {
 		attempt = 1
@@ -142,7 +177,10 @@ func (p RecoveryPolicy) backoff(attempt int, r *rng.RNG) time.Duration {
 	if ceil := float64(p.MaxBackoff); d > ceil || math.IsInf(d, 1) {
 		d = ceil
 	}
-	if p.JitterFrac > 0 && r != nil {
+	switch {
+	case p.Jitter == JitterFull && r != nil:
+		d *= r.Float64()
+	case p.JitterFrac > 0 && r != nil:
 		d *= 1 + p.JitterFrac*(2*r.Float64()-1)
 	}
 	if d < 0 {
@@ -241,6 +279,7 @@ type runnerMetrics struct {
 	linkFaults, resets, reloads     *metrics.Counter
 	fallbackInvokes                 *metrics.Counter
 	breakerTrips, probes, closes    *metrics.Counter
+	probeSuccesses, probeReTrips    *metrics.Counter
 	breakerTransitions              *metrics.Counter
 	breakerState                    *metrics.Gauge
 }
@@ -267,10 +306,21 @@ func (r *ResilientRunner) Instrument(reg *metrics.Registry, labels string) {
 		breakerTrips:       reg.Counter("hdc_runner_breaker_trips_total" + suffix),
 		probes:             reg.Counter("hdc_runner_breaker_probes_total" + suffix),
 		closes:             reg.Counter("hdc_runner_breaker_closes_total" + suffix),
+		probeSuccesses:     reg.Counter(`hdc_runner_breaker_probe_outcomes_total{outcome="success"` + probeLabelTail(labels)),
+		probeReTrips:       reg.Counter(`hdc_runner_breaker_probe_outcomes_total{outcome="retrip"` + probeLabelTail(labels)),
 		breakerTransitions: reg.Counter("hdc_runner_breaker_transitions_total" + suffix),
 		breakerState:       reg.Gauge("hdc_runner_breaker_state" + suffix),
 	}
 	r.live.breakerState.Set(int64(r.breaker))
+}
+
+// probeLabelTail closes the label set of the probe-outcome counters: the
+// outcome label is always present, the caller's labels ride behind it.
+func probeLabelTail(labels string) string {
+	if labels == "" {
+		return "}"
+	}
+	return "," + labels + "}"
 }
 
 // The on* recorders are nil-safe so an uninstrumented runner pays a single
@@ -314,6 +364,22 @@ func (m *runnerMetrics) onReload() {
 func (m *runnerMetrics) onFallback() {
 	if m != nil {
 		m.fallbackInvokes.Inc()
+	}
+}
+
+// onProbeOutcome publishes how one half-open trial invoke ended: success
+// (the breaker closes) or a re-trip (back to open for another cooldown).
+// Without these the state gauge shows only where the breaker is now —
+// probe churn (a device that passes one probe in five and keeps flapping)
+// is invisible in /metrics.
+func (m *runnerMetrics) onProbeOutcome(success bool) {
+	if m == nil {
+		return
+	}
+	if success {
+		m.probeSuccesses.Inc()
+	} else {
+		m.probeReTrips.Inc()
 	}
 }
 
@@ -508,6 +574,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 			if probing {
 				r.breaker = BreakerClosed
 				r.report.BreakerCloses++
+				r.live.onProbeOutcome(true)
 				r.live.onBreaker(BreakerClosed)
 			}
 			t.Add(waste)
@@ -531,6 +598,7 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 		}
 		if probing {
 			// The trial attempt failed: back to open for another cooldown.
+			r.live.onProbeOutcome(false)
 			r.trip()
 			return r.invokeSecondary(fill, waste, rows)
 		}

@@ -1,0 +1,293 @@
+// Package router fronts a fleet of in-process serving nodes with health
+// probing, least-loaded routing, failover, and hedged requests. It treats
+// each node as an opaque serve.Node, which is also the seam where chaos is
+// injected: a ChaosNode interposes node-grade failures (crash, hang,
+// gray-slow) at the server boundary without the server's cooperation, the
+// same way edgetpu.FaultPlan injects device-grade faults below the runner.
+package router
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/rng"
+	"hdcedge/internal/serve"
+	"hdcedge/internal/tensor"
+)
+
+// ChaosMode is the failure a ChaosNode inflicts on its wrapped node.
+type ChaosMode int
+
+const (
+	// ChaosNone leaves the node untouched (pure pass-through).
+	ChaosNone ChaosMode = iota
+	// ChaosCrash makes the node refuse every request instantly with a
+	// *CrashError — the process-died failure mode. Probes fail the same
+	// way, so the router's health machine marks the node down.
+	ChaosCrash
+	// ChaosHang admits requests and never settles them: Do blocks until
+	// the caller's context dies or the node is drained. This is the
+	// worst-case gray failure — the node looks alive at admission but
+	// strands every caller that touches it.
+	ChaosHang
+	// ChaosSlow serves correctly but stretches wall-clock latency by
+	// Factor (sleeping the extra time after the inner call returns) — the
+	// classic gray-slow node that health checks based on liveness alone
+	// never catch.
+	ChaosSlow
+)
+
+// String renders the mode as its spec keyword.
+func (m ChaosMode) String() string {
+	switch m {
+	case ChaosNone:
+		return "none"
+	case ChaosCrash:
+		return "crash"
+	case ChaosHang:
+		return "hang"
+	case ChaosSlow:
+		return "slow"
+	}
+	return fmt.Sprintf("chaos(%d)", int(m))
+}
+
+// ChaosPlan configures one node's injected failure. Like edgetpu.FaultPlan
+// it is seeded: with Rate < 1 the per-request fault coin comes from a
+// deterministic stream, so a chaos scenario replays bit-identically under
+// the same seed.
+type ChaosPlan struct {
+	Mode   ChaosMode
+	Factor float64 // ChaosSlow: wall-clock latency multiplier (> 1)
+	Rate   float64 // fraction of requests hit (0 or 1 = all); hang/slow only
+	After  int     // requests served normally before the fault engages
+	Seed   uint64  // drives the Rate coin stream
+}
+
+// Validate checks the plan for sanity.
+func (p ChaosPlan) Validate() error {
+	switch p.Mode {
+	case ChaosNone, ChaosCrash, ChaosHang:
+	case ChaosSlow:
+		if p.Factor <= 1 {
+			return fmt.Errorf("router: slow factor %g must exceed 1", p.Factor)
+		}
+	default:
+		return fmt.Errorf("router: unknown chaos mode %d", int(p.Mode))
+	}
+	if p.Rate < 0 || p.Rate > 1 {
+		return fmt.Errorf("router: chaos rate %g outside [0, 1]", p.Rate)
+	}
+	if p.After < 0 {
+		return fmt.Errorf("router: negative chaos After %d", p.After)
+	}
+	if p.Rate > 0 && p.Rate < 1 && p.Mode == ChaosCrash {
+		return fmt.Errorf("router: crash is not rateable; a crashed node stays crashed")
+	}
+	return nil
+}
+
+// Enabled reports whether the plan injects anything.
+func (p ChaosPlan) Enabled() bool { return p.Mode != ChaosNone }
+
+// ParseChaos builds per-node plans from a comma-separated spec such as
+// "0:crash,2:slow=8,3:hang@0.5". Each segment is NODE:MODE with an
+// optional =FACTOR (slow only) and an optional @RATE suffix making the
+// fault intermittent. seed feeds each plan's coin stream, offset by node
+// index so nodes fault independently. The empty string yields no plans.
+func ParseChaos(spec string, seed uint64) (map[int]ChaosPlan, error) {
+	plans := map[int]ChaosPlan{}
+	if strings.TrimSpace(spec) == "" {
+		return plans, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		nodeStr, rest, found := strings.Cut(field, ":")
+		if !found {
+			return nil, fmt.Errorf("router: chaos segment %q lacks a NODE: prefix", field)
+		}
+		node, err := strconv.Atoi(strings.TrimSpace(nodeStr))
+		if err != nil || node < 0 {
+			return nil, fmt.Errorf("router: bad chaos node index %q", nodeStr)
+		}
+		if _, dup := plans[node]; dup {
+			return nil, fmt.Errorf("router: duplicate chaos plan for node %d", node)
+		}
+		p := ChaosPlan{Seed: seed + uint64(node)}
+		if before, rateStr, hasRate := cutLast(rest, "@"); hasRate {
+			rest = before
+			if p.Rate, err = strconv.ParseFloat(strings.TrimSpace(rateStr), 64); err != nil {
+				return nil, fmt.Errorf("router: bad chaos rate %q: %v", rateStr, err)
+			}
+		}
+		mode, factorStr, hasFactor := strings.Cut(rest, "=")
+		switch strings.ToLower(strings.TrimSpace(mode)) {
+		case "crash":
+			p.Mode = ChaosCrash
+		case "hang":
+			p.Mode = ChaosHang
+		case "slow":
+			p.Mode = ChaosSlow
+			p.Factor = 8
+		default:
+			return nil, fmt.Errorf("router: unknown chaos mode %q (have crash, hang, slow)", mode)
+		}
+		if hasFactor {
+			if p.Factor, err = strconv.ParseFloat(strings.TrimSpace(factorStr), 64); err != nil {
+				return nil, fmt.Errorf("router: bad chaos factor %q: %v", factorStr, err)
+			}
+			if p.Mode != ChaosSlow {
+				return nil, fmt.Errorf("router: =FACTOR only applies to slow, not %s", p.Mode)
+			}
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		plans[node] = p
+	}
+	return plans, nil
+}
+
+// cutLast splits s on the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// CrashError is what a crashed node answers every request with.
+type CrashError struct{ Node int }
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("router: node %d crashed (chaos)", e.Node)
+}
+
+// ChaosNode wraps a serve.Node and inflicts its plan at the submit
+// boundary. Health and Metrics pass through untouched — a gray-slow or
+// hung node still self-reports healthy, which is exactly why the router
+// needs active probes.
+type ChaosNode struct {
+	inner serve.Node
+	plan  ChaosPlan
+	id    int
+
+	mu       sync.Mutex
+	coin     *rng.RNG
+	served   int  // requests seen, for the After threshold
+	draining bool // set by Drain; hung requests are then refused
+	hung     map[chan struct{}]struct{}
+}
+
+// NewChaosNode wraps inner with the plan. id labels crash errors and
+// should be the node's router index.
+func NewChaosNode(inner serve.Node, id int, plan ChaosPlan) (*ChaosNode, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &ChaosNode{
+		inner: inner,
+		plan:  plan,
+		id:    id,
+		coin:  rng.New(plan.Seed),
+		hung:  map[chan struct{}]struct{}{},
+	}, nil
+}
+
+// active decides, under the plan's request counter and seeded coin,
+// whether this request is hit by the fault.
+func (c *ChaosNode) active() bool {
+	if !c.plan.Enabled() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.served++
+	if c.served <= c.plan.After {
+		return false
+	}
+	if c.plan.Mode == ChaosCrash {
+		return true // crashes are not rateable; dead stays dead
+	}
+	if c.plan.Rate > 0 && c.plan.Rate < 1 {
+		return c.coin.Float64() < c.plan.Rate
+	}
+	return true
+}
+
+// Do implements serve.Node with the plan's failure interposed.
+func (c *ChaosNode) Do(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor)) (serve.Result, error) {
+	if !c.active() {
+		return c.inner.Do(ctx, fill, consume)
+	}
+	switch c.plan.Mode {
+	case ChaosCrash:
+		return serve.Result{}, &CrashError{Node: c.id}
+	case ChaosHang:
+		// Admit and never settle. The request is released only by its own
+		// context or by Drain force-settling it — never by the node.
+		release := make(chan struct{})
+		c.mu.Lock()
+		if c.draining {
+			c.mu.Unlock()
+			return serve.Result{}, &serve.ShedError{Cause: serve.ShedDraining}
+		}
+		c.hung[release] = struct{}{}
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			delete(c.hung, release)
+			c.mu.Unlock()
+			return serve.Result{}, ctx.Err()
+		case <-release:
+			return serve.Result{}, &serve.DrainError{Stage: "chaos-hung"}
+		}
+	case ChaosSlow:
+		start := time.Now()
+		res, err := c.inner.Do(ctx, fill, consume)
+		extra := time.Duration(float64(time.Since(start)) * (c.plan.Factor - 1))
+		// The result is already delivered (consume ran inside the inner
+		// call); the gray-slowness is purely wall-clock, stalling the
+		// caller the way a thermally-throttled or contended node would.
+		select {
+		case <-time.After(extra):
+		case <-ctx.Done():
+		}
+		res.Latency += extra
+		return res, err
+	}
+	return c.inner.Do(ctx, fill, consume)
+}
+
+// Health passes through: chaos failures are deliberately invisible to
+// self-reported health.
+func (c *ChaosNode) Health() serve.Health { return c.inner.Health() }
+
+// Metrics passes through to the wrapped node's registry.
+func (c *ChaosNode) Metrics() *metrics.Registry { return c.inner.Metrics() }
+
+// Drain force-settles every hung request with a typed DrainError, then
+// drains the wrapped node. This guarantees Drain returns within the inner
+// node's drain bound even when the plan strands requests forever.
+func (c *ChaosNode) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	for release := range c.hung {
+		close(release)
+	}
+	c.hung = map[chan struct{}]struct{}{}
+	c.mu.Unlock()
+	return c.inner.Drain(ctx)
+}
+
+var _ serve.Node = (*ChaosNode)(nil)

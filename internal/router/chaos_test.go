@@ -1,0 +1,209 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hdcedge/internal/serve"
+	"hdcedge/internal/tensor"
+)
+
+func TestParseChaos(t *testing.T) {
+	good := []struct {
+		spec string
+		want map[int]ChaosPlan
+	}{
+		{"", map[int]ChaosPlan{}},
+		{"0:crash", map[int]ChaosPlan{0: {Mode: ChaosCrash, Seed: 7}}},
+		{"2:slow=8", map[int]ChaosPlan{2: {Mode: ChaosSlow, Factor: 8, Seed: 9}}},
+		{"1:slow", map[int]ChaosPlan{1: {Mode: ChaosSlow, Factor: 8, Seed: 8}}},
+		{"3:hang@0.5", map[int]ChaosPlan{3: {Mode: ChaosHang, Rate: 0.5, Seed: 10}}},
+		{"0:crash, 2:slow=4@0.25", map[int]ChaosPlan{
+			0: {Mode: ChaosCrash, Seed: 7},
+			2: {Mode: ChaosSlow, Factor: 4, Rate: 0.25, Seed: 9},
+		}},
+	}
+	for _, tc := range good {
+		plans, err := ParseChaos(tc.spec, 7)
+		if err != nil {
+			t.Fatalf("ParseChaos(%q): %v", tc.spec, err)
+		}
+		if len(plans) != len(tc.want) {
+			t.Fatalf("ParseChaos(%q) = %v, want %v", tc.spec, plans, tc.want)
+		}
+		for node, want := range tc.want {
+			if plans[node] != want {
+				t.Fatalf("ParseChaos(%q)[%d] = %+v, want %+v", tc.spec, node, plans[node], want)
+			}
+		}
+	}
+	bad := []string{
+		"crash",          // no node prefix
+		"-1:crash",       // negative node
+		"x:crash",        // non-integer node
+		"0:melt",         // unknown mode
+		"0:crash=2",      // factor on a non-slow mode
+		"0:slow=1",       // factor must exceed 1
+		"0:slow=0.5",     // ditto
+		"0:hang@1.5",     // rate outside [0, 1]
+		"0:crash@0.5",    // crash is not rateable
+		"0:crash,0:hang", // duplicate node
+		"0:slow=x",       // bad factor
+		"0:hang@x",       // bad rate
+	}
+	for _, spec := range bad {
+		if plans, err := ParseChaos(spec, 7); err == nil {
+			t.Fatalf("ParseChaos(%q) accepted: %v", spec, plans)
+		}
+	}
+}
+
+func TestChaosCrashNode(t *testing.T) {
+	inner := newFakeNode(0, instant)
+	c, err := NewChaosNode(inner, 0, ChaosPlan{Mode: ChaosCrash, After: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first two requests pass through, then the node is dead for good.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Do(context.Background(), nil, nil); err != nil {
+			t.Fatalf("request %d before the crash point: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		_, err := c.Do(context.Background(), nil, nil)
+		var crash *CrashError
+		if !errors.As(err, &crash) || crash.Node != 0 {
+			t.Fatalf("post-crash request %d returned %v, want CrashError", i, err)
+		}
+	}
+	if inner.calls.Load() != 2 {
+		t.Fatalf("crashed node still forwarded requests: %d inner calls", inner.calls.Load())
+	}
+}
+
+func TestChaosHangNodeReleasedByContext(t *testing.T) {
+	inner := newFakeNode(0, instant)
+	c, err := NewChaosNode(inner, 0, ChaosPlan{Mode: ChaosHang})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Do(ctx, nil, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung request returned %v, want deadline", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("hung request settled before its context died")
+	}
+	if inner.calls.Load() != 0 {
+		t.Fatal("hang forwarded the request to the inner node")
+	}
+}
+
+func TestChaosSlowNodeStretchesLatency(t *testing.T) {
+	inner := newFakeNode(0, func(int64) (time.Duration, error) { return 2 * time.Millisecond, nil })
+	c, err := NewChaosNode(inner, 0, ChaosPlan{Mode: ChaosSlow, Factor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	consumed := false
+	if _, err := c.Do(context.Background(), nil, func(*tensor.Tensor) { consumed = true }); err != nil {
+		t.Fatal(err)
+	}
+	// ~2ms inner + ~6ms injected stall; allow generous scheduling slack
+	// below but insist on well beyond the inner latency alone.
+	if elapsed := time.Since(start); elapsed < 6*time.Millisecond {
+		t.Fatalf("gray-slow node answered in %v, want ≥ ~4× the inner 2ms", elapsed)
+	}
+	if !consumed {
+		t.Fatal("slow node dropped the result")
+	}
+}
+
+func TestChaosRateIsSeededDeterministic(t *testing.T) {
+	// Two hang@0.5 nodes with the same seed must strand exactly the same
+	// request positions; a different seed must give a different pattern.
+	pattern := func(seed uint64) []bool {
+		inner := newFakeNode(0, instant)
+		c, err := NewChaosNode(inner, 0, ChaosPlan{Mode: ChaosHang, Rate: 0.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := make([]bool, 64)
+		for i := range hits {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+			_, err := c.Do(ctx, nil, nil)
+			cancel()
+			hits[i] = errors.Is(err, context.DeadlineExceeded)
+		}
+		return hits
+	}
+	a, b, other := pattern(11), pattern(11), pattern(12)
+	hitsA, diff := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d faulted under one run of seed 11 but not the other", i)
+		}
+		if a[i] {
+			hitsA++
+		}
+		if a[i] != other[i] {
+			diff++
+		}
+	}
+	if hitsA < 16 || hitsA > 48 {
+		t.Fatalf("rate 0.5 hit %d of 64 requests", hitsA)
+	}
+	if diff == 0 {
+		t.Fatal("seeds 11 and 12 produced identical fault patterns")
+	}
+}
+
+func TestChaosHungNodeDrainForceSettles(t *testing.T) {
+	// Requests stranded by a hang must settle with the typed chaos drain
+	// error the moment the node drains — Drain never waits for them.
+	inner := newFakeNode(0, instant)
+	c, err := NewChaosNode(inner, 0, ChaosPlan{Mode: ChaosHang})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stuck = 4
+	errs := make(chan error, stuck)
+	for i := 0; i < stuck; i++ {
+		go func() {
+			_, err := c.Do(context.Background(), nil, nil)
+			errs <- err
+		}()
+	}
+	// Wait for all of them to be admitted into the hang.
+	for {
+		c.mu.Lock()
+		n := len(c.hung)
+		c.mu.Unlock()
+		if n == stuck {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := c.Drain(context.Background()); err != nil {
+		t.Fatalf("drain with hung requests: %v", err)
+	}
+	for i := 0; i < stuck; i++ {
+		var de *serve.DrainError
+		if err := <-errs; !errors.As(err, &de) || de.Stage != "chaos-hung" {
+			t.Fatalf("hung request %d settled with %v, want chaos-hung DrainError", i, err)
+		}
+	}
+	// Post-drain submissions are shed, not hung.
+	_, err = c.Do(context.Background(), nil, nil)
+	var shed *serve.ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("post-drain request returned %v, want shed", err)
+	}
+}

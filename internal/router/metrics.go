@@ -1,0 +1,60 @@
+package router
+
+import (
+	"fmt"
+
+	"hdcedge/internal/metrics"
+)
+
+// routerMetrics holds the router's registry handles. Counter names follow
+// the repo's Prometheus convention (labels spelled into the name). The
+// request counters partition every Do call into exactly one outcome, so
+// completed + shed + deadline + cancelled + failed always re-adds to
+// submitted — the hedging paths never double-settle a request.
+type routerMetrics struct {
+	reg *metrics.Registry
+
+	submitted        *metrics.Counter
+	completed        *metrics.Counter
+	shed             *metrics.Counter
+	deadlineExceeded *metrics.Counter
+	cancelled        *metrics.Counter
+	failed           *metrics.Counter
+
+	failovers    *metrics.Counter // synchronous re-routes after a node error
+	hedgesFired  *metrics.Counter // second attempts launched
+	hedgesWon    *metrics.Counter // requests whose winning result was the hedge
+	hedgesWasted *metrics.Counter // duplicate attempts whose result was discarded
+
+	probeSuccesses *metrics.Counter
+	probeFailures  *metrics.Counter
+	transitions    *metrics.Counter
+	nodeState      []*metrics.Gauge // per node, value = NodeState
+
+	latency *metrics.LiveHistogram // router-observed end-to-end, drives adaptive hedging
+}
+
+func newRouterMetrics(reg *metrics.Registry, nodes int) *routerMetrics {
+	m := &routerMetrics{
+		reg:              reg,
+		submitted:        reg.Counter("hdc_router_submitted_total"),
+		completed:        reg.Counter("hdc_router_completed_total"),
+		shed:             reg.Counter("hdc_router_shed_total"),
+		deadlineExceeded: reg.Counter("hdc_router_deadline_exceeded_total"),
+		cancelled:        reg.Counter("hdc_router_cancelled_total"),
+		failed:           reg.Counter("hdc_router_failed_total"),
+		failovers:        reg.Counter("hdc_router_failovers_total"),
+		hedgesFired:      reg.Counter(`hdc_router_hedges_total{outcome="fired"}`),
+		hedgesWon:        reg.Counter(`hdc_router_hedges_total{outcome="won"}`),
+		hedgesWasted:     reg.Counter(`hdc_router_hedges_total{outcome="wasted"}`),
+		probeSuccesses:   reg.Counter(`hdc_router_probes_total{outcome="success"}`),
+		probeFailures:    reg.Counter(`hdc_router_probes_total{outcome="failure"}`),
+		transitions:      reg.Counter("hdc_router_state_transitions_total"),
+		latency:          reg.Histogram("hdc_router_latency_seconds"),
+	}
+	for i := 0; i < nodes; i++ {
+		m.nodeState = append(m.nodeState,
+			reg.Gauge(fmt.Sprintf("hdc_router_node_state{node=%q}", fmt.Sprint(i))))
+	}
+	return m
+}

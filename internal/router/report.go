@@ -1,0 +1,110 @@
+package router
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hdcedge/internal/serve"
+)
+
+// NodeReport is one node's view from the router: its health verdict, the
+// routed-work split, and the node's own serving report when the node
+// exposes one (chaos wrappers forward it).
+type NodeReport struct {
+	Node     int
+	State    NodeState
+	Inflight int // requests routed here and unsettled at snapshot time
+}
+
+// RouterReport is a point-in-time snapshot of the routing tier. The
+// outcome counters partition Do calls: every submitted request settles as
+// exactly one of completed, shed, deadline-exceeded, cancelled, or failed,
+// no matter how many node attempts (failover or hedge) served it.
+type RouterReport struct {
+	Submitted        int
+	Completed        int
+	Shed             int
+	DeadlineExceeded int
+	Cancelled        int
+	Failed           int
+
+	Failovers    int
+	HedgesFired  int
+	HedgesWon    int
+	HedgesWasted int
+
+	ProbeSuccesses int
+	ProbeFailures  int
+	Transitions    int
+
+	Nodes  []NodeReport
+	Events []StateEvent
+
+	P50, P99 time.Duration // router-observed end-to-end latency
+}
+
+// Settled is the number of requests with a recorded outcome; at
+// quiescence it equals Submitted.
+func (r RouterReport) Settled() int {
+	return r.Completed + r.Shed + r.DeadlineExceeded + r.Cancelled + r.Failed
+}
+
+// String renders the report for logs.
+func (r RouterReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "router: %d submitted, %d completed, %d shed, %d deadline, %d cancelled, %d failed\n",
+		r.Submitted, r.Completed, r.Shed, r.DeadlineExceeded, r.Cancelled, r.Failed)
+	fmt.Fprintf(&b, "router: %d failovers, hedges %d fired / %d won / %d wasted, probes %d ok / %d failed, %d transitions\n",
+		r.Failovers, r.HedgesFired, r.HedgesWon, r.HedgesWasted, r.ProbeSuccesses, r.ProbeFailures, r.Transitions)
+	fmt.Fprintf(&b, "router: latency p50 %v p99 %v\n", r.P50, r.P99)
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&b, "router: node %d %s, %d in flight\n", n.Node, n.State, n.Inflight)
+	}
+	return b.String()
+}
+
+// Report snapshots the router's counters, node states, and event log.
+func (r *Router) Report() RouterReport {
+	snap := r.met.latency.Snapshot()
+	rep := RouterReport{
+		Submitted:        int(r.met.submitted.Value()),
+		Completed:        int(r.met.completed.Value()),
+		Shed:             int(r.met.shed.Value()),
+		DeadlineExceeded: int(r.met.deadlineExceeded.Value()),
+		Cancelled:        int(r.met.cancelled.Value()),
+		Failed:           int(r.met.failed.Value()),
+		Failovers:        int(r.met.failovers.Value()),
+		HedgesFired:      int(r.met.hedgesFired.Value()),
+		HedgesWon:        int(r.met.hedgesWon.Value()),
+		HedgesWasted:     int(r.met.hedgesWasted.Value()),
+		ProbeSuccesses:   int(r.met.probeSuccesses.Value()),
+		ProbeFailures:    int(r.met.probeFailures.Value()),
+		Transitions:      int(r.met.transitions.Value()),
+		Events:           r.Events(),
+		P50:              snap.Quantile(0.5),
+		P99:              snap.Quantile(0.99),
+	}
+	for i, n := range r.nodes {
+		rep.Nodes = append(rep.Nodes, NodeReport{
+			Node:     i,
+			State:    n.getState(),
+			Inflight: int(n.inflight.Load()),
+		})
+	}
+	return rep
+}
+
+// NodeServeReport returns node i's own ServeReport when the node is a
+// *serve.Server (directly or behind a chaos wrapper), for experiments
+// that audit per-node work.
+func (r *Router) NodeServeReport(i int) (serve.ServeReport, bool) {
+	n := r.nodes[i].node
+	if c, ok := n.(*ChaosNode); ok {
+		n = c.inner
+	}
+	if s, ok := n.(*serve.Server); ok {
+		return s.Report(), true
+	}
+	return serve.ServeReport{}, false
+}

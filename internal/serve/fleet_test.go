@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -24,8 +25,7 @@ func TestParseFleet(t *testing.T) {
 		{"cpu=3", "cpu=3", 3},
 		{"tpu", "tpu=1", 1},
 		{" tpu = 1 , cpu = 1 ", "tpu=1,cpu=1", 2},
-		{"tpu=0,cpu=4", "cpu=4", 4},
-		{"cpu,tpu,cpu", "cpu=2,tpu=1", 3},
+		{"cpu,tpu", "cpu=1,tpu=1", 2},
 	}
 	for _, tc := range good {
 		f, err := ParseFleet(tc.spec)
@@ -36,10 +36,37 @@ func TestParseFleet(t *testing.T) {
 			t.Fatalf("ParseFleet(%q) = %v (%q), want %d workers %q", tc.spec, f, f, tc.n, tc.want)
 		}
 	}
-	bad := []string{"", "gpu=2", "tpu=-1", "tpu=x", "tpu=0", ","}
-	for _, spec := range bad {
-		if f, err := ParseFleet(spec); err == nil {
-			t.Fatalf("ParseFleet(%q) accepted: %v", spec, f)
+	bad := []struct {
+		name, spec string
+		reason     string // substring the typed error must carry
+	}{
+		{"empty spec", "", "empty spec"},
+		{"blank spec", "   ", "empty spec"},
+		{"unknown class", "gpu=2", "unknown backend class"},
+		{"negative count", "tpu=-1", "at least 1"},
+		{"non-integer count", "tpu=x", "not an integer"},
+		{"zero count", "tpu=0", "at least 1"},
+		{"zero count mixed", "tpu=0,cpu=4", "at least 1"},
+		{"lone comma", ",", "empty segment"},
+		{"empty middle segment", "tpu=2,,cpu=1", "empty segment"},
+		{"trailing comma", "tpu=2,", "empty segment"},
+		{"duplicate class", "tpu=2,tpu=1", "duplicate backend class"},
+		{"duplicate bare class", "cpu,tpu,cpu", "duplicate backend class"},
+	}
+	for _, tc := range bad {
+		f, err := ParseFleet(tc.spec)
+		if err == nil {
+			t.Fatalf("%s: ParseFleet(%q) accepted: %v", tc.name, tc.spec, f)
+		}
+		var fe *FleetError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: error %v (%T) is not a *FleetError", tc.name, err, err)
+		}
+		if fe.Spec != tc.spec {
+			t.Fatalf("%s: FleetError.Spec = %q, want %q", tc.name, fe.Spec, tc.spec)
+		}
+		if !strings.Contains(fe.Reason, tc.reason) {
+			t.Fatalf("%s: FleetError reason %q does not mention %q", tc.name, fe.Reason, tc.reason)
 		}
 	}
 }

@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"context"
+
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/tensor"
+)
+
+// Node is the submit surface of one serving instance that a routing tier
+// fronts: request submission, the health and metrics signals the router's
+// probes read, and a drain hook so the router can evict a node and release
+// its in-flight work. *Server implements it directly; chaos wrappers (see
+// internal/router) implement it by interposing on a wrapped Node, which is
+// what lets node-grade failures be injected at the server boundary without
+// the server knowing.
+type Node interface {
+	// Do submits one request and blocks until it settles. The semantics
+	// are exactly Server.Do's: fill populates the input tensor (idempotent
+	// — it may run more than once under recovery), consume reads the
+	// output tensor before the worker reuses it.
+	Do(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor)) (Result, error)
+
+	// Health is the node-derived health state (from the per-worker
+	// breakers), one of the snapshot signals a router's prober folds into
+	// its up/degraded/down decision.
+	Health() Health
+
+	// Metrics is the node's live registry; a router reads queue depth and
+	// breaker gauges from its snapshots.
+	Metrics() *metrics.Registry
+
+	// Drain stops admitting and releases queued and in-flight work,
+	// bounded by the node's drain deadline. A router calls it when it
+	// evicts a node and at shutdown.
+	Drain(ctx context.Context) error
+}
+
+var _ Node = (*Server)(nil)

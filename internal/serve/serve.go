@@ -31,34 +31,63 @@ import (
 // hostcpu.Name ("cpu").
 type FleetSpec []string
 
+// FleetError reports a rejected fleet spec: which segment of which spec was
+// bad and why. Segment is empty for spec-level faults (an empty spec).
+type FleetError struct {
+	Spec    string // the full spec as given
+	Segment string // the offending "class=count" segment, "" for spec-level faults
+	Reason  string
+}
+
+func (e *FleetError) Error() string {
+	if e.Segment == "" {
+		return fmt.Sprintf("serve: fleet spec %q: %s", e.Spec, e.Reason)
+	}
+	return fmt.Sprintf("serve: fleet spec %q segment %q: %s", e.Spec, e.Segment, e.Reason)
+}
+
 // ParseFleet parses a composition spec like "tpu=2,cpu=2" (classes in the
-// given order, counts >= 0) into a FleetSpec.
+// given order, counts >= 1, each class at most once) into a FleetSpec.
+// Empty segments, duplicate class keys, and zero or negative counts are
+// rejected with a *FleetError rather than silently skipped or folded, so a
+// typo'd spec cannot quietly under-provision a fleet.
 func ParseFleet(spec string) (FleetSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, &FleetError{Spec: spec, Reason: "empty spec"}
+	}
 	var fleet FleetSpec
+	seen := map[string]bool{}
 	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
+		trimmed := strings.TrimSpace(part)
+		if trimmed == "" {
+			return nil, &FleetError{Spec: spec, Segment: part, Reason: "empty segment"}
 		}
-		kind, countStr, ok := strings.Cut(part, "=")
+		kind, countStr, ok := strings.Cut(trimmed, "=")
 		kind = strings.TrimSpace(kind)
 		count := 1
 		if ok {
 			n, err := strconv.Atoi(strings.TrimSpace(countStr))
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("serve: bad fleet count in %q", part)
+			if err != nil {
+				return nil, &FleetError{Spec: spec, Segment: trimmed, Reason: "count is not an integer"}
+			}
+			if n <= 0 {
+				return nil, &FleetError{Spec: spec, Segment: trimmed,
+					Reason: fmt.Sprintf("count %d must be at least 1", n)}
 			}
 			count = n
 		}
 		if kind != tpu.Name && kind != hostcpu.Name {
-			return nil, fmt.Errorf("serve: unknown backend class %q (have %q, %q)", kind, tpu.Name, hostcpu.Name)
+			return nil, &FleetError{Spec: spec, Segment: trimmed,
+				Reason: fmt.Sprintf("unknown backend class %q (have %q, %q)", kind, tpu.Name, hostcpu.Name)}
 		}
+		if seen[kind] {
+			return nil, &FleetError{Spec: spec, Segment: trimmed,
+				Reason: fmt.Sprintf("duplicate backend class %q", kind)}
+		}
+		seen[kind] = true
 		for i := 0; i < count; i++ {
 			fleet = append(fleet, kind)
 		}
-	}
-	if len(fleet) == 0 {
-		return nil, fmt.Errorf("serve: empty fleet spec %q", spec)
 	}
 	return fleet, nil
 }
