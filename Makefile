@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke chaos-smoke bench bench-serve experiments examples clean
+.PHONY: all build test vet race fuzz-smoke chaos-smoke seu-smoke bench bench-serve experiments examples clean
 
 all: vet test
 
@@ -12,9 +12,16 @@ build:
 
 # go vet runs every enabled-by-default analyzer; shadowcheck covers the
 # builtin-shadowing class (`cap := ...`) vet has no default analyzer for.
+# govulncheck scans for known-vulnerable dependency paths when the tool is
+# installed; it is gated so offline checkouts still vet cleanly.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./tools/shadowcheck .
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping vulnerability scan"; \
+	fi
 
 # The serving runtime is concurrency-heavy, so its package always runs
 # under the race detector even when the full -race pass is trimmed; the
@@ -27,6 +34,7 @@ test:
 	$(GO) test -race ./internal/serve/... ./internal/backend/...
 	$(GO) test -race ./...
 	@$(MAKE) chaos-smoke
+	@$(MAKE) seu-smoke
 	@$(MAKE) fuzz-smoke
 
 race:
@@ -39,6 +47,15 @@ chaos-smoke:
 	$(GO) test -race -count=1 \
 		-run 'TestRouterDrainRacesChaosHang|TestRouterHedgeAccountingUnderLoad|TestRouterFleetFailoverServesThroughCrash|TestChaosRateIsSeededDeterministic' \
 		./internal/router/
+
+# A short seeded SEU scenario under the race detector: workers serving
+# through a bit-flip storm while the integrity layer scrubs, runs canaries,
+# and walks the repair ladder concurrently with drains. Fast enough to run
+# on every `make test`.
+seu-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestServeIntegrityScrubRepairsSEU|TestServeIntegrityCanaryQuarantinesUnrepairable|TestServeDrainDuringCanaryBackoffSettles|TestServeIntegrityDisabledBitIdentical' \
+		./internal/serve/
 
 # A short fuzzing pass over every Fuzz target in the tree (FUZZTIME each),
 # as a smoke test; saved counterexamples under testdata/fuzz run in `test`.

@@ -9,6 +9,7 @@
 //	          [-drain 2s] [-requests 400] [-load 2.0] [-pace 4ms]
 //	          [-batch 1] [-window 0] [-pace-scale 0]
 //	          [-faults "link=0.05"] [-fault-seed 1] [-seed 7]
+//	          [-scrub-interval 0] [-canary 0] [-canary-interval 25ms]
 //	          [-listen :8080]
 //	          [-nodes 4] [-chaos "0:crash,1:slow=8"] [-hedge adaptive]
 //	          [-probe 25ms]
@@ -27,6 +28,13 @@
 // latency quantiles, batch occupancy, per-backend throughput/latency
 // breakdowns, per-worker breaker health. See docs/serving.md and
 // docs/observability.md.
+//
+// With -scrub-interval > 0 each worker periodically verifies its
+// device-resident parameters against golden checksums; with -canary N,
+// N held-out rows run as known-answer checks every -canary-interval.
+// Either detector firing walks the self-healing repair ladder (segment
+// re-upload → model reload → device reset → quarantine); the report gains
+// the integrity accounting and any repair events. See docs/integrity.md.
 //
 // With -nodes > 1 (or -chaos / -hedge), the run goes through the routing
 // tier instead: -nodes identical servers behind a health-checked
@@ -49,6 +57,7 @@ import (
 	"hdcedge/internal/dataset"
 	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/hdc"
+	"hdcedge/internal/integrity"
 	"hdcedge/internal/pipeline"
 	"hdcedge/internal/router"
 	"hdcedge/internal/serve"
@@ -90,11 +99,19 @@ type options struct {
 	hedgeSpec string
 	probe     time.Duration
 
+	scrubInterval  time.Duration
+	canaryCount    int
+	canaryInterval time.Duration
+
 	// Parsed by validate.
 	fleet serve.FleetSpec
 	plan  edgetpu.FaultPlan
 	chaos map[int]router.ChaosPlan
 	hedge router.HedgeConfig
+
+	// Built in main once the model is compiled (canaries need golden
+	// answers recorded through the real graph).
+	integrity *integrity.Policy
 }
 
 // routed reports whether the run goes through the routing tier rather
@@ -151,6 +168,15 @@ func (o *options) validate() error {
 	if o.probe < 0 {
 		return &flagError{"probe", fmt.Sprintf("must be non-negative (0 = no probing), got %v", o.probe)}
 	}
+	if o.scrubInterval < 0 {
+		return &flagError{"scrub-interval", fmt.Sprintf("must be non-negative (0 = no scrubbing), got %v", o.scrubInterval)}
+	}
+	if o.canaryCount < 0 {
+		return &flagError{"canary", fmt.Sprintf("must be non-negative (0 = no canaries), got %d", o.canaryCount)}
+	}
+	if o.canaryInterval <= 0 && o.canaryCount > 0 {
+		return &flagError{"canary-interval", fmt.Sprintf("must be positive with -canary %d, got %v", o.canaryCount, o.canaryInterval)}
+	}
 	if o.listen != "" && o.routed() {
 		return &flagError{"listen", "the observability endpoint is single-node; not available behind the router"}
 	}
@@ -205,6 +231,7 @@ func (o *options) config() serve.Config {
 		PaceScale:       o.paceScale,
 		MaxBatch:        o.batch,
 		BatchWindow:     o.window,
+		Integrity:       o.integrity,
 	}
 	if len(o.fleet) > 0 {
 		cfg.Fleet = o.fleet
@@ -247,6 +274,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.chaosSpec, "chaos", "", "node-grade chaos plans, e.g. \"0:crash,1:slow=8\"")
 	fs.StringVar(&o.hedgeSpec, "hedge", "", "hedged requests: \"adaptive\" (p99-tracking delay) or a fixed delay like \"12ms\"")
 	fs.DurationVar(&o.probe, "probe", 25*time.Millisecond, "router health-probe interval (0 = no probing)")
+	fs.DurationVar(&o.scrubInterval, "scrub-interval", 0, "device-parameter scrub interval (0 = no scrubbing)")
+	fs.IntVar(&o.canaryCount, "canary", 0, "known-answer canary rows per worker (0 = no canaries)")
+	fs.DurationVar(&o.canaryInterval, "canary-interval", 25*time.Millisecond, "canary check interval (needs -canary > 0)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -274,6 +304,9 @@ func main() {
 	p := pipeline.EdgeTPU()
 	cm, err := pipeline.CompileInference(p, model, ds, o.batch)
 	if err != nil {
+		fail(err.Error())
+	}
+	if o.integrity, err = buildIntegrity(o, cm, ds); err != nil {
 		fail(err.Error())
 	}
 	if o.routed() {
@@ -342,6 +375,52 @@ func main() {
 			b.Latency.Quantile(0.5).Round(time.Microsecond),
 			b.Latency.Quantile(0.99).Round(time.Microsecond))
 	}
+	if evs := s.IntegrityEvents(); len(evs) > 0 {
+		fmt.Println("integrity events:")
+		for _, e := range evs {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}
+
+// buildIntegrity assembles the integrity policy from the validated flags,
+// recording each canary row's golden answer through the compiled graph.
+// Returns nil when neither detector is requested, so the server stays
+// bit-identical to an integrity-free build.
+func buildIntegrity(o *options, cm *edgetpu.CompiledModel, ds *dataset.Dataset) (*integrity.Policy, error) {
+	if o.scrubInterval == 0 && o.canaryCount == 0 {
+		return nil, nil
+	}
+	pol := &integrity.Policy{ScrubInterval: o.scrubInterval}
+	if o.canaryCount > 0 {
+		n := ds.Features()
+		limit := 4 * o.canaryCount
+		if limit > ds.Samples() {
+			limit = ds.Samples()
+		}
+		rows := make([][]float32, limit)
+		for i := range rows {
+			rows[i] = ds.X.F32[i*n : (i+1)*n]
+		}
+		all, err := integrity.BuildCanaries(cm.Model, rows)
+		if err != nil {
+			return nil, fmt.Errorf("-canary: %v", err)
+		}
+		// Prefer confidently-classified rows: a positive recorded margin
+		// makes collapse detectable, not just outright label flips.
+		for _, c := range all {
+			if c.Margin > 0 && len(pol.Canaries) < o.canaryCount {
+				pol.Canaries = append(pol.Canaries, c)
+			}
+		}
+		for _, c := range all {
+			if c.Margin <= 0 && len(pol.Canaries) < o.canaryCount {
+				pol.Canaries = append(pol.Canaries, c)
+			}
+		}
+		pol.CanaryInterval = o.canaryInterval
+	}
+	return pol, nil
 }
 
 // runRouted serves the request stream through the routing tier: -nodes

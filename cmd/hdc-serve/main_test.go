@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"hdcedge/internal/integrity"
 	"hdcedge/internal/router"
 )
 
@@ -61,6 +62,9 @@ func TestValidateRejections(t *testing.T) {
 		{"zero nodes", func(o *options) { o.nodes = 0 }, "nodes"},
 		{"negative nodes", func(o *options) { o.nodes = -2 }, "nodes"},
 		{"negative probe", func(o *options) { o.probe = -time.Millisecond }, "probe"},
+		{"negative scrub interval", func(o *options) { o.scrubInterval = -time.Millisecond }, "scrub-interval"},
+		{"negative canary count", func(o *options) { o.canaryCount = -1 }, "canary"},
+		{"canaries without an interval", func(o *options) { o.canaryCount = 2; o.canaryInterval = 0 }, "canary-interval"},
 		{"bad chaos mode", func(o *options) { o.nodes = 4; o.chaosSpec = "0:melt" }, "chaos"},
 		{"chaos node out of range", func(o *options) { o.nodes = 2; o.chaosSpec = "3:crash" }, "chaos"},
 		{"bad hedge spec", func(o *options) { o.hedgeSpec = "soon" }, "hedge"},
@@ -148,6 +152,33 @@ func TestValidateParsesRouterFlags(t *testing.T) {
 	}
 }
 
+// TestValidateIntegrityFlags checks the happy path for the integrity flags:
+// scrubbing alone, canaries with their interval, and that the built policy
+// (attached in main after model compile) flows into the serve config.
+func TestValidateIntegrityFlags(t *testing.T) {
+	o := validOptions()
+	o.scrubInterval = 50 * time.Millisecond
+	o.canaryCount = 4
+	o.canaryInterval = 10 * time.Millisecond
+	if err := o.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if cfg := o.config(); cfg.Integrity != nil {
+		t.Fatalf("config carries a policy before main builds one: %+v", cfg.Integrity)
+	}
+	o.integrity = &integrity.Policy{ScrubInterval: o.scrubInterval}
+	if cfg := o.config(); cfg.Integrity != o.integrity {
+		t.Fatal("config does not carry the built integrity policy")
+	}
+
+	// Canary interval only matters when canaries are requested.
+	o = validOptions()
+	o.canaryInterval = 0
+	if err := o.validate(); err != nil {
+		t.Fatalf("zero canary-interval with no canaries rejected: %v", err)
+	}
+}
+
 // TestParseFlags exercises the end-to-end flag path: parse failure from the
 // flag package, validation failure, and success.
 func TestParseFlags(t *testing.T) {
@@ -157,11 +188,15 @@ func TestParseFlags(t *testing.T) {
 	if _, err := parseFlags([]string{"-window", "-1ms", "-batch", "4"}); err == nil {
 		t.Fatal("parseFlags accepted negative -window")
 	}
-	o, err := parseFlags([]string{"-batch", "4", "-window", "2ms", "-fleet", "tpu=1,cpu=1"})
+	o, err := parseFlags([]string{"-batch", "4", "-window", "2ms", "-fleet", "tpu=1,cpu=1",
+		"-scrub-interval", "40ms", "-canary", "2"})
 	if err != nil {
 		t.Fatalf("parseFlags: %v", err)
 	}
 	if o.batch != 4 || o.window != 2*time.Millisecond || len(o.fleet) != 2 {
 		t.Fatalf("parsed options %+v lost flag values", o)
+	}
+	if o.scrubInterval != 40*time.Millisecond || o.canaryCount != 2 || o.canaryInterval != 25*time.Millisecond {
+		t.Fatalf("parsed options %+v lost integrity flag values", o)
 	}
 }

@@ -1,0 +1,83 @@
+package edgetpu
+
+import (
+	"fmt"
+	"time"
+
+	"hdcedge/internal/tensor"
+)
+
+// This file is the device surface the integrity layer (internal/integrity)
+// scrubs and repairs: read access to the resident parameter and LUT state
+// the SEU injector corrupts, plus the two hardware repair actions — re-
+// uploading one parameter segment and power-cycling the device. Both repair
+// actions are priced by the same link cost model as LoadModel, so a scrub-
+// and-repair cycle shows up in simulated time the way it would on the wire.
+
+// ResidentTensor returns the device's live copy of the tensor at graph
+// index ti — the interpreter-owned buffer that SEU injection mutates — or
+// nil when no model is resident. The caller must treat it as device SRAM:
+// reads are scrubbing, writes are corruption.
+func (d *Device) ResidentTensor(ti int) *tensor.Tensor {
+	if d.interp == nil {
+		return nil
+	}
+	return d.interp.Tensor(ti)
+}
+
+// CachedLUT returns the device's resident activation lookup table for
+// operator oi, or nil when none has materialized (op never executed on this
+// interpreter). Like ResidentTensor, the pointer is live device state.
+func (d *Device) CachedLUT(oi int) *[256]int8 {
+	if d.interp == nil {
+		return nil
+	}
+	return d.interp.CachedLUT(oi)
+}
+
+// TransferCost prices moving n bytes across the host link — the cost model
+// repair actions outside this package (LUT re-uploads) account with.
+func (d *Device) TransferCost(n int) time.Duration {
+	return d.cfg.transferTime(n)
+}
+
+// RestoreSegment re-uploads the pristine parameter bytes of the constant
+// tensor at graph index ti from the compiled model into the device's
+// resident copy — the repair ladder's cheapest rung. It returns the
+// simulated link time the re-upload cost. Restoring a non-constant or
+// unknown tensor is an error; restoring with no model resident is too, so a
+// caller escalates to a full reload instead of silently "fixing" nothing.
+func (d *Device) RestoreSegment(ti int) (time.Duration, error) {
+	if d.loaded == nil || d.interp == nil {
+		return 0, ErrNoModel
+	}
+	m := d.loaded.Model
+	if ti < 0 || ti >= len(m.Tensors) {
+		return 0, fmt.Errorf("edgetpu: restore of unknown tensor %d", ti)
+	}
+	pristine, err := m.ConstTensor(ti)
+	if err != nil {
+		return 0, fmt.Errorf("edgetpu: restore tensor %d: %w", ti, err)
+	}
+	live := d.interp.Tensor(ti)
+	n := copy(live.I8, pristine.I8)
+	n += 4 * copy(live.I32, pristine.I32)
+	n += 4 * copy(live.F32, pristine.F32)
+	return d.cfg.transferTime(n), nil
+}
+
+// PowerCycle models a commanded device reset: the program is dropped (as a
+// spontaneous reset would) and immediately re-loaded, rebuilding every
+// resident parameter and LUT from the pristine compiled model. It is the
+// repair ladder's last hardware rung before quarantine. The returned
+// duration is the reload's setup cost.
+func (d *Device) PowerCycle() (time.Duration, error) {
+	cm := d.loaded
+	if cm == nil {
+		return 0, ErrNoModel
+	}
+	d.loaded = nil
+	d.interp = nil
+	d.poisoned = false
+	return d.LoadModel(cm)
+}

@@ -13,7 +13,7 @@ var AllExperiments = []string{
 	"ablation-robustness", "ablation-online", "ablation-binary",
 	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
 	"ablation-scaleout", "ablation-faults", "ablation-overload", "ablation-batching",
-	"ablation-fleet", "ablation-chaos",
+	"ablation-fleet", "ablation-chaos", "ablation-seu",
 	"table-variance",
 }
 
@@ -176,6 +176,12 @@ func RunOne(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		RenderAblationChaos(w, res)
+	case "ablation-seu":
+		res, err := AblationSEU(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationSEU(w, res)
 	case "ablation-online":
 		rows, err := AblationOnline(cfg)
 		if err != nil {

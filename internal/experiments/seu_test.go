@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSEUAblationSelfHeals checks the acceptance bars for the integrity
+// layer: at the top swept upset rate an undefended device loses real
+// accuracy, while the full scrub-and-repair defense stays within
+// SEUSelfHealDropPts of the clean baseline at every rate and closes every
+// incident it opens. The self-heal accuracy bar depends on scrub
+// timeliness — a wall-clock property — so it gets a bounded retry against
+// scheduler noise; the structural accounting is asserted on every attempt.
+func TestSEUAblationSelfHeals(t *testing.T) {
+	skipLongUnderRace(t)
+	const attempts = 3
+	var res *SEUResult
+	for try := 1; ; try++ {
+		var err error
+		res, err = AblationSEU(fastCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := checkSEUResult(t, res); msg == "" {
+			break
+		} else if try == attempts {
+			t.Fatalf("after %d attempts: %s", attempts, msg)
+		} else {
+			t.Logf("attempt %d: %s (scheduler noise; retrying)", try, msg)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblationSEU(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "SEU ablation") || !strings.Contains(out, "self-heal") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+// checkSEUResult asserts the deterministic properties of one sweep and
+// returns a non-empty description if only a wall-clock-sensitive accuracy
+// bar failed.
+func checkSEUResult(t *testing.T, res *SEUResult) string {
+	t.Helper()
+	if want := 1 + 3*len(SEUDefenseRates); len(res.Points) != want {
+		t.Fatalf("%d sweep points, want %d", len(res.Points), want)
+	}
+	for _, pt := range res.Points {
+		if pt.Requests != SEURequests || pt.Correct < 0 || pt.Correct > pt.Requests {
+			t.Fatalf("cell %q rate %g has bad accounting: %+v", pt.Scenario, pt.Rate, pt)
+		}
+		if pt.Quarantines != 0 {
+			t.Fatalf("cell %q rate %g quarantined its worker: SEU damage is repairable: %+v",
+				pt.Scenario, pt.Rate, pt)
+		}
+	}
+	clean := res.Clean()
+	if clean.Scenario != "clean" || clean.Rate != 0 {
+		t.Fatalf("first point is not the clean baseline: %+v", clean)
+	}
+	if clean.Accuracy < 80 {
+		t.Fatalf("clean baseline accuracy %.1f%% is too low to anchor the sweep", clean.Accuracy)
+	}
+	if clean.Scrubs != 0 || clean.CanaryRuns != 0 {
+		t.Fatalf("clean cell ran integrity machinery: %+v", clean)
+	}
+	for _, rate := range SEUDefenseRates {
+		for _, name := range []string{"no defense", "canary only", "self-heal"} {
+			pt, ok := res.Cell(name, rate)
+			if !ok {
+				t.Fatalf("sweep missing cell %q at rate %g", name, rate)
+			}
+			switch name {
+			case "no defense":
+				if pt.Scrubs != 0 || pt.CanaryRuns != 0 || pt.Repaired != 0 {
+					t.Fatalf("undefended cell ran defenses: %+v", pt)
+				}
+			case "canary only":
+				if pt.Scrubs != 0 {
+					t.Fatalf("canary-only cell scrubbed: %+v", pt)
+				}
+				if pt.CanaryRuns == 0 {
+					t.Fatalf("canary-only cell ran no canaries: %+v", pt)
+				}
+			case "self-heal":
+				if pt.Scrubs == 0 || pt.Corruptions == 0 || pt.Restores == 0 {
+					t.Fatalf("self-heal cell at rate %g detected or repaired nothing: %+v", rate, pt)
+				}
+				if pt.Repaired != pt.Incidents {
+					t.Fatalf("self-heal cell left incidents open: %+v", pt)
+				}
+				if pt.Repaired > 0 && pt.MeanTTR <= 0 {
+					t.Fatalf("repairs with no time-to-repair accounting: %+v", pt)
+				}
+			}
+		}
+	}
+	// The undefended accuracy collapse is driven by the seeded flip stream,
+	// not the scheduler, so it is asserted outright.
+	top := SEUDefenseRates[len(SEUDefenseRates)-1]
+	noDef, _ := res.Cell("no defense", top)
+	if drop := clean.Accuracy - noDef.Accuracy; drop < SEUNoDefenseDropPts {
+		t.Fatalf("undefended accuracy dropped only %.1f points at rate %g, want >= %.1f: %+v",
+			drop, top, SEUNoDefenseDropPts, noDef)
+	}
+	// Self-heal accuracy depends on scrubs landing between requests:
+	// wall-clock sensitive, so failures here are retried by the caller.
+	for _, rate := range SEUDefenseRates {
+		heal, _ := res.Cell("self-heal", rate)
+		if drop := clean.Accuracy - heal.Accuracy; drop > SEUSelfHealDropPts {
+			return fmt.Sprintf("self-heal accuracy %.1f%% at rate %g is %.1f points under clean %.1f%%, bar %.1f",
+				heal.Accuracy, rate, drop, clean.Accuracy, SEUSelfHealDropPts)
+		}
+	}
+	return ""
+}

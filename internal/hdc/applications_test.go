@@ -190,6 +190,55 @@ func TestRegenerateAndRefineKeepsAccuracy(t *testing.T) {
 	}
 }
 
+// TestRegenerateRecoversFromClassCorruption injects SEU-style corruption
+// directly into the class hypervectors — the failure the integrity layer's
+// ladder repairs by re-upload when golden bytes exist — and checks that
+// regeneration plus refinement recovers the model from training data alone
+// to within one accuracy point of the uncorrupted baseline.
+func TestRegenerateRecoversFromClassCorruption(t *testing.T) {
+	train, test := synthTrainTest(t, 24, 1600, 4, 907)
+	m, _, err := Train(train, nil, TrainConfig{Dim: 1024, Epochs: 8, LearningRate: 1, Nonlinear: true, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := m.Accuracy(test)
+
+	// Slam large-magnitude noise into 15% of the class-matrix entries,
+	// mimicking accumulated high-order bit flips in resident weights.
+	corrupt := m.Clone()
+	r := rng.New(18)
+	scale := float64(0)
+	for _, v := range corrupt.Classes.F32 {
+		if s := float64(v); s > scale {
+			scale = s
+		} else if -s > scale {
+			scale = -s
+		}
+	}
+	for i := range corrupt.Classes.F32 {
+		if r.Float64() < 0.15 {
+			corrupt.Classes.F32[i] = float32((r.Float64()*2 - 1) * 4 * scale)
+		}
+	}
+	degraded := corrupt.Accuracy(test)
+	if degraded > baseline-0.02 {
+		t.Fatalf("corruption too mild to exercise recovery: %.3f -> %.3f", baseline, degraded)
+	}
+
+	n, _, err := corrupt.RegenerateAndRefine(train.X, train.Y, 0.2, 6, 1, rng.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing regenerated")
+	}
+	recovered := corrupt.Accuracy(test)
+	if recovered < baseline-0.01 {
+		t.Fatalf("recovery fell short: baseline %.3f, corrupted %.3f, recovered %.3f (bar %.3f)",
+			baseline, degraded, recovered, baseline-0.01)
+	}
+}
+
 func TestRegenerateAndRefineValidation(t *testing.T) {
 	train, _ := synthTrainTest(t, 8, 200, 2, 906)
 	m, _, err := Train(train, nil, TrainConfig{Dim: 128, Epochs: 2, LearningRate: 1, Nonlinear: true, Seed: 15})

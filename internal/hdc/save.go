@@ -2,8 +2,10 @@ package hdc
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -12,22 +14,54 @@ import (
 )
 
 // Model binary format (little endian): magic "HDM1", nonlinear u8,
-// metric u8, n u32, d u32, k u32, base [n*d]f32, classes [k*d]f32.
+// metric u8, n u32, d u32, k u32, base [n*d]f32, classes [k*d]f32,
+// footer "HCRC" + uint32 CRC32 (IEEE) of every preceding byte.
+//
+// The footer is an integrity seal over the whole file, mirroring the
+// tflite container scheme: LoadModel verifies it and rejects corrupt
+// bytes with *ChecksumError. Files written before the footer existed
+// (no trailing "HCRC" marker) are still accepted.
 
-const modelMagic = "HDM1"
+const (
+	modelMagic = "HDM1"
 
-// Save writes the model to a file.
+	// crcMagic marks the integrity footer; crcFooterLen is its size.
+	crcMagic     = "HCRC"
+	crcFooterLen = 8
+)
+
+// ChecksumError reports a model file whose bytes do not match the CRC32
+// recorded in its footer.
+type ChecksumError struct {
+	Path string // file being loaded
+	Want uint32 // checksum recorded in the footer
+	Got  uint32 // checksum of the payload as read
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("hdc: model checksum mismatch in %s: footer %08x, payload %08x", e.Path, e.Want, e.Got)
+}
+
+// Save writes the model to a file, sealed by the CRC32 integrity footer.
 func (m *Model) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
+	h := crc32.NewIEEE()
+	w := bufio.NewWriter(io.MultiWriter(f, h))
 	if err := m.writeTo(w); err != nil {
 		f.Close()
 		return fmt.Errorf("hdc: writing %s: %w", path, err)
 	}
 	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	var footer [crcFooterLen]byte
+	copy(footer[:4], crcMagic)
+	binary.LittleEndian.PutUint32(footer[4:], h.Sum32())
+	if _, err := f.Write(footer[:]); err != nil {
 		f.Close()
 		return err
 	}
@@ -61,14 +95,25 @@ func (m *Model) writeTo(w *bufio.Writer) error {
 	return nil
 }
 
-// LoadModel reads a model written by Save.
+// LoadModel reads a model written by Save. A trailing "HCRC" footer is
+// verified against the payload (mismatch yields *ChecksumError) and
+// stripped; footerless files from before the checksum existed are parsed
+// as-is. Any other bytes left over after the model is an error.
 func LoadModel(path string) (*Model, error) {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
+	payload := raw
+	if len(raw) >= crcFooterLen && string(raw[len(raw)-crcFooterLen:len(raw)-4]) == crcMagic {
+		want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+		payload = raw[:len(raw)-crcFooterLen]
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, &ChecksumError{Path: path, Want: want, Got: got}
+		}
+	}
+	src := bytes.NewReader(payload)
+	r := bufio.NewReader(src)
 	var mg [4]byte
 	if _, err := io.ReadFull(r, mg[:]); err != nil {
 		return nil, err
@@ -119,6 +164,9 @@ func LoadModel(path string) (*Model, error) {
 	classes := tensor.New(tensor.Float32, int(k), int(d))
 	if err := readF32s(classes.F32); err != nil {
 		return nil, err
+	}
+	if rest := src.Len() + r.Buffered(); rest != 0 {
+		return nil, fmt.Errorf("hdc: %d trailing bytes after model in %s", rest, path)
 	}
 	return &Model{
 		Encoder: &Encoder{Base: base, Nonlinear: flags[0] == 1},

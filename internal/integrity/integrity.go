@@ -1,0 +1,322 @@
+// Package integrity is the silent-data-corruption defense for the serving
+// path. Loud accelerator faults (link timeouts, device resets) already flow
+// through the retry/breaker machinery in internal/pipeline — but a
+// single-event upset in resident parameter SRAM produces wrong answers with
+// no error at all. This package closes that gap with three layers:
+//
+//   - Scrubbing: golden per-segment checksums (encoder projection, class
+//     matrix, biases, activation LUTs) are computed from the compiled model,
+//     and a scrubber periodically compares the device-resident copies
+//     against the pristine ones, raising a typed CorruptionError on
+//     mismatch.
+//   - Canary known-answer checks: held-out samples with recorded expected
+//     labels and score margins run through the real invoke path; a label
+//     flip or margin collapse is the algorithm-level SDC signal that
+//     catches what checksums cannot (activation-path damage, or corruption
+//     between scrubs).
+//   - A self-healing repair ladder (Checker): segment re-upload → full
+//     model reload → device power-cycle → quarantine, each rung verified
+//     before the incident closes, with typed Seq-ordered events and
+//     time-to-repair accounting.
+//
+// See docs/integrity.md for the threat model and the serving integration.
+package integrity
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"strings"
+	"time"
+
+	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/tensor"
+	"hdcedge/internal/tflite"
+)
+
+// Target is the device surface the scrubber verifies and repairs,
+// implemented by *edgetpu.Device. All methods must be called from the
+// goroutine that drives the device (integrity work runs on the serving
+// worker between batches).
+type Target interface {
+	// ResidentTensor returns the live device copy of graph tensor ti, or
+	// nil when no model is resident.
+	ResidentTensor(ti int) *tensor.Tensor
+	// CachedLUT returns the resident activation lookup table of operator
+	// oi, or nil when none has materialized.
+	CachedLUT(oi int) *[256]int8
+	// RestoreSegment re-uploads tensor ti's pristine bytes, returning the
+	// simulated link cost.
+	RestoreSegment(ti int) (time.Duration, error)
+	// TransferCost prices an n-byte link transfer (LUT re-uploads).
+	TransferCost(n int) time.Duration
+	// PowerCycle drops and reloads the program — the device-reset rung.
+	PowerCycle() (time.Duration, error)
+}
+
+var _ Target = (*edgetpu.Device)(nil)
+
+// SegmentKind classifies what a golden segment protects.
+type SegmentKind int
+
+const (
+	// KindProjection is the encoder projection matrix (base_T).
+	KindProjection SegmentKind = iota
+	// KindClasses is the class-hypervector matrix.
+	KindClasses
+	// KindBias is an int32 bias vector.
+	KindBias
+	// KindLUT is an activation lookup table.
+	KindLUT
+	// KindOther is any other delegated constant.
+	KindOther
+)
+
+// String renders the kind.
+func (k SegmentKind) String() string {
+	switch k {
+	case KindProjection:
+		return "projection"
+	case KindClasses:
+		return "classes"
+	case KindBias:
+		return "bias"
+	case KindLUT:
+		return "lut"
+	case KindOther:
+		return "other"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Segment is one scrub-protected unit of device-resident state: a delegated
+// constant tensor or an operator's activation LUT, with its golden CRC and a
+// pristine copy to verify and repair against.
+type Segment struct {
+	ID     string      // stable name, e.g. "classes", "base_T", "lut:2"
+	Kind   SegmentKind // what the segment protects
+	Tensor int         // graph tensor index; -1 for LUT segments
+	Op     int         // operator index; -1 for tensor segments
+	Bytes  int         // segment size in bytes
+	CRC    uint32      // CRC-32 (IEEE) of the golden byte image
+
+	golden *tensor.Tensor // pristine constant copy (tensor segments)
+	lut    *[256]int8     // pristine table copy (LUT segments)
+}
+
+// Golden is the compile-time integrity reference for one compiled model:
+// every device-resident segment with its pristine contents and checksum.
+// It is immutable after ComputeGolden and safe to share across workers.
+type Golden struct {
+	Model      string
+	Segments   []Segment
+	TotalBytes int
+}
+
+// ComputeGolden walks the compiled model's delegated operators — the same
+// walk the SEU injector uses — and records a golden copy plus CRC for every
+// device-resident segment: each delegated constant tensor (projection,
+// classes, biases) and each int8 activation LUT. A model with no delegated
+// ops yields an empty (but valid) Golden; scrubbing it is a no-op.
+func ComputeGolden(cm *edgetpu.CompiledModel) (*Golden, error) {
+	if cm == nil {
+		return nil, fmt.Errorf("integrity: nil compiled model")
+	}
+	g := &Golden{Model: cm.Model.Name}
+	seen := map[int]bool{}
+	for oi, op := range cm.Model.Operators {
+		if cm.Placements[oi] != edgetpu.PlaceTPU {
+			continue
+		}
+		for _, ti := range op.Inputs {
+			info := cm.Model.Tensors[ti]
+			if info.Buffer == tflite.NoBuffer || seen[ti] {
+				continue
+			}
+			seen[ti] = true
+			pristine, err := cm.Model.ConstTensor(ti)
+			if err != nil {
+				return nil, fmt.Errorf("integrity: golden copy of tensor %d: %w", ti, err)
+			}
+			img := tensorByteImage(pristine)
+			id := info.Name
+			if id == "" {
+				id = fmt.Sprintf("tensor:%d", ti)
+			}
+			g.add(Segment{
+				ID:     id,
+				Kind:   kindOf(info),
+				Tensor: ti,
+				Op:     -1,
+				Bytes:  len(img),
+				CRC:    crc32.ChecksumIEEE(img),
+				golden: pristine,
+			})
+		}
+		switch op.Op {
+		case tflite.OpTanh, tflite.OpLogistic:
+			in := cm.Model.Tensors[op.Inputs[0]]
+			out := cm.Model.Tensors[op.Outputs[0]]
+			if in.DType != tensor.Int8 || in.Quant == nil || out.Quant == nil {
+				continue // float path: no table in play
+			}
+			tbl, err := tflite.ActivationLUT(op.Op, *in.Quant, *out.Quant)
+			if err != nil {
+				return nil, fmt.Errorf("integrity: golden LUT of op %d: %w", oi, err)
+			}
+			cp := *tbl // copy: never hold (or write) the shared memoized table
+			img := lutByteImage(&cp)
+			g.add(Segment{
+				ID:     fmt.Sprintf("lut:%d", oi),
+				Kind:   KindLUT,
+				Tensor: -1,
+				Op:     oi,
+				Bytes:  len(img),
+				CRC:    crc32.ChecksumIEEE(img),
+				lut:    &cp,
+			})
+		}
+	}
+	return g, nil
+}
+
+func (g *Golden) add(s Segment) {
+	g.Segments = append(g.Segments, s)
+	g.TotalBytes += s.Bytes
+}
+
+// Segment returns the segment with the given ID, or nil.
+func (g *Golden) Segment(id string) *Segment {
+	for i := range g.Segments {
+		if g.Segments[i].ID == id {
+			return &g.Segments[i]
+		}
+	}
+	return nil
+}
+
+// kindOf classifies a constant tensor by the graph names the inference
+// builder assigns (nnmap.BuildInferenceModel); the quantizer suffixes
+// converted constants with "_q".
+func kindOf(info tflite.TensorInfo) SegmentKind {
+	switch strings.TrimSuffix(info.Name, "_q") {
+	case "base_T":
+		return KindProjection
+	case "classes":
+		return KindClasses
+	}
+	if info.DType == tensor.Int32 {
+		return KindBias
+	}
+	return KindOther
+}
+
+// CorruptionError reports a scrub mismatch: which segment diverged from its
+// golden copy, at which byte offset, and the first differing element's raw
+// values (int8/int32 codes, or float32 bits).
+type CorruptionError struct {
+	Segment string
+	Kind    SegmentKind
+	Offset  int // byte offset of the first corrupt element
+	Want    int64
+	Got     int64
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("integrity: segment %q (%s) corrupt at byte %d: want %#x, got %#x",
+		e.Segment, e.Kind, e.Offset, e.Want, e.Got)
+}
+
+// VerifySegment compares one segment's device-resident state against its
+// golden copy, returning a CorruptionError on the first mismatch and nil
+// when the segment is clean or not resident (no model loaded, LUT not yet
+// materialized).
+func (g *Golden) VerifySegment(seg *Segment, t Target) *CorruptionError {
+	if seg == nil || t == nil {
+		return nil
+	}
+	if seg.Kind == KindLUT {
+		live := t.CachedLUT(seg.Op)
+		if live == nil {
+			return nil
+		}
+		for i := range live {
+			if live[i] != seg.lut[i] {
+				return &CorruptionError{Segment: seg.ID, Kind: seg.Kind, Offset: i,
+					Want: int64(seg.lut[i]), Got: int64(live[i])}
+			}
+		}
+		return nil
+	}
+	live := t.ResidentTensor(seg.Tensor)
+	if live == nil {
+		return nil
+	}
+	for i, v := range seg.golden.I8 {
+		if live.I8[i] != v {
+			return &CorruptionError{Segment: seg.ID, Kind: seg.Kind, Offset: i,
+				Want: int64(v), Got: int64(live.I8[i])}
+		}
+	}
+	for i, v := range seg.golden.I32 {
+		if live.I32[i] != v {
+			return &CorruptionError{Segment: seg.ID, Kind: seg.Kind, Offset: 4 * i,
+				Want: int64(v), Got: int64(live.I32[i])}
+		}
+	}
+	for i, v := range seg.golden.F32 {
+		if live.F32[i] != v {
+			return &CorruptionError{Segment: seg.ID, Kind: seg.Kind, Offset: 4 * i,
+				Want: int64(math.Float32bits(v)), Got: int64(math.Float32bits(live.F32[i]))}
+		}
+	}
+	return nil
+}
+
+// Scrub verifies every segment against the target, returning one
+// CorruptionError per corrupt segment (empty means clean). Segments are
+// checked in compile order, so repeated scrubs report deterministically.
+func (g *Golden) Scrub(t Target) []*CorruptionError {
+	var corrupt []*CorruptionError
+	for i := range g.Segments {
+		if ce := g.VerifySegment(&g.Segments[i], t); ce != nil {
+			corrupt = append(corrupt, ce)
+		}
+	}
+	return corrupt
+}
+
+// tensorByteImage renders a tensor's payload as the little-endian byte
+// image its CRC covers.
+func tensorByteImage(t *tensor.Tensor) []byte {
+	switch {
+	case len(t.I8) > 0:
+		b := make([]byte, len(t.I8))
+		for i, v := range t.I8 {
+			b[i] = byte(v)
+		}
+		return b
+	case len(t.I32) > 0:
+		b := make([]byte, 4*len(t.I32))
+		for i, v := range t.I32 {
+			binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+		}
+		return b
+	default:
+		b := make([]byte, 4*len(t.F32))
+		for i, v := range t.F32 {
+			binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+		}
+		return b
+	}
+}
+
+// lutByteImage renders a lookup table as its byte image.
+func lutByteImage(t *[256]int8) []byte {
+	b := make([]byte, len(t))
+	for i, v := range t {
+		b[i] = byte(v)
+	}
+	return b
+}

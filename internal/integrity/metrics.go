@@ -1,0 +1,86 @@
+package integrity
+
+import (
+	"time"
+
+	"hdcedge/internal/metrics"
+)
+
+// Nil-safe metric handles: a zero checkerMetrics (Instrument never called)
+// makes every record a no-op, so the checker itself never branches on
+// whether metrics are wired.
+
+type mcounter struct{ c *metrics.Counter }
+
+func (m mcounter) inc() {
+	if m.c != nil {
+		m.c.Inc()
+	}
+}
+
+func (m mcounter) add(n int64) {
+	if m.c != nil {
+		m.c.Add(n)
+	}
+}
+
+type mgauge struct{ g *metrics.Gauge }
+
+func (m mgauge) set(n int64) {
+	if m.g != nil {
+		m.g.Set(n)
+	}
+}
+
+type mhist struct{ h *metrics.LiveHistogram }
+
+func (m mhist) observe(d time.Duration) {
+	if m.h != nil {
+		m.h.Observe(d)
+	}
+}
+
+type checkerMetrics struct {
+	scrubs         mcounter
+	corruptions    mcounter
+	canaryRuns     mcounter
+	canaryFailures mcounter
+	repairs        [3]mcounter // ActionRestore, ActionReload, ActionReset
+	quarantines    mcounter
+	quarantined    mgauge
+	ttr            mhist
+}
+
+// Instrument publishes the checker's live counters into reg. labels is an
+// inline Prometheus label set (e.g. `worker="1",backend="tpu"`) appended to
+// every series; the repair counters additionally carry an action label.
+func (c *Checker) Instrument(reg *metrics.Registry, labels string) {
+	if reg == nil {
+		return
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	action := func(a Action) string {
+		tail := "}"
+		if labels != "" {
+			tail = "," + labels + "}"
+		}
+		return `hdc_integrity_repairs_total{action="` + a.String() + `"` + tail
+	}
+	c.met = checkerMetrics{
+		scrubs:         mcounter{reg.Counter("hdc_integrity_scrubs_total" + suffix)},
+		corruptions:    mcounter{reg.Counter("hdc_integrity_corruptions_total" + suffix)},
+		canaryRuns:     mcounter{reg.Counter("hdc_integrity_canary_runs_total" + suffix)},
+		canaryFailures: mcounter{reg.Counter("hdc_integrity_canary_failures_total" + suffix)},
+		repairs: [3]mcounter{
+			{reg.Counter(action(ActionRestore))},
+			{reg.Counter(action(ActionReload))},
+			{reg.Counter(action(ActionReset))},
+		},
+		quarantines: mcounter{reg.Counter(action(ActionQuarantine))},
+		quarantined: mgauge{reg.Gauge("hdc_integrity_quarantined" + suffix)},
+		ttr:         mhist{reg.Histogram("hdc_integrity_time_to_repair_seconds" + suffix)},
+	}
+}

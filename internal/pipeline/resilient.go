@@ -262,6 +262,11 @@ type ResilientRunner struct {
 	pendingReload   bool
 	lastWasFallback bool
 
+	// quarantined pins the breaker open permanently: the integrity layer
+	// found damage the repair ladder could not fix, so no cooldown or
+	// half-open probe may route work back to the primary.
+	quarantined bool
+
 	// live streams the reliability events into a metrics registry as they
 	// happen (see Instrument). nil leaves the runner uninstrumented.
 	live *runnerMetrics
@@ -534,6 +539,11 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 	// one trial attempt through below.
 	probing := false
 	if r.breaker != BreakerClosed {
+		if r.quarantined {
+			// A quarantined primary is never probed again: every invoke
+			// serves from the secondary until the runner is rebuilt.
+			return r.invokeSecondary(fill, waste, rows)
+		}
 		if r.breaker == BreakerOpen && r.policy.BreakerCooldown > 0 {
 			r.cooldownLeft--
 			if r.cooldownLeft <= 0 {
@@ -627,6 +637,41 @@ func (r *ResilientRunner) invoke(ctx context.Context, rows int, fill func(in *te
 		}
 	}
 }
+
+// ForceReload re-pays the primary's model load outside the fault-recovery
+// path — the integrity repair ladder's full-reload rung. It restores every
+// device-resident parameter from the pristine compiled model and returns
+// the simulated setup cost, accounted as reload overhead exactly like a
+// fault-driven reload. Call it from the goroutine that drives the runner.
+func (r *ResilientRunner) ForceReload() (time.Duration, error) {
+	setup, err := r.primary.Reset()
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: forced reload failed: %w", err)
+	}
+	r.pendingReload = false
+	r.report.Reloads++
+	r.live.onReload()
+	r.report.ReloadTime += setup
+	return setup, nil
+}
+
+// Quarantine opens the breaker permanently: every subsequent invoke serves
+// from the secondary backend and no cooldown or half-open probe ever routes
+// work back to the primary. The integrity layer calls this when the repair
+// ladder is exhausted — the device answers, but its answers can no longer
+// be trusted. Quarantine is one-way for the life of the runner.
+func (r *ResilientRunner) Quarantine() {
+	if r.quarantined {
+		return
+	}
+	r.quarantined = true
+	if r.breaker != BreakerOpen {
+		r.trip()
+	}
+}
+
+// Quarantined reports whether Quarantine was called.
+func (r *ResilientRunner) Quarantined() bool { return r.quarantined }
 
 // reload re-pays the primary's model load after a reset-class fault,
 // accounting the setup cost as recovery overhead.

@@ -9,6 +9,7 @@ package router
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -74,13 +75,13 @@ func (p ChaosPlan) Validate() error {
 	switch p.Mode {
 	case ChaosNone, ChaosCrash, ChaosHang:
 	case ChaosSlow:
-		if p.Factor <= 1 {
+		if math.IsNaN(p.Factor) || p.Factor <= 1 {
 			return fmt.Errorf("router: slow factor %g must exceed 1", p.Factor)
 		}
 	default:
 		return fmt.Errorf("router: unknown chaos mode %d", int(p.Mode))
 	}
-	if p.Rate < 0 || p.Rate > 1 {
+	if math.IsNaN(p.Rate) || p.Rate < 0 || p.Rate > 1 {
 		return fmt.Errorf("router: chaos rate %g outside [0, 1]", p.Rate)
 	}
 	if p.After < 0 {
@@ -95,37 +96,55 @@ func (p ChaosPlan) Validate() error {
 // Enabled reports whether the plan injects anything.
 func (p ChaosPlan) Enabled() bool { return p.Mode != ChaosNone }
 
+// ChaosSpecError is a chaos-spec parse failure, pinned to the offending
+// comma-separated segment so callers can report exactly what was rejected
+// (a duplicate node index, a bad rate, an empty segment, ...).
+type ChaosSpecError struct {
+	Spec    string // the full spec being parsed
+	Segment string // the offending segment, trimmed
+	Reason  string
+}
+
+func (e *ChaosSpecError) Error() string {
+	return fmt.Sprintf("router: chaos spec %q: segment %q: %s", e.Spec, e.Segment, e.Reason)
+}
+
 // ParseChaos builds per-node plans from a comma-separated spec such as
 // "0:crash,2:slow=8,3:hang@0.5". Each segment is NODE:MODE with an
 // optional =FACTOR (slow only) and an optional @RATE suffix making the
 // fault intermittent. seed feeds each plan's coin stream, offset by node
-// index so nodes fault independently. The empty string yields no plans.
+// index so nodes fault independently. The empty string yields no plans;
+// any malformed segment — including an empty one left by a stray comma —
+// rejects the whole spec with a *ChaosSpecError.
 func ParseChaos(spec string, seed uint64) (map[int]ChaosPlan, error) {
 	plans := map[int]ChaosPlan{}
 	if strings.TrimSpace(spec) == "" {
 		return plans, nil
 	}
 	for _, field := range strings.Split(spec, ",") {
-		field = strings.TrimSpace(field)
-		if field == "" {
-			continue
+		seg := strings.TrimSpace(field)
+		fail := func(reason string) error {
+			return &ChaosSpecError{Spec: spec, Segment: seg, Reason: reason}
 		}
-		nodeStr, rest, found := strings.Cut(field, ":")
+		if seg == "" {
+			return nil, fail("empty segment")
+		}
+		nodeStr, rest, found := strings.Cut(seg, ":")
 		if !found {
-			return nil, fmt.Errorf("router: chaos segment %q lacks a NODE: prefix", field)
+			return nil, fail("lacks a NODE: prefix")
 		}
 		node, err := strconv.Atoi(strings.TrimSpace(nodeStr))
 		if err != nil || node < 0 {
-			return nil, fmt.Errorf("router: bad chaos node index %q", nodeStr)
+			return nil, fail(fmt.Sprintf("bad node index %q", strings.TrimSpace(nodeStr)))
 		}
 		if _, dup := plans[node]; dup {
-			return nil, fmt.Errorf("router: duplicate chaos plan for node %d", node)
+			return nil, fail(fmt.Sprintf("duplicate plan for node %d", node))
 		}
 		p := ChaosPlan{Seed: seed + uint64(node)}
 		if before, rateStr, hasRate := cutLast(rest, "@"); hasRate {
 			rest = before
 			if p.Rate, err = strconv.ParseFloat(strings.TrimSpace(rateStr), 64); err != nil {
-				return nil, fmt.Errorf("router: bad chaos rate %q: %v", rateStr, err)
+				return nil, fail(fmt.Sprintf("bad rate %q", strings.TrimSpace(rateStr)))
 			}
 		}
 		mode, factorStr, hasFactor := strings.Cut(rest, "=")
@@ -138,18 +157,18 @@ func ParseChaos(spec string, seed uint64) (map[int]ChaosPlan, error) {
 			p.Mode = ChaosSlow
 			p.Factor = 8
 		default:
-			return nil, fmt.Errorf("router: unknown chaos mode %q (have crash, hang, slow)", mode)
+			return nil, fail(fmt.Sprintf("unknown mode %q (have crash, hang, slow)", strings.TrimSpace(mode)))
 		}
 		if hasFactor {
 			if p.Factor, err = strconv.ParseFloat(strings.TrimSpace(factorStr), 64); err != nil {
-				return nil, fmt.Errorf("router: bad chaos factor %q: %v", factorStr, err)
+				return nil, fail(fmt.Sprintf("bad factor %q", strings.TrimSpace(factorStr)))
 			}
 			if p.Mode != ChaosSlow {
-				return nil, fmt.Errorf("router: =FACTOR only applies to slow, not %s", p.Mode)
+				return nil, fail(fmt.Sprintf("=FACTOR only applies to slow, not %s", p.Mode))
 			}
 		}
 		if err := p.Validate(); err != nil {
-			return nil, err
+			return nil, fail(err.Error())
 		}
 		plans[node] = p
 	}

@@ -3,6 +3,7 @@ package router
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -39,25 +40,97 @@ func TestParseChaos(t *testing.T) {
 			}
 		}
 	}
-	bad := []string{
-		"crash",          // no node prefix
-		"-1:crash",       // negative node
-		"x:crash",        // non-integer node
-		"0:melt",         // unknown mode
-		"0:crash=2",      // factor on a non-slow mode
-		"0:slow=1",       // factor must exceed 1
-		"0:slow=0.5",     // ditto
-		"0:hang@1.5",     // rate outside [0, 1]
-		"0:crash@0.5",    // crash is not rateable
-		"0:crash,0:hang", // duplicate node
-		"0:slow=x",       // bad factor
-		"0:hang@x",       // bad rate
+	bad := []struct {
+		spec        string
+		wantSegment string
+	}{
+		{"crash", "crash"},                // no node prefix
+		{"-1:crash", "-1:crash"},          // negative node
+		{"x:crash", "x:crash"},            // non-integer node
+		{"0:melt", "0:melt"},              // unknown mode
+		{"0:crash=2", "0:crash=2"},        // factor on a non-slow mode
+		{"0:slow=1", "0:slow=1"},          // factor must exceed 1
+		{"0:slow=0.5", "0:slow=0.5"},      // ditto
+		{"0:hang@1.5", "0:hang@1.5"},      // rate outside [0, 1]
+		{"0:crash@0.5", "0:crash@0.5"},    // crash is not rateable
+		{"0:crash,0:hang", "0:hang"},      // duplicate node
+		{"0:slow=x", "0:slow=x"},          // bad factor
+		{"0:hang@x", "0:hang@x"},          // bad rate
+		{"0:crash,", ""},                  // trailing comma leaves an empty segment
+		{",0:crash", ""},                  // leading comma too
+		{"0:crash,,1:hang", ""},           // and a doubled one
+		{"0:crash, ,1:hang", ""},          // whitespace-only segment
+		{"1:slow,1:slow=4", "1:slow=4"},   // duplicate via different forms
+		{"2:hang@0.5,0:melt", "0:melt"},   // later segment blamed, not the spec head
+		{"0:crash,1:hang@-0.1", "1:hang@-0.1"}, // negative rate
 	}
-	for _, spec := range bad {
-		if plans, err := ParseChaos(spec, 7); err == nil {
-			t.Fatalf("ParseChaos(%q) accepted: %v", spec, plans)
+	for _, tc := range bad {
+		plans, err := ParseChaos(tc.spec, 7)
+		if err == nil {
+			t.Fatalf("ParseChaos(%q) accepted: %v", tc.spec, plans)
+		}
+		var se *ChaosSpecError
+		if !errors.As(err, &se) {
+			t.Fatalf("ParseChaos(%q) error %v (%T) is not a *ChaosSpecError", tc.spec, err, err)
+		}
+		if se.Spec != tc.spec {
+			t.Fatalf("ParseChaos(%q) error carries spec %q", tc.spec, se.Spec)
+		}
+		if se.Segment != tc.wantSegment {
+			t.Fatalf("ParseChaos(%q) blames segment %q, want %q (%v)", tc.spec, se.Segment, tc.wantSegment, err)
+		}
+		if se.Reason == "" || !strings.Contains(err.Error(), se.Reason) {
+			t.Fatalf("ParseChaos(%q) error %q does not render its reason %q", tc.spec, err, se.Reason)
 		}
 	}
+}
+
+// FuzzParseChaos hardens the spec parser against arbitrary operator input:
+// it must never panic, every rejection must be a typed *ChaosSpecError
+// carrying the spec, and every accepted plan must validate cleanly with
+// the node-offset seed.
+func FuzzParseChaos(f *testing.F) {
+	seeds := []string{
+		"", "0:crash", "2:slow=8", "1:slow", "3:hang@0.5",
+		"0:crash, 2:slow=4@0.25", "crash", "-1:crash", "x:crash",
+		"0:melt", "0:crash=2", "0:slow=1", "0:slow=0.5", "0:hang@1.5",
+		"0:crash@0.5", "0:crash,0:hang", "0:slow=x", "0:hang@x",
+		"0:crash,", ",,", "0:slow=8@0.5@0.5", "00:crash", "0:SLOW=2",
+		"9999999999999999999:crash", "0:slow=1e300", "0:hang@0", "0:hang@1",
+	}
+	for _, s := range seeds {
+		f.Add(s, uint64(7))
+	}
+	f.Fuzz(func(t *testing.T, spec string, seed uint64) {
+		plans, err := ParseChaos(spec, seed)
+		if err != nil {
+			var se *ChaosSpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseChaos(%q) error %v (%T) is not a *ChaosSpecError", spec, err, err)
+			}
+			if se.Spec != spec {
+				t.Fatalf("ParseChaos(%q) error carries spec %q", spec, se.Spec)
+			}
+			if plans != nil {
+				t.Fatalf("ParseChaos(%q) returned plans alongside an error", spec)
+			}
+			return
+		}
+		for node, p := range plans {
+			if node < 0 {
+				t.Fatalf("ParseChaos(%q) accepted node %d", spec, node)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("ParseChaos(%q) produced an invalid plan for node %d: %v", spec, node, err)
+			}
+			if !p.Enabled() {
+				t.Fatalf("ParseChaos(%q) produced a no-op plan for node %d: %+v", spec, node, p)
+			}
+			if p.Seed != seed+uint64(node) {
+				t.Fatalf("ParseChaos(%q) node %d seed %d, want %d", spec, node, p.Seed, seed+uint64(node))
+			}
+		}
+	})
 }
 
 func TestChaosCrashNode(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"hdcedge/internal/integrity"
 	"hdcedge/internal/metrics"
 	"hdcedge/internal/pipeline"
 )
@@ -49,6 +50,11 @@ type ServeReport struct {
 	Backends    []BackendStats
 	Reliability pipeline.ReliabilityReport
 	Health      Health
+
+	// Integrity aggregates the per-worker integrity checkers (scrubs,
+	// corruptions, canaries, repair-ladder work); nil when the server runs
+	// without an integrity policy.
+	Integrity *integrity.Report
 }
 
 // Backend returns the stats of one backend class by name, if the fleet has
@@ -100,6 +106,17 @@ func (r ServeReport) String() string {
 			b.Requests, b.Invokes, b.MeanOccupancy(), b.MaxRows,
 			metrics.FmtDur(b.SimTime), metrics.FmtDur(b.Busy),
 			metrics.FmtDur(b.Latency.Quantile(0.5)), metrics.FmtDur(b.Latency.Quantile(0.99)))
+	}
+	if g := r.Integrity; g != nil {
+		fmt.Fprintf(&sb, "  integrity: %d scrubs (%d corruptions), %d canary runs (%d failures), %d incidents (%d repaired), repairs %d reupload / %d reload / %d reset / %d quarantine, repair sim %s",
+			g.Scrubs, g.Corruptions, g.CanaryRuns, g.CanaryFailures,
+			g.Incidents, g.Repaired, g.Restores, g.Reloads, g.Resets, g.Quarantines,
+			metrics.FmtDur(g.RepairSimTime))
+		if g.TimeToRepair != nil && g.TimeToRepair.Count() > 0 {
+			fmt.Fprintf(&sb, ", time-to-repair mean %s max %s",
+				metrics.FmtDur(g.TimeToRepair.Mean()), metrics.FmtDur(g.TimeToRepair.Max()))
+		}
+		sb.WriteString("\n")
 	}
 	fmt.Fprintf(&sb, "  %s", r.Reliability)
 	return sb.String()

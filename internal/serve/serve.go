@@ -21,6 +21,7 @@ import (
 	"hdcedge/internal/backend/hostcpu"
 	"hdcedge/internal/backend/tpu"
 	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/integrity"
 	"hdcedge/internal/metrics"
 	"hdcedge/internal/pipeline"
 	"hdcedge/internal/tensor"
@@ -186,6 +187,15 @@ type Config struct {
 	// TraceDepth settled requests keep their span breakdown (see Trace).
 	// Zero means DefaultTraceDepth; negative disables tracing.
 	TraceDepth int
+
+	// Integrity, when non-nil and enabled, arms the silent-data-corruption
+	// defense: each worker periodically scrubs its device-resident
+	// parameters against golden checksums and runs canary known-answer
+	// checks through the real invoke path, self-healing through the repair
+	// ladder (segment re-upload → model reload → device reset →
+	// quarantine). Nil or disabled leaves the serving path bit-identical
+	// to a server without integrity support.
+	Integrity *integrity.Policy
 }
 
 // Validate checks the configuration for sanity.
@@ -221,6 +231,9 @@ func (c Config) Validate() error {
 	}
 	if len(c.Plans) != 0 && len(c.Plans) != c.workers() {
 		return fmt.Errorf("serve: %d per-device plans for %d workers", len(c.Plans), c.workers())
+	}
+	if err := c.Integrity.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -362,9 +375,16 @@ type worker struct {
 	report pipeline.ReliabilityReport // snapshot after the last invoke
 	stats  workerStats
 
+	// integ, when non-nil, runs this worker's integrity maintenance
+	// (scrubs, canaries, the repair ladder) between batches. Only the
+	// worker goroutine calls Maintain; report/event reads are safe from
+	// anywhere.
+	integ *integrity.Checker
+
 	// invokeMu guards invokeCancel, the cancel func of the in-flight
 	// batched invoke's merged context; the drain force path fires it so a
-	// multi-request invoke cannot outlive the drain deadline.
+	// multi-request invoke (or an integrity maintenance pass) cannot
+	// outlive the drain deadline.
 	invokeMu     sync.Mutex
 	invokeCancel context.CancelFunc
 
@@ -458,6 +478,15 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	// The golden integrity reference is computed once from the compiled
+	// model and shared read-only across all workers.
+	var golden *integrity.Golden
+	if cfg.Integrity.Enabled() && cfg.Integrity.ScrubInterval > 0 {
+		var err error
+		if golden, err = integrity.ComputeGolden(cm); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		pending: make(map[*request]struct{}),
@@ -500,10 +529,31 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 		if ib, ok := r.Backend().(instrumentable); ok {
 			ib.Instrument(reg, labels)
 		}
-		s.workers = append(s.workers, &worker{
+		w := &worker{
 			id: i, name: fleet[i], runner: r,
 			stats: workerStats{Latency: metrics.NewHistogram()},
-		})
+		}
+		if cfg.Integrity.Enabled() {
+			// A device-backed worker scrubs and repairs its hardware; a
+			// host-CPU worker has no device SRAM to scrub, so it runs
+			// canary-only with a ladder starting at reload.
+			var target integrity.Target
+			if dev := r.Device(); dev != nil {
+				target = dev
+			}
+			ck, err := integrity.NewChecker(golden, *cfg.Integrity, integrity.Deps{
+				Worker:     i,
+				Target:     target,
+				Reload:     r.ForceReload,
+				Quarantine: r.Quarantine,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("serve: worker %d (%s) integrity: %w", i, fleet[i], err)
+			}
+			ck.Instrument(reg, labels)
+			w.integ = ck
+		}
+		s.workers = append(s.workers, w)
 	}
 	s.wg.Add(n)
 	for _, w := range s.workers {
@@ -655,12 +705,28 @@ func (s *Server) popLocked(n int, batch []*request) []*request {
 // arrivals can ride the same invoke. The hold is capped at half of each
 // member's remaining deadline slack, so batching never costs a request its
 // deadline. nil means the server is draining and the queue is empty, so the
-// worker should exit.
-func (s *Server) nextBatch() []*request {
+// worker should exit. A worker with integrity maintenance due gets an
+// empty non-nil batch so the loop can run the pass while the queue is idle.
+func (s *Server) nextBatch(w *worker) []*request {
 	maxBatch := max(s.cfg.MaxBatch, 1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.queue) == 0 && !s.draining {
+		if w.integ != nil {
+			if due, ok := w.integ.NextDue(); ok {
+				wait := time.Until(due)
+				if wait <= 0 {
+					return []*request{}
+				}
+				// An arrival Signals the cond; the timer broadcasts so a
+				// due scrub/canary wakes this worker even if an arrival
+				// woke a different one.
+				t := time.AfterFunc(wait, s.cond.Broadcast)
+				s.cond.Wait()
+				t.Stop()
+				continue
+			}
+		}
 		s.cond.Wait()
 	}
 	if len(s.queue) == 0 && s.draining {
@@ -705,7 +771,7 @@ func (s *Server) nextBatch() []*request {
 func (s *Server) workerLoop(w *worker) {
 	defer s.wg.Done()
 	for {
-		batch := s.nextBatch()
+		batch := s.nextBatch(w)
 		if batch == nil {
 			return
 		}
@@ -724,7 +790,54 @@ func (s *Server) workerLoop(w *worker) {
 		if len(live) > 0 {
 			s.invokeBatch(w, live)
 		}
+		if w.integ != nil {
+			s.maintain(w)
+		}
 	}
+}
+
+// maintain runs one worker's due integrity work (scrub, canaries, repairs)
+// between batches, on the worker goroutine that owns the device. The pass
+// runs under a cancellable context registered as the worker's in-flight
+// cancel, so the drain force path can cut a wedged canary short; a server
+// already draining skips the pass entirely — shutdown work should not be
+// delayed by maintenance.
+func (s *Server) maintain(w *worker) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.invokeMu.Lock()
+	w.invokeCancel = cancel
+	w.invokeMu.Unlock()
+	defer func() {
+		w.invokeMu.Lock()
+		w.invokeCancel = nil
+		w.invokeMu.Unlock()
+	}()
+
+	invoke := func(ctx context.Context, c integrity.Canary) (int, float64, error) {
+		_, err := w.runner.InvokeCtx(ctx, func(in *tensor.Tensor) {
+			copy(in.F32[:len(c.Input)], c.Input)
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return int(w.runner.Output(0).I32[0]), integrity.MarginRow(w.runner.Output(1), 0), nil
+	}
+	w.integ.Maintain(ctx, invoke)
+
+	// Repairs and canary invokes move breaker and reliability state;
+	// republish both so Health and Report see them without an invoke.
+	w.state.Store(int32(w.runner.BreakerState()))
+	rep := w.runner.Report()
+	w.mu.Lock()
+	w.report = rep
+	w.mu.Unlock()
 }
 
 // invokeBatch serves a coalesced batch through one device invoke: members'
@@ -1031,8 +1144,28 @@ func (s *Server) Report() ServeReport {
 		b.Busy += st.Busy
 		b.Latency.Merge(st.Latency)
 		mergeReliability(&b.Reliability, r)
+
+		if w.integ != nil {
+			if rep.Integrity == nil {
+				rep.Integrity = &integrity.Report{}
+			}
+			rep.Integrity.Merge(w.integ.Report())
+		}
 	}
 	return rep
+}
+
+// IntegrityEvents returns every worker's retained repair-ladder events in
+// worker order (each worker's events are Seq-ordered). Empty when the
+// server runs without an integrity policy, or nothing ever broke.
+func (s *Server) IntegrityEvents() []integrity.Event {
+	var evs []integrity.Event
+	for _, w := range s.workers {
+		if w.integ != nil {
+			evs = append(evs, w.integ.Events()...)
+		}
+	}
+	return evs
 }
 
 // mergeReliability accumulates one device's reliability report into agg.

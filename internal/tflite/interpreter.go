@@ -264,7 +264,10 @@ func fullyConnectedInt8(in, w, bias, out *tensor.Tensor) error {
 // table store in lut.go already memoizes by quantization params, but behind
 // a mutex; caching per (interpreter, op) keeps concurrent serving workers
 // off that lock on the steady path. Params are fixed at build time, so the
-// cache never invalidates.
+// cache never invalidates. The cached table is this interpreter's private
+// copy — it models the activation LUT SRAM of one device, so fault
+// injection (and integrity scrubbing) on one interpreter can never bleed
+// into another through the shared memoization store.
 func (it *Interpreter) lutFor(oi int, build func() *[256]int8) *[256]int8 {
 	if lut, ok := it.luts[oi]; ok {
 		return lut
@@ -272,9 +275,18 @@ func (it *Interpreter) lutFor(oi int, build func() *[256]int8) *[256]int8 {
 	if it.luts == nil {
 		it.luts = make(map[int]*[256]int8)
 	}
-	lut := build()
-	it.luts[oi] = lut
-	return lut
+	lut := *build() // private copy: this interpreter's LUT SRAM
+	it.luts[oi] = &lut
+	return &lut
+}
+
+// CachedLUT returns operator oi's resident activation lookup table, or nil
+// when the operator has not materialized one yet (never executed, or not an
+// int8 element-wise op). The returned pointer is live device state: writes
+// through it model LUT-SRAM corruption, and integrity scrubbing verifies it
+// against the golden table (ActivationLUT).
+func (it *Interpreter) CachedLUT(oi int) *[256]int8 {
+	return it.luts[oi]
 }
 
 func (it *Interpreter) execTanh(oi int, op Operator, at func(int) *tensor.Tensor) error {

@@ -1,6 +1,7 @@
 package tflite
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -56,6 +57,21 @@ func logisticLUT(in, out tensor.QuantParams) *[256]int8 {
 	return elementLUT("logistic", func(x float64) float64 {
 		return 1 / (1 + math.Exp(-x))
 	}, in, out)
+}
+
+// ActivationLUT returns the golden lookup table for an int8 element-wise
+// operator under the given quantization — the table a freshly-loaded device
+// would hold in its LUT SRAM. Integrity scrubbing compares a live
+// Interpreter.CachedLUT against this. Only OpTanh and OpLogistic execute
+// through tables.
+func ActivationLUT(op OpCode, in, out tensor.QuantParams) (*[256]int8, error) {
+	switch op {
+	case OpTanh:
+		return tanhLUT(in, out), nil
+	case OpLogistic:
+		return logisticLUT(in, out), nil
+	}
+	return nil, fmt.Errorf("tflite: %v has no activation lookup table", op)
 }
 
 // softmaxRow computes a numerically-stable softmax into dst.
