@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke chaos-smoke seu-smoke bench bench-serve experiments examples clean
+.PHONY: all build test vet race fuzz-smoke chaos-smoke seu-smoke binhd-smoke bench bench-serve bench-binhd experiments examples clean
 
 all: vet test
 
@@ -35,6 +35,7 @@ test:
 	$(GO) test -race ./...
 	@$(MAKE) chaos-smoke
 	@$(MAKE) seu-smoke
+	@$(MAKE) binhd-smoke
 	@$(MAKE) fuzz-smoke
 
 race:
@@ -57,6 +58,16 @@ seu-smoke:
 		-run 'TestServeIntegrityScrubRepairsSEU|TestServeIntegrityCanaryQuarantinesUnrepairable|TestServeDrainDuringCanaryBackoffSettles|TestServeIntegrityDisabledBitIdentical' \
 		./internal/serve/
 
+# The bit-packed binary-HDC backend under the race detector: its kernel and
+# pricing tests, its rows in the backend conformance suite, and the seeded
+# mixed tpu+bin fleet scenarios. Fast enough to run on every `make test`.
+binhd-smoke:
+	$(GO) test -race -count=1 ./internal/backend/binhd/
+	$(GO) test -race -count=1 -run 'BinHD' ./internal/backend/conformance/
+	$(GO) test -race -count=1 \
+		-run 'TestParseFleetBin|TestBinFleetRequiresBipolar|TestServeMixedBinFleet|TestServeBinBatched|TestServeBinOnlyFleetNeedsNoAccel' \
+		./internal/serve/
+
 # A short fuzzing pass over every Fuzz target in the tree (FUZZTIME each),
 # as a smoke test; saved counterexamples under testdata/fuzz run in `test`.
 fuzz-smoke:
@@ -75,6 +86,12 @@ bench:
 # throughput row) and refresh BENCH_serve.json.
 bench-serve:
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -run TestWriteServeBench -count=1 ./internal/serve/
+	@cat BENCH_serve.json
+
+# Refresh only the binhd section of BENCH_serve.json: int8 interpreter vs
+# bit-packed binary HDC at matched shape, full-batch invokes.
+bench-binhd:
+	BENCH_BINHD_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -run TestWriteBinHDBench -count=1 ./internal/serve/
 	@cat BENCH_serve.json
 
 # Render every table/figure (and extension study) as text.

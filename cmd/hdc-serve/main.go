@@ -1,10 +1,10 @@
 // Command hdc-serve runs the request-level serving runtime against a
-// simulated fleet — all Edge TPU by default, or a heterogeneous TPU+CPU
-// mix via -fleet — and reports what happened under load.
+// simulated fleet — all Edge TPU by default, or a heterogeneous mix of
+// backend classes via -fleet — and reports what happened under load.
 //
 // Usage:
 //
-//	hdc-serve [-data test.bin] [-devices 4] [-fleet "tpu=2,cpu=2"]
+//	hdc-serve [-data test.bin] [-devices 4] [-fleet "tpu=2,bin=2"]
 //	          [-queue 8] [-deadline 250ms]
 //	          [-drain 2s] [-requests 400] [-load 2.0] [-pace 4ms]
 //	          [-batch 1] [-window 0] [-pace-scale 0]
@@ -20,8 +20,10 @@
 // admission queue. With -batch > 1 the model compiles at that batch
 // capacity and workers coalesce up to -batch queued requests into one
 // device invoke, holding an underfull batch open for up to -window.
-// With -fleet, the pool mixes accelerator and host-CPU workers; fault
-// plans apply to the accelerator workers only. With -listen, the live
+// With -fleet, the pool mixes backend classes — "tpu" (simulated Edge TPU),
+// "cpu" (host int8 interpreter), and "bin" (the bit-packed binary-HDC
+// engine serving the sign-quantized model; see docs/backends.md) — and
+// fault plans apply to the accelerator workers only. With -listen, the live
 // observability endpoints (/metrics, /snapshot, /traces, /debug/pprof)
 // serve on that address for the duration of the run. The run ends with a
 // graceful drain and the serving report: admission/shed/deadline counters,
@@ -54,6 +56,7 @@ import (
 	"sync"
 	"time"
 
+	"hdcedge/internal/backend/binhd"
 	"hdcedge/internal/dataset"
 	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/hdc"
@@ -112,6 +115,10 @@ type options struct {
 	// Built in main once the model is compiled (canaries need golden
 	// answers recorded through the real graph).
 	integrity *integrity.Policy
+
+	// Built in main when the fleet has bin-class workers: the trained
+	// model's sign-quantized deployment form.
+	bipolar *hdc.BipolarModel
 }
 
 // routed reports whether the run goes through the routing tier rather
@@ -232,6 +239,7 @@ func (o *options) config() serve.Config {
 		MaxBatch:        o.batch,
 		BatchWindow:     o.window,
 		Integrity:       o.integrity,
+		Bipolar:         o.bipolar,
 	}
 	if len(o.fleet) > 0 {
 		cfg.Fleet = o.fleet
@@ -308,6 +316,12 @@ func main() {
 	}
 	if o.integrity, err = buildIntegrity(o, cm, ds); err != nil {
 		fail(err.Error())
+	}
+	for _, kind := range o.fleet {
+		if kind == binhd.Name {
+			o.bipolar = model.Binarize()
+			break
+		}
 	}
 	if o.routed() {
 		runRouted(o, p, cm, ds)

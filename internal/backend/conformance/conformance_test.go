@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hdcedge/internal/backend"
+	"hdcedge/internal/backend/binhd"
 	"hdcedge/internal/backend/conformance"
 	"hdcedge/internal/backend/hostcpu"
 	"hdcedge/internal/backend/tpu"
@@ -60,5 +61,54 @@ func TestHostCPUConformanceSingleSample(t *testing.T) {
 	p, cm := confModel(t, 1)
 	conformance.Run(t, func() (backend.Backend, error) {
 		return hostcpu.New(p.Host, cm.Model)
+	})
+}
+
+// confBipolar trains the same tiny fixture as confModel and binarizes it.
+func confBipolar(t *testing.T) *hdc.BipolarModel {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.SyntheticSpec(16, 120, 3, 99), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := hdc.Train(ds, nil, hdc.TrainConfig{
+		Dim: 256, Epochs: 2, LearningRate: 1, Nonlinear: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model.Binarize()
+}
+
+func TestBinHDConformance(t *testing.T) {
+	bm := confBipolar(t)
+	conformance.Run(t, func() (backend.Backend, error) {
+		return binhd.New(pipeline.EdgeTPU().Host, bm, 4)
+	})
+}
+
+func TestBinHDConformanceSingleSample(t *testing.T) {
+	bm := confBipolar(t)
+	conformance.Run(t, func() (backend.Backend, error) {
+		return binhd.New(pipeline.EdgeTPU().Host, bm, 1)
+	})
+}
+
+// Odd capacity + non-word-aligned dim exercises the fused kernel's row and
+// tail-word remainders under the full contract.
+func TestBinHDConformanceOddShapes(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SyntheticSpec(7, 120, 4, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := hdc.Train(ds, nil, hdc.TrainConfig{
+		Dim: 130, Epochs: 2, LearningRate: 1, Nonlinear: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := model.Binarize()
+	conformance.Run(t, func() (backend.Backend, error) {
+		return binhd.New(pipeline.EdgeTPU().Host, bm, 5)
 	})
 }

@@ -45,6 +45,13 @@ type Spec struct {
 	// FLOPs per element).
 	ElemwiseFLOPS float64
 
+	// BitOpsPerSec is the sustained rate of packed 64-bit hypervector
+	// word operations (load + XOR + POPCNT + accumulate) across all
+	// cores, for the bit-serial similarity kernels of binary HDC. Zero
+	// means "not calibrated": pricing falls back to a conservative
+	// derivation from GEMMFLOPS (see bitOps).
+	BitOpsPerSec float64
+
 	// DispatchOverhead is the fixed cost of issuing one kernel/pass.
 	DispatchOverhead time.Duration
 
@@ -75,6 +82,7 @@ func MobileI5() Spec {
 		GEMMFLOPS:         20e9, // of ~83 GFLOP/s FP32 peak with AVX2+FMA
 		StreamBytesPerSec: 12e9, // dual-channel LPDDR3-1866
 		ElemwiseFLOPS:     6e9,
+		BitOpsPerSec:      2.5e9, // scalar POPCNT ~0.8 word-ops/cycle/core
 		DispatchOverhead:  5 * time.Microsecond,
 		ActivePowerWatts:  9.5, // 15 W TDP part, memory-heavy mix
 		IdlePowerWatts:    2.0,
@@ -91,6 +99,7 @@ func CortexA53RPi3() Spec {
 		GEMMFLOPS:         7.5e9, // NEON across 4 cores, in-order pipeline
 		StreamBytesPerSec: 1.0e9, // single-channel LPDDR2
 		ElemwiseFLOPS:     1.5e9,
+		BitOpsPerSec:      0.8e9, // NEON VCNT + pairwise adds, in-order
 		DispatchOverhead:  25 * time.Microsecond,
 		ActivePowerWatts:  3.7, // board-level under load
 		IdlePowerWatts:    1.3,
@@ -195,4 +204,50 @@ func (s Spec) ArgMaxTime(elems int) time.Duration {
 		return 0
 	}
 	return s.DispatchOverhead + time.Duration(float64(4*elems)/s.StreamBytesPerSec*float64(time.Second))
+}
+
+// bitOps returns the effective packed-word op rate: the calibrated
+// BitOpsPerSec, or a conservative GEMMFLOPS-derived fallback for specs
+// built before the field existed (one word op carries roughly the cost of
+// an 8-lane FMA on these parts).
+func (s Spec) bitOps() float64 {
+	if s.BitOpsPerSec > 0 {
+		return s.BitOpsPerSec
+	}
+	return s.GEMMFLOPS / 16
+}
+
+// PopcountGEMMTime prices the Hamming-agreement "GEMM" of binary HDC: m
+// packed query hypervectors against k packed class hypervectors, each pair
+// costing ceil(dim/64) XOR+POPCNT word operations. The roofline is the
+// slower of that compute and the memory traffic (both packed operand sets
+// read, an int32 agreement score per pair written) — the analog of
+// Int8GEMMTime with 64 dims per word instead of one per byte, which is
+// where the bit-serial deployment's order-of-magnitude arithmetic
+// reduction shows up in simulated time.
+func (s Spec) PopcountGEMMTime(m, dim, k int) time.Duration {
+	if m <= 0 || dim <= 0 || k <= 0 {
+		return 0
+	}
+	words := float64((dim + 63) / 64)
+	ops := float64(m) * float64(k) * words
+	bytes := 8*(float64(m)+float64(k))*words + 4*float64(m)*float64(k)
+	cost := ops / s.bitOps()
+	if mem := bytes / s.StreamBytesPerSec; mem > cost {
+		cost = mem
+	}
+	return s.DispatchOverhead + time.Duration(cost*float64(time.Second))
+}
+
+// SignPackTime prices the fused sign-threshold + bit-pack pass over
+// float32 encodings: each element is read once and contributes one bit to
+// a packed word store (4.125 bytes of traffic per element), memory bound
+// like the other element-wise passes. It rides the encode GEMM's dispatch
+// (the fused kernel packs in the same pass), so no per-call overhead is
+// added.
+func (s Spec) SignPackTime(elems int) time.Duration {
+	if elems <= 0 {
+		return 0
+	}
+	return time.Duration(4.125 * float64(elems) / s.StreamBytesPerSec * float64(time.Second))
 }

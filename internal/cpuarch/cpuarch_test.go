@@ -145,3 +145,59 @@ func TestLUTTimeMatchesBandwidth(t *testing.T) {
 		t.Fatalf("LUT %v not cheaper than float tanh %v", s.LUTTime(elems), s.TanhTime(elems))
 	}
 }
+
+func TestPopcountGEMMTime(t *testing.T) {
+	s := MobileI5()
+	if got := s.PopcountGEMMTime(0, 1024, 26); got != 0 {
+		t.Fatalf("zero rows priced %v", got)
+	}
+	// Compute-bound regime: the word-op count over BitOpsPerSec, plus
+	// dispatch. 64 rows x 26 classes x 160 words at 2.5e9 ops/s.
+	m, dim, k := 64, 10000, 26
+	words := (dim + 63) / 64
+	ops := float64(m*k*words)
+	want := s.DispatchOverhead + time.Duration(ops/s.BitOpsPerSec*float64(time.Second))
+	if got := s.PopcountGEMMTime(m, dim, k); got != want {
+		t.Fatalf("PopcountGEMMTime = %v, want %v", got, want)
+	}
+	// The packed similarity must undercut the int8 GEMM it replaces by a
+	// wide margin at HDC shapes — that ratio is the point of the backend.
+	int8 := s.Int8GEMMTime(m, dim, k)
+	if got := s.PopcountGEMMTime(m, dim, k); got >= int8/4 {
+		t.Fatalf("popcount %v not well under int8 GEMM %v", got, int8)
+	}
+	// Partial tail words round up: dim 65 prices as 2 words.
+	if a, b := s.PopcountGEMMTime(1, 65, 2), s.PopcountGEMMTime(1, 128, 2); a != b {
+		t.Fatalf("dim 65 priced %v, dim 128 %v; tail word must round up", a, b)
+	}
+}
+
+func TestPopcountGEMMTimeFallbackRate(t *testing.T) {
+	// A spec without a calibrated BitOpsPerSec derives one from GEMMFLOPS
+	// rather than dividing by zero.
+	s := MobileI5()
+	s.BitOpsPerSec = 0
+	got := s.PopcountGEMMTime(16, 1024, 26)
+	if got <= s.DispatchOverhead {
+		t.Fatalf("fallback pricing %v lost the compute term", got)
+	}
+	s.BitOpsPerSec = s.GEMMFLOPS / 16
+	if want := s.PopcountGEMMTime(16, 1024, 26); got != want {
+		t.Fatalf("fallback %v != explicit GEMMFLOPS/16 rate %v", got, want)
+	}
+}
+
+func TestSignPackTime(t *testing.T) {
+	s := MobileI5()
+	if got := s.SignPackTime(0); got != 0 {
+		t.Fatalf("zero elements priced %v", got)
+	}
+	want := time.Duration(4.125 * 16384 / s.StreamBytesPerSec * float64(time.Second))
+	if got := s.SignPackTime(16384); got != want {
+		t.Fatalf("SignPackTime = %v, want %v", got, want)
+	}
+	// Fused into the encode pass: no dispatch overhead of its own.
+	if got := s.SignPackTime(1); got >= s.DispatchOverhead {
+		t.Fatalf("SignPackTime(1) = %v includes a dispatch term", got)
+	}
+}

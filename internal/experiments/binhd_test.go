@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestBinHDAcceptanceBars pins the binary-HDC backend's paper bar at the
+// headline dimension: at d=1024 the bit-packed path must serve at least 5x
+// faster per sample (wall clock) than the int8 interpreter path, while
+// giving up at most 2 accuracy points on held-out data. Accuracy on both
+// paths is deterministic (seeded data, seeded training, exact kernels);
+// the wall ratio is best-of-reps on both sides, and the measured margin
+// (~6.7x) leaves headroom over the bar.
+func TestBinHDAcceptanceBars(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("timing bar under the race detector's slowdown; conformance covers binhd under race")
+	}
+	cfg := Config{Seed: 7}
+	train, test, err := binHDSplit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := BinHDCell(cfg, train, test, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("d=%d: int8 %.1f%% @ %dns/sample, bin %.1f%% @ %dns/sample, speedup %.2fx wall %.2fx sim",
+		pt.Dim, pt.Int8Acc*100, pt.Int8WallNs, pt.BinAcc*100, pt.BinWallNs, pt.SpeedupWall, pt.SpeedupSim)
+	if pt.SpeedupWall < 5 {
+		t.Errorf("wall speedup %.2fx under the 5x bar (int8 %d ns/sample, bin %d)",
+			pt.SpeedupWall, pt.Int8WallNs, pt.BinWallNs)
+	}
+	if pt.SpeedupSim < 5 {
+		t.Errorf("simulated speedup %.2fx under 5x", pt.SpeedupSim)
+	}
+	if gap := pt.Int8Acc - pt.BinAcc; gap > 0.02 {
+		t.Errorf("bipolar path gives up %.1f points (int8 %.1f%%, bin %.1f%%), bar is 2",
+			gap*100, pt.Int8Acc*100, pt.BinAcc*100)
+	}
+	// Both paths must actually work on the task, or the gap bar is vacuous.
+	if pt.Int8Acc < 0.9 || pt.BinAcc < 0.9 {
+		t.Errorf("accuracy collapsed: int8 %.3f, bin %.3f", pt.Int8Acc, pt.BinAcc)
+	}
+}

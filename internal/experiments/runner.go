@@ -14,6 +14,7 @@ var AllExperiments = []string{
 	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
 	"ablation-scaleout", "ablation-faults", "ablation-overload", "ablation-batching",
 	"ablation-fleet", "ablation-chaos", "ablation-seu",
+	"ablation-binhd",
 	"table-variance",
 }
 
@@ -194,6 +195,12 @@ func RunOne(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		RenderAblationBinary(w, rows)
+	case "ablation-binhd":
+		res, err := AblationBinHD(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationBinHD(w, res)
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, AllExperiments)
 	}

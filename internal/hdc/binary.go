@@ -2,8 +2,10 @@ package hdc
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"math/bits"
@@ -35,6 +37,11 @@ type BipolarModel struct {
 // wordsPerVector returns the packed length for dim elements.
 func wordsPerVector(dim int) int { return (dim + 63) / 64 }
 
+// WordsPerVector returns how many uint64 words a dim-element hypervector
+// packs into: ceil(dim/64). Exported for execution backends that lay out
+// packed buffers themselves (internal/backend/binhd).
+func WordsPerVector(dim int) int { return wordsPerVector(dim) }
+
 // Binarize converts the trained model to bipolar form.
 func (m *Model) Binarize() *BipolarModel {
 	d := m.Dim()
@@ -52,12 +59,34 @@ func (m *Model) Binarize() *BipolarModel {
 // packSigns packs sign(x) of every element into bits (1 for positive).
 func packSigns(xs []float32) []uint64 {
 	words := make([]uint64, wordsPerVector(len(xs)))
-	for i, v := range xs {
-		if v > 0 {
-			words[i/64] |= 1 << uint(i%64)
-		}
-	}
+	PackSignsInto(words, xs)
 	return words
+}
+
+// PackSignsInto packs sign(x) of every element of xs into dst (bit 1 for
+// positive, 0 otherwise; zeros threshold to −1). dst must hold
+// WordsPerVector(len(xs)) words; every dst word is fully rewritten,
+// including unused high bits of the tail word, which are cleared. The word
+// loop builds each word in a register before one store, so the serving
+// fast path can pack without a read-modify-write per element.
+func PackSignsInto(dst []uint64, xs []float32) {
+	if len(dst) < wordsPerVector(len(xs)) {
+		panic(fmt.Sprintf("hdc: PackSignsInto dst %d words, need %d", len(dst), wordsPerVector(len(xs))))
+	}
+	j := 0
+	for wi := 0; wi < wordsPerVector(len(xs)); wi++ {
+		var w uint64
+		hi := j + 64
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		for bit := 0; j < hi; j, bit = j+1, bit+1 {
+			if xs[j] > 0 {
+				w |= 1 << uint(bit)
+			}
+		}
+		dst[wi] = w
+	}
 }
 
 // K returns the class count.
@@ -80,6 +109,12 @@ func hammingAgreement(a, b []uint64, dim int) int {
 	}
 	return agree
 }
+
+// HammingAgreement counts positions where two packed hypervectors agree
+// over the first dim elements. Stray bits above dim in the tail word are
+// masked out, so vectors packed from different scratch buffers compare
+// equal whenever their first dim signs do.
+func HammingAgreement(a, b []uint64, dim int) int { return hammingAgreement(a, b, dim) }
 
 // ClassifyPacked returns the class whose packed hypervector agrees with
 // the packed query in the most positions.
@@ -116,14 +151,16 @@ func (bm *BipolarModel) PredictBatch(x *tensor.Tensor) []int {
 // Save writes the bipolar model (packed classes plus the float encoder it
 // shares with the source model) in a compact binary format: magic "HDB1",
 // nonlinear u8, n u32, d u32, k u32, base [n*d]f32, packed class words
-// [k * ceil(d/64)]u64.
+// [k * ceil(d/64)]u64, sealed by the same "HCRC" CRC32 integrity footer
+// the float container uses (see save.go).
 func (bm *BipolarModel) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
-	w.WriteString("HDB1")
+	h := crc32.NewIEEE()
+	w := bufio.NewWriter(io.MultiWriter(f, h))
+	w.WriteString(bipolarMagic)
 	if bm.Encoder.Nonlinear {
 		w.WriteByte(1)
 	} else {
@@ -151,22 +188,45 @@ func (bm *BipolarModel) Save(path string) error {
 		f.Close()
 		return fmt.Errorf("hdc: writing %s: %w", path, err)
 	}
+	var footer [crcFooterLen]byte
+	copy(footer[:4], crcMagic)
+	binary.LittleEndian.PutUint32(footer[4:], h.Sum32())
+	if _, err := f.Write(footer[:]); err != nil {
+		f.Close()
+		return err
+	}
 	return f.Close()
 }
 
-// LoadBipolarModel reads a model written by BipolarModel.Save.
+// bipolarMagic marks a BipolarModel container.
+const bipolarMagic = "HDB1"
+
+// LoadBipolarModel reads a model written by BipolarModel.Save. A trailing
+// "HCRC" footer is verified against the payload (mismatch yields
+// *ChecksumError) and stripped; footerless files from before the checksum
+// existed are parsed as-is. The header dims bound every allocation — the
+// payload must hold exactly n·d base floats plus k·ceil(d/64) packed
+// words, and any bytes left over after the model are an error.
 func LoadBipolarModel(path string) (*BipolarModel, error) {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
+	payload := raw
+	if len(raw) >= crcFooterLen && string(raw[len(raw)-crcFooterLen:len(raw)-4]) == crcMagic {
+		want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+		payload = raw[:len(raw)-crcFooterLen]
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, &ChecksumError{Path: path, Want: want, Got: got}
+		}
+	}
+	src := bytes.NewReader(payload)
+	r := bufio.NewReader(src)
 	var mg [4]byte
 	if _, err := io.ReadFull(r, mg[:]); err != nil {
 		return nil, err
 	}
-	if string(mg[:]) != "HDB1" {
+	if string(mg[:]) != bipolarMagic {
 		return nil, fmt.Errorf("hdc: bad bipolar magic %q in %s", mg, path)
 	}
 	nl, err := r.ReadByte()
@@ -195,6 +255,17 @@ func LoadBipolarModel(path string) (*BipolarModel, error) {
 	if n == 0 || d == 0 || k < 2 || n > 1<<20 || d > 1<<24 || k > 1<<16 {
 		return nil, fmt.Errorf("hdc: implausible bipolar dims n=%d d=%d k=%d", n, d, k)
 	}
+	// Validate the payload length against the header before allocating:
+	// a truncated or padded file fails here with exact numbers instead of
+	// allocating n·d floats and failing mid-parse (or worse, accepting
+	// trailing garbage).
+	const headerLen = len(bipolarMagic) + 1 + 3*4
+	wpv := wordsPerVector(int(d))
+	wantBody := 4*int64(n)*int64(d) + 8*int64(k)*int64(wpv)
+	if gotBody := int64(len(payload)) - int64(headerLen); gotBody != wantBody {
+		return nil, fmt.Errorf("hdc: bipolar payload %d bytes in %s, want %d for n=%d d=%d k=%d",
+			gotBody, path, wantBody, n, d, k)
+	}
 	base := tensor.New(tensor.Float32, int(n), int(d))
 	for i := range base.F32 {
 		bits, err := getU32()
@@ -209,7 +280,6 @@ func LoadBipolarModel(path string) (*BipolarModel, error) {
 		Words:   make([][]uint64, k),
 	}
 	var b8 [8]byte
-	wpv := wordsPerVector(int(d))
 	for c := range bm.Words {
 		bm.Words[c] = make([]uint64, wpv)
 		for wdx := range bm.Words[c] {
@@ -218,6 +288,9 @@ func LoadBipolarModel(path string) (*BipolarModel, error) {
 			}
 			bm.Words[c][wdx] = binary.LittleEndian.Uint64(b8[:])
 		}
+	}
+	if rest := src.Len() + r.Buffered(); rest != 0 {
+		return nil, fmt.Errorf("hdc: %d trailing bytes after bipolar model in %s", rest, path)
 	}
 	return bm, nil
 }

@@ -1,6 +1,8 @@
 package hdc
 
 import (
+	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -157,4 +159,251 @@ func TestLoadBipolarRejectsGarbage(t *testing.T) {
 	if _, err := LoadBipolarModel(path); err == nil {
 		t.Fatal("garbage accepted")
 	}
+}
+
+// trainedBipolar builds a small deterministic bipolar model for the
+// container tests.
+func trainedBipolar(t testing.TB, dim int) *BipolarModel {
+	t.Helper()
+	train, _ := synthTrainTest(t, 12, 400, 3, 703)
+	m, _, err := Train(train, nil, TrainConfig{Dim: dim, Epochs: 2, LearningRate: 1, Nonlinear: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Binarize()
+}
+
+// TestBipolarSaveFooter covers the integrity seal end to end: a saved file
+// carries the "HCRC" footer, corruption anywhere in the payload or footer
+// is a *ChecksumError, a legacy footerless blob still loads, and trailing
+// bytes after either form are rejected.
+func TestBipolarSaveFooter(t *testing.T) {
+	bm := trainedBipolar(t, 192)
+	dir := t.TempDir()
+	sealed := filepath.Join(dir, "model.hdb")
+	if err := bm.Save(sealed); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[len(raw)-8:len(raw)-4]) != "HCRC" {
+		t.Fatalf("saved bipolar file lacks the HCRC integrity footer")
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantCRC bool // expect *ChecksumError specifically
+		wantErr bool
+	}{
+		{"intact", func(b []byte) []byte { return b }, false, false},
+		{"legacy-footerless", func(b []byte) []byte { return b[:len(b)-8] }, false, false},
+		{"payload-flip", func(b []byte) []byte { b[9] ^= 0x40; return b }, true, true},
+		{"footer-flip", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, true, true},
+		{"trailing-after-footer", func(b []byte) []byte { return append(b, 0xEE) }, false, true},
+		{"trailing-after-legacy", func(b []byte) []byte { return append(b[:len(b)-8], 0xEE, 0xEE) }, false, true},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-64] }, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := append([]byte(nil), raw...)
+			path := filepath.Join(dir, tc.name+".hdb")
+			if err := os.WriteFile(path, tc.mutate(buf), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadBipolarModel(path)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("corrupted/padded file accepted")
+				}
+				var ce *ChecksumError
+				if tc.wantCRC && !errors.As(err, &ce) {
+					t.Fatalf("error %v (%T) is not a *ChecksumError", err, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Dim != bm.Dim || got.K() != bm.K() {
+				t.Fatal("round trip changed dims")
+			}
+			for c := range bm.Words {
+				for w := range bm.Words[c] {
+					if got.Words[c][w] != bm.Words[c][w] {
+						t.Fatalf("class %d word %d changed in round trip", c, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLoadBipolarRejectsLengthMismatch: the words-per-vector payload check
+// fires before any n·d allocation happens, with exact numbers in the error.
+func TestLoadBipolarRejectsLengthMismatch(t *testing.T) {
+	bm := trainedBipolar(t, 128)
+	path := filepath.Join(t.TempDir(), "model.hdb")
+	if err := bm.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := raw[:len(raw)-8] // drop the footer so only the length check can fire
+	for _, cut := range []int{1, 7, 8, 64} {
+		bad := filepath.Join(t.TempDir(), "cut.hdb")
+		if err := os.WriteFile(bad, legacy[:len(legacy)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBipolarModel(bad); err == nil {
+			t.Fatalf("payload short by %d bytes accepted", cut)
+		}
+	}
+	// A header that advertises a huge model over a tiny payload must be
+	// rejected by the length check, not attempted.
+	head := append([]byte(nil), legacy[:17]...)
+	binary.LittleEndian.PutUint32(head[5:9], 1<<20)   // n
+	binary.LittleEndian.PutUint32(head[9:13], 1<<24)  // d
+	binary.LittleEndian.PutUint32(head[13:17], 1<<16) // k
+	huge := filepath.Join(t.TempDir(), "huge.hdb")
+	if err := os.WriteFile(huge, head, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBipolarModel(huge); err == nil {
+		t.Fatal("huge-header tiny-payload file accepted")
+	}
+}
+
+// TestPackSignsTailWord: when Dim % 64 != 0, stray high bits in the last
+// word must never change similarity — PackSignsInto clears them, and
+// hammingAgreement masks them even if a caller left them set.
+func TestPackSignsTailWord(t *testing.T) {
+	for _, dim := range []int{1, 63, 65, 100, 130, 191} {
+		xs := make([]float32, dim)
+		r := rng.New(uint64(dim))
+		for i := range xs {
+			xs[i] = float32(r.Uint64()%512)/256 - 1
+		}
+		packed := packSigns(xs)
+		words := wordsPerVector(dim)
+		if rem := dim % 64; rem != 0 {
+			if hi := packed[words-1] >> uint(rem); hi != 0 {
+				t.Fatalf("dim %d: PackSignsInto left stray high bits %b", dim, hi)
+			}
+		}
+		// Setting every unused high bit must not change agreement against
+		// any other vector.
+		dirty := append([]uint64(nil), packed...)
+		if rem := dim % 64; rem != 0 {
+			dirty[words-1] |= ^(uint64(1)<<uint(rem) - 1)
+		}
+		other := packSigns(xs[:dim]) // self-comparison plus a shifted variant
+		if a, b := hammingAgreement(packed, other, dim), hammingAgreement(dirty, other, dim); a != b {
+			t.Fatalf("dim %d: stray tail bits changed agreement %d -> %d", dim, a, b)
+		}
+		if got := hammingAgreement(dirty, dirty, dim); got != dim {
+			t.Fatalf("dim %d: dirty self-agreement %d", dim, got)
+		}
+	}
+}
+
+// TestBipolarPackedVsFloatPredict: across random models (including
+// non-multiple-of-64 dims), classifying the packed encoding must agree
+// with sign-thresholding the float encoding — Predict is the packed path,
+// and the reference below recomputes it from first principles.
+func TestBipolarPackedVsFloatPredict(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + int(r.Uint64()%12)
+		d := 65 + int(r.Uint64()%200)
+		k := 2 + int(r.Uint64()%5)
+		enc := NewEncoder(n, d, trial%2 == 0, rng.New(uint64(100+trial)))
+		m := NewModel(enc, k)
+		for i := range m.Classes.F32 {
+			m.Classes.F32[i] = float32(r.Uint64()%512)/256 - 1
+		}
+		bm := m.Binarize()
+		x := make([]float32, n)
+		for probe := 0; probe < 20; probe++ {
+			for i := range x {
+				x[i] = float32(r.Uint64()%512)/256 - 1
+			}
+			// Reference: float encode, sign to ±1, count sign agreements
+			// against the float class rows directly.
+			e := make([]float32, d)
+			enc.Encode(e, x)
+			best, bestAgree := 0, -1
+			for c := 0; c < k; c++ {
+				row := m.Classes.Row(c)
+				agree := 0
+				for j := 0; j < d; j++ {
+					if (e[j] > 0) == (row[j] > 0) {
+						agree++
+					}
+				}
+				if agree > bestAgree {
+					best, bestAgree = c, agree
+				}
+			}
+			if got := bm.Predict(x); got != best {
+				t.Fatalf("trial %d probe %d (n=%d d=%d k=%d): packed Predict %d, float reference %d",
+					trial, probe, n, d, k, got, best)
+			}
+		}
+	}
+}
+
+// FuzzLoadBipolarModel: arbitrary bytes must either parse into a model
+// that saves and reloads identically, or fail cleanly — never panic or
+// over-allocate on a lying header.
+func FuzzLoadBipolarModel(f *testing.F) {
+	dir := f.TempDir()
+	seedModel := func(dim int) []byte {
+		train, _ := synthTrainTest(f, 8, 120, 3, 704)
+		m, _, err := Train(train, nil, TrainConfig{Dim: dim, Epochs: 1, LearningRate: 1, Nonlinear: true, Seed: 5})
+		if err != nil {
+			f.Fatal(err)
+		}
+		path := filepath.Join(dir, "seed.hdb")
+		if err := m.Binarize().Save(path); err != nil {
+			f.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}
+	sealed := seedModel(96)
+	f.Add(sealed)
+	f.Add(sealed[:len(sealed)-8]) // legacy footerless
+	f.Add(sealed[:9])
+	f.Add([]byte("HDB1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.hdb")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		bm, err := LoadBipolarModel(path)
+		if err != nil {
+			return
+		}
+		// Anything that parses must re-save and reload bit-identically.
+		again := filepath.Join(t.TempDir(), "again.hdb")
+		if err := bm.Save(again); err != nil {
+			t.Fatalf("parsed model fails to save: %v", err)
+		}
+		back, err := LoadBipolarModel(again)
+		if err != nil {
+			t.Fatalf("re-saved model fails to load: %v", err)
+		}
+		if back.Dim != bm.Dim || back.K() != bm.K() {
+			t.Fatal("round trip changed dims")
+		}
+	})
 }

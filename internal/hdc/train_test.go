@@ -10,7 +10,7 @@ import (
 	"hdcedge/internal/tensor"
 )
 
-func synthTrainTest(t *testing.T, features, samples, classes int, seed uint64) (*dataset.Dataset, *dataset.Dataset) {
+func synthTrainTest(t testing.TB, features, samples, classes int, seed uint64) (*dataset.Dataset, *dataset.Dataset) {
 	t.Helper()
 	ds, err := dataset.Generate(dataset.SyntheticSpec(features, samples, classes, seed), 0)
 	if err != nil {

@@ -10,8 +10,10 @@ import (
 	"testing"
 	"time"
 
+	"hdcedge/internal/backend/binhd"
 	"hdcedge/internal/dataset"
 	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/hdc"
 	"hdcedge/internal/pipeline"
 	"hdcedge/internal/tensor"
 )
@@ -161,6 +163,140 @@ func measureFleetBench(t *testing.T, p pipeline.Platform, cm *edgetpu.CompiledMo
 	return row
 }
 
+// binhdBenchRow is one engine's cost at the binhd comparison shape.
+type binhdBenchRow struct {
+	Backend         string  `json:"backend"` // "int8" (interpreter graph) or "bin"
+	WallNsPerInvoke int64   `json:"wall_ns_per_invoke"`
+	WallNsPerSample int64   `json:"wall_ns_per_sample"`
+	SimUsPerSample  float64 `json:"sim_us_per_sample"`
+	AllocsPerInvoke int64   `json:"allocs_per_invoke"`
+}
+
+// binhdBench is the binary-HDC section of BENCH_serve.json: the int8
+// reference path and the bit-packed binhd backend at the same trained
+// model and batch, with the headline wall-clock speedup.
+type binhdBench struct {
+	Note        string          `json:"note"`
+	Features    int             `json:"features"`
+	Dim         int             `json:"dim"`
+	Classes     int             `json:"classes"`
+	Capacity    int             `json:"batch_capacity"`
+	Rows        []binhdBenchRow `json:"rows"`
+	SpeedupWall float64         `json:"speedup_wall"` // int8 wall-ns-per-sample / bin
+}
+
+// measureBinHDBench benchmarks full-batch invokes of the int8 graph and
+// the binhd backend over one trained model at the comparison shape
+// (n=16 features, d=1024, k=26 — where the packed similarity scan
+// dominates the int8 class GEMM).
+func measureBinHDBench(t *testing.T) binhdBench {
+	t.Helper()
+	const (
+		n, d, k  = 16, 1024, 26
+		capacity = 16
+	)
+	ds, err := dataset.Generate(dataset.SyntheticSpec(n, 256, k, 7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := hdc.Train(ds, nil, hdc.TrainConfig{
+		Dim: d, Epochs: 3, LearningRate: 1, Nonlinear: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pipeline.EdgeTPU()
+	cm, err := pipeline.CompileInference(p, model, ds, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := pipeline.DefaultRecoveryPolicy()
+	fill := benchFill(ds.X, capacity)
+
+	measure := func(backendName string, invoke func() (time.Duration, error)) binhdBenchRow {
+		sim, err := invoke()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := invoke(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return binhdBenchRow{
+			Backend:         backendName,
+			WallNsPerInvoke: res.NsPerOp(),
+			WallNsPerSample: res.NsPerOp() / capacity,
+			SimUsPerSample:  float64(sim) / float64(time.Microsecond) / capacity,
+			AllocsPerInvoke: res.AllocsPerOp(),
+		}
+	}
+
+	int8Runner, err := pipeline.NewResilientRunner(p, cm, edgetpu.FaultPlan{}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8Row := measure("int8", func() (time.Duration, error) {
+		tm, err := int8Runner.InvokeBatch(capacity, fill)
+		return tm.Total(), err
+	})
+
+	bin, err := binhd.New(p.Host, model.Binarize(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binRunner, err := pipeline.WrapBackends(bin, nil, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binRow := measure("bin", func() (time.Duration, error) {
+		tm, err := binRunner.InvokeBatch(capacity, fill)
+		return tm.Total(), err
+	})
+
+	return binhdBench{
+		Note:        "int8 graph vs bit-packed binary HDC, full-batch invoke; regenerate with `make bench-binhd`",
+		Features:    n,
+		Dim:         d,
+		Classes:     k,
+		Capacity:    capacity,
+		Rows:        []binhdBenchRow{int8Row, binRow},
+		SpeedupWall: float64(int8Row.WallNsPerSample) / float64(binRow.WallNsPerSample),
+	}
+}
+
+// TestWriteBinHDBench refreshes only the "binhd" section of the JSON file
+// named by BENCH_BINHD_OUT, preserving every other section in place
+// (skipped when unset). `make bench-binhd` drives it.
+func TestWriteBinHDBench(t *testing.T) {
+	out := os.Getenv("BENCH_BINHD_OUT")
+	if out == "" {
+		t.Skip("BENCH_BINHD_OUT not set; run via `make bench-binhd`")
+	}
+	doc := map[string]json.RawMessage{}
+	if buf, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			t.Fatalf("existing %s is not a JSON object: %v", out, err)
+		}
+	}
+	section, err := json.Marshal(measureBinHDBench(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc["binhd"] = section
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
 // TestWriteServeBench renders the micro-batching benchmark to the JSON file
 // named by BENCH_SERVE_OUT (skipped when unset). `make bench-serve` drives it.
 func TestWriteServeBench(t *testing.T) {
@@ -202,12 +338,14 @@ func TestWriteServeBench(t *testing.T) {
 		Capacity int             `json:"batch_capacity"`
 		Rows     []serveBenchRow `json:"rows"`
 		Fleet    serveFleetBench `json:"fleet"`
+		BinHD    binhdBench      `json:"binhd"`
 	}{
 		Note:     "micro-batched invoke cost; regenerate with `make bench-serve`",
 		Model:    cm.Model.Name,
 		Capacity: cm.BatchCapacity(),
 		Rows:     rowsOut,
 		Fleet:    measureFleetBench(t, p, cm, ds),
+		BinHD:    measureBinHDBench(t),
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -18,9 +18,11 @@ import (
 	"time"
 
 	"hdcedge/internal/backend"
+	"hdcedge/internal/backend/binhd"
 	"hdcedge/internal/backend/hostcpu"
 	"hdcedge/internal/backend/tpu"
 	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/hdc"
 	"hdcedge/internal/integrity"
 	"hdcedge/internal/metrics"
 	"hdcedge/internal/pipeline"
@@ -28,9 +30,15 @@ import (
 )
 
 // FleetSpec lists the backend class of each worker in dispatch order, e.g.
-// {"tpu", "tpu", "cpu", "cpu"}. Supported classes are tpu.Name ("tpu") and
-// hostcpu.Name ("cpu").
+// {"tpu", "tpu", "cpu", "cpu"}. Supported classes are tpu.Name ("tpu"),
+// hostcpu.Name ("cpu"), and binhd.Name ("bin" — the bit-packed binary HDC
+// engine, which requires Config.Bipolar).
 type FleetSpec []string
+
+// knownFleetClass reports whether kind names a servable backend class.
+func knownFleetClass(kind string) bool {
+	return kind == tpu.Name || kind == hostcpu.Name || kind == binhd.Name
+}
 
 // FleetError reports a rejected fleet spec: which segment of which spec was
 // bad and why. Segment is empty for spec-level faults (an empty spec).
@@ -77,9 +85,9 @@ func ParseFleet(spec string) (FleetSpec, error) {
 			}
 			count = n
 		}
-		if kind != tpu.Name && kind != hostcpu.Name {
+		if !knownFleetClass(kind) {
 			return nil, &FleetError{Spec: spec, Segment: trimmed,
-				Reason: fmt.Sprintf("unknown backend class %q (have %q, %q)", kind, tpu.Name, hostcpu.Name)}
+				Reason: fmt.Sprintf("unknown backend class %q (have %q, %q, %q)", kind, tpu.Name, hostcpu.Name, binhd.Name)}
 		}
 		if seen[kind] {
 			return nil, &FleetError{Spec: spec, Segment: trimmed,
@@ -188,6 +196,13 @@ type Config struct {
 	// Zero means DefaultTraceDepth; negative disables tracing.
 	TraceDepth int
 
+	// Bipolar is the sign-quantized model binary-HDC ("bin") workers
+	// serve. Required when Fleet contains binhd.Name; ignored otherwise.
+	// It must share the float encoder of the compiled model so a
+	// bin-served answer comes from the same trained classifier, just in
+	// its bit-packed deployment form.
+	Bipolar *hdc.BipolarModel
+
 	// Integrity, when non-nil and enabled, arms the silent-data-corruption
 	// defense: each worker periodically scrubs its device-resident
 	// parameters against golden checksums and runs canary known-answer
@@ -222,8 +237,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative BatchWindow %v", c.BatchWindow)
 	}
 	for i, kind := range c.Fleet {
-		if kind != tpu.Name && kind != hostcpu.Name {
+		if !knownFleetClass(kind) {
 			return fmt.Errorf("serve: fleet worker %d has unknown backend class %q", i, kind)
+		}
+		if kind == binhd.Name && c.Bipolar == nil {
+			return fmt.Errorf("serve: fleet worker %d is %q but Config.Bipolar is nil", i, binhd.Name)
 		}
 	}
 	if len(c.Fleet) > 0 && c.Devices > 0 && c.Devices != len(c.Fleet) {
@@ -507,7 +525,8 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 		}
 		var r *pipeline.ResilientRunner
 		var err error
-		if fleet[i] == hostcpu.Name {
+		switch fleet[i] {
+		case hostcpu.Name:
 			// Host-CPU workers run the interpreter as their primary engine
 			// with no degraded mode; fault plans are accelerator-only and do
 			// not apply.
@@ -515,7 +534,16 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 			if prim, err = hostcpu.New(p.Host, cm.Model); err == nil {
 				r, err = pipeline.WrapBackends(prim, nil, policy)
 			}
-		} else {
+		case binhd.Name:
+			// Binary-HDC workers serve the bit-packed model on host silicon
+			// at the compiled batch capacity, so row coalescing and the
+			// MaxBatch validation hold fleet-wide. Like hostcpu they cannot
+			// fault and have no degraded mode.
+			var prim *binhd.Backend
+			if prim, err = binhd.New(p.Host, cfg.Bipolar, cm.BatchCapacity()); err == nil {
+				r, err = pipeline.WrapBackends(prim, nil, policy)
+			}
+		default:
 			r, err = pipeline.NewResilientRunner(p, cm, plan, policy)
 		}
 		if err != nil {
@@ -533,10 +561,14 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 			id: i, name: fleet[i], runner: r,
 			stats: workerStats{Latency: metrics.NewHistogram()},
 		}
-		if cfg.Integrity.Enabled() {
+		if cfg.Integrity.Enabled() && fleet[i] != binhd.Name {
 			// A device-backed worker scrubs and repairs its hardware; a
 			// host-CPU worker has no device SRAM to scrub, so it runs
-			// canary-only with a ladder starting at reload.
+			// canary-only with a ladder starting at reload. Binary-HDC
+			// workers opt out entirely: the golden canary answers come from
+			// the quantized graph, which the sign-quantized model does not
+			// reproduce bit-for-bit, so canaries would misfire on a healthy
+			// worker (and there is no device state to scrub or repair).
 			var target integrity.Target
 			if dev := r.Device(); dev != nil {
 				target = dev
