@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke chaos-smoke seu-smoke binhd-smoke bench bench-serve bench-binhd experiments examples clean
+.PHONY: all build test vet race fuzz-smoke chaos-smoke seu-smoke binhd-smoke tenant-smoke bench bench-serve bench-binhd experiments examples clean
 
 all: vet test
 
@@ -36,6 +36,7 @@ test:
 	@$(MAKE) chaos-smoke
 	@$(MAKE) seu-smoke
 	@$(MAKE) binhd-smoke
+	@$(MAKE) tenant-smoke
 	@$(MAKE) fuzz-smoke
 
 race:
@@ -66,6 +67,16 @@ binhd-smoke:
 	$(GO) test -race -count=1 -run 'BinHD' ./internal/backend/conformance/
 	$(GO) test -race -count=1 \
 		-run 'TestParseFleetBin|TestBinFleetRequiresBipolar|TestServeMixedBinFleet|TestServeBinBatched|TestServeBinOnlyFleetNeedsNoAccel' \
+		./internal/serve/
+
+# The multi-tenant/multi-model serving layer under the race detector: the
+# weighted-fair scheduler's share and priority math, tenant quota sheds and
+# snapshot monotonicity under concurrent load, registry dispatch with swap
+# billing, hot swap, and the determinism of LRU eviction (two identical
+# runs must produce identical event logs). Fast enough for every `make test`.
+tenant-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestSchedulerWeightedFairShares|TestSchedulerStrictPriority|TestServeTenantQuotaShed|TestServeTenantSnapshotMonotone|TestServeMultiModelDispatchAndSwapBilling|TestServeHotSwapInvalidatesBind|TestServeEvictionDeterministic|TestServeRegistrySingleModelBitIdentical' \
 		./internal/serve/
 
 # A short fuzzing pass over every Fuzz target in the tree (FUZZTIME each),

@@ -8,6 +8,8 @@
 //	          [-queue 8] [-deadline 250ms]
 //	          [-drain 2s] [-requests 400] [-load 2.0] [-pace 4ms]
 //	          [-batch 1] [-window 0] [-pace-scale 0]
+//	          [-models "main;wide=d1024"] [-mem-budget 0] [-mem-policy lru]
+//	          [-tenants "prod=w4,p1,q64,d50ms;batch=w1"]
 //	          [-faults "link=0.05"] [-fault-seed 1] [-seed 7]
 //	          [-scrub-interval 0] [-canary 0] [-canary-interval 25ms]
 //	          [-listen :8080]
@@ -38,6 +40,19 @@
 // re-upload → model reload → device reset → quarantine); the report gains
 // the integrity accounting and any repair events. See docs/integrity.md.
 //
+// With -models, the run is multi-model: one classifier is trained and
+// compiled per ';'-separated spec entry (at its own d<dim> when given, the
+// -dim default otherwise), all registered in a model registry; requests
+// round-robin across the models, each worker's on-chip parameter memory is
+// simulated against -mem-budget bytes (0 = the device's own 8 MiB), and a
+// request whose model is not resident pays its deterministic re-setup under
+// the -mem-policy eviction discipline ("lru" or "pin" — pin-first-touch,
+// the static baseline). With -tenants, admission is multi-tenant: requests
+// round-robin across the configured tenants and dispatch follows strict
+// priority plus weighted-fair queuing with per-tenant quotas and deadlines.
+// The report gains per-tenant, per-model, and per-device-memory sections.
+// See docs/multitenant.md.
+//
 // With -nodes > 1 (or -chaos / -hedge), the run goes through the routing
 // tier instead: -nodes identical servers behind a health-checked
 // least-loaded router with failover, optional hedged requests (-hedge),
@@ -62,6 +77,7 @@ import (
 	"hdcedge/internal/hdc"
 	"hdcedge/internal/integrity"
 	"hdcedge/internal/pipeline"
+	"hdcedge/internal/registry"
 	"hdcedge/internal/router"
 	"hdcedge/internal/serve"
 	"hdcedge/internal/tensor"
@@ -102,15 +118,27 @@ type options struct {
 	hedgeSpec string
 	probe     time.Duration
 
+	modelSpec  string
+	tenantSpec string
+	memBudget  int
+	memPolicy  string
+
 	scrubInterval  time.Duration
 	canaryCount    int
 	canaryInterval time.Duration
 
 	// Parsed by validate.
-	fleet serve.FleetSpec
-	plan  edgetpu.FaultPlan
-	chaos map[int]router.ChaosPlan
-	hedge router.HedgeConfig
+	fleet   serve.FleetSpec
+	plan    edgetpu.FaultPlan
+	chaos   map[int]router.ChaosPlan
+	hedge   router.HedgeConfig
+	models  []serve.ModelSpec
+	tenants []serve.TenantSpec
+	policy  registry.EvictPolicy
+
+	// Built in main when -models is set: one trained+compiled classifier
+	// per spec entry, behind its registry ID.
+	registry *registry.Registry
 
 	// Built in main once the model is compiled (canaries need golden
 	// answers recorded through the real graph).
@@ -224,6 +252,34 @@ func (o *options) validate() error {
 		}
 		o.hedge = router.HedgeConfig{Enabled: true, Delay: d}
 	}
+	if o.modelSpec != "" {
+		models, err := serve.ParseModels(o.modelSpec)
+		if err != nil {
+			return &flagError{"models", err.Error()}
+		}
+		o.models = models
+	}
+	if o.tenantSpec != "" {
+		tenants, err := serve.ParseTenants(o.tenantSpec)
+		if err != nil {
+			return &flagError{"tenants", err.Error()}
+		}
+		o.tenants = tenants
+	}
+	if o.memBudget < 0 {
+		return &flagError{"mem-budget", fmt.Sprintf("must be non-negative (0 = device default), got %d", o.memBudget)}
+	}
+	switch o.memPolicy {
+	case "", "lru":
+		o.policy = registry.EvictLRU
+	case "pin":
+		o.policy = registry.PinFirst
+	default:
+		return &flagError{"mem-policy", fmt.Sprintf("want \"lru\" or \"pin\", got %q", o.memPolicy)}
+	}
+	if (o.memBudget > 0 || o.memPolicy != "") && len(o.models) == 0 {
+		return &flagError{"mem-budget", "device-memory simulation needs -models"}
+	}
 	return nil
 }
 
@@ -240,6 +296,10 @@ func (o *options) config() serve.Config {
 		BatchWindow:     o.window,
 		Integrity:       o.integrity,
 		Bipolar:         o.bipolar,
+		Registry:        o.registry,
+		MemBudget:       o.memBudget,
+		MemPolicy:       o.policy,
+		Tenants:         o.tenants,
 	}
 	if len(o.fleet) > 0 {
 		cfg.Fleet = o.fleet
@@ -247,6 +307,20 @@ func (o *options) config() serve.Config {
 		cfg.Devices = o.devices
 	}
 	return cfg
+}
+
+// annotate round-robins request i across the configured tenants and models,
+// so every tenant offers an equal share of the load and every model stays
+// warm in the registry.
+func (o *options) annotate(i int) serve.Request {
+	var req serve.Request
+	if len(o.tenants) > 0 {
+		req.Tenant = o.tenants[i%len(o.tenants)].Name
+	}
+	if len(o.models) > 0 {
+		req.Model = o.models[i%len(o.models)].Name
+	}
+	return req
 }
 
 // workers returns the fleet size the options describe.
@@ -282,6 +356,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.chaosSpec, "chaos", "", "node-grade chaos plans, e.g. \"0:crash,1:slow=8\"")
 	fs.StringVar(&o.hedgeSpec, "hedge", "", "hedged requests: \"adaptive\" (p99-tracking delay) or a fixed delay like \"12ms\"")
 	fs.DurationVar(&o.probe, "probe", 25*time.Millisecond, "router health-probe interval (0 = no probing)")
+	fs.StringVar(&o.modelSpec, "models", "", "multi-model registry, e.g. \"main;wide=d1024\" (one trained model per entry)")
+	fs.StringVar(&o.tenantSpec, "tenants", "", "multi-tenant admission, e.g. \"prod=w4,p1,q64,d50ms;batch=w1\"")
+	fs.IntVar(&o.memBudget, "mem-budget", 0, "per-device on-chip parameter-memory budget in bytes (0 = device default; needs -models)")
+	fs.StringVar(&o.memPolicy, "mem-policy", "", "eviction policy under memory pressure: \"lru\" (default) or \"pin\" (pin-first-touch baseline)")
 	fs.DurationVar(&o.scrubInterval, "scrub-interval", 0, "device-parameter scrub interval (0 = no scrubbing)")
 	fs.IntVar(&o.canaryCount, "canary", 0, "known-answer canary rows per worker (0 = no canaries)")
 	fs.DurationVar(&o.canaryInterval, "canary-interval", 25*time.Millisecond, "canary check interval (needs -canary > 0)")
@@ -303,25 +381,59 @@ func main() {
 	if err != nil {
 		fail(err.Error())
 	}
-	model, _, err := hdc.Train(ds, nil, hdc.TrainConfig{
-		Dim: o.dim, Epochs: o.epochs, LearningRate: 1, Nonlinear: true, Seed: o.seed,
-	})
-	if err != nil {
-		fail(err.Error())
+	hasBin := false
+	for _, kind := range o.fleet {
+		hasBin = hasBin || kind == binhd.Name
 	}
 	p := pipeline.EdgeTPU()
-	cm, err := pipeline.CompileInference(p, model, ds, o.batch)
-	if err != nil {
-		fail(err.Error())
+	var cm *edgetpu.CompiledModel
+	if len(o.models) > 0 {
+		// One classifier per spec entry, each at its own dimension and a
+		// distinct training seed, registered behind its name. The first
+		// entry is the default model; integrity canaries answer against it.
+		o.registry = registry.New()
+		for i, ms := range o.models {
+			dim := ms.Dim
+			if dim == 0 {
+				dim = o.dim
+			}
+			m, _, err := hdc.Train(ds, nil, hdc.TrainConfig{
+				Dim: dim, Epochs: o.epochs, LearningRate: 1, Nonlinear: true, Seed: o.seed + uint64(i),
+			})
+			if err != nil {
+				fail(err.Error())
+			}
+			cmi, err := pipeline.CompileInference(p, m, ds, o.batch)
+			if err != nil {
+				fail(err.Error())
+			}
+			var bip *hdc.BipolarModel
+			if hasBin {
+				bip = m.Binarize()
+			}
+			if _, err := o.registry.Register(ms.Name, cmi, bip); err != nil {
+				fail(err.Error())
+			}
+			if cm == nil {
+				cm = cmi
+			}
+		}
+	} else {
+		model, _, err := hdc.Train(ds, nil, hdc.TrainConfig{
+			Dim: o.dim, Epochs: o.epochs, LearningRate: 1, Nonlinear: true, Seed: o.seed,
+		})
+		if err != nil {
+			fail(err.Error())
+		}
+		if cm, err = pipeline.CompileInference(p, model, ds, o.batch); err != nil {
+			fail(err.Error())
+		}
+		if hasBin {
+			o.bipolar = model.Binarize()
+		}
 	}
 	if o.integrity, err = buildIntegrity(o, cm, ds); err != nil {
 		fail(err.Error())
-	}
-	for _, kind := range o.fleet {
-		if kind == binhd.Name {
-			o.bipolar = model.Binarize()
-			break
-		}
 	}
 	if o.routed() {
 		runRouted(o, p, cm, ds)
@@ -360,14 +472,16 @@ func main() {
 			time.Sleep(d)
 		}
 		row := i % ds.Samples()
+		req := o.annotate(i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			// Sheds and deadline misses are expected under overload; the
 			// final report accounts for every outcome.
-			s.Do(context.Background(), func(in *tensor.Tensor) {
+			req.Fill = func(in *tensor.Tensor) {
 				copy(in.F32, ds.X.F32[row*n:(row+1)*n])
-			}, nil)
+			}
+			s.Submit(context.Background(), req)
 		}()
 	}
 	wg.Wait()
@@ -388,6 +502,24 @@ func main() {
 			b.Name, float64(b.Requests)/elapsed.Seconds(), b.Workers,
 			b.Latency.Quantile(0.5).Round(time.Microsecond),
 			b.Latency.Quantile(0.99).Round(time.Microsecond))
+	}
+	for _, t := range rep.Tenants {
+		fmt.Printf("  tenant %s: %.0f req/s goodput, e2e p50=%s p99=%s\n",
+			t.Name, float64(t.Completed)/elapsed.Seconds(),
+			t.Latency.Quantile(0.5).Round(time.Microsecond),
+			t.Latency.Quantile(0.99).Round(time.Microsecond))
+	}
+	if evs := s.RegistryEvents(); len(evs) > 0 {
+		hits, misses := 0, 0
+		for _, e := range evs {
+			switch e.Kind {
+			case registry.EvHit:
+				hits++
+			case registry.EvMiss:
+				misses++
+			}
+		}
+		fmt.Printf("  parameter memory: %d hits, %d misses over the retained event window\n", hits, misses)
 	}
 	if evs := s.IntegrityEvents(); len(evs) > 0 {
 		fmt.Println("integrity events:")
@@ -498,12 +630,14 @@ func runRouted(o *options, p pipeline.Platform, cm *edgetpu.CompiledModel, ds *d
 			time.Sleep(d)
 		}
 		row := i % ds.Samples()
+		req := o.annotate(i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			// Sheds, deadline misses, and chaos-induced failures are all
 			// tolerated outcomes; the router report accounts for each.
-			r.Do(context.Background(), rowFill(row), nil)
+			req.Fill = rowFill(row)
+			r.Submit(context.Background(), req)
 		}()
 	}
 	wg.Wait()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hdcedge/internal/integrity"
+	"hdcedge/internal/registry"
 	"hdcedge/internal/router"
 )
 
@@ -70,6 +71,13 @@ func TestValidateRejections(t *testing.T) {
 		{"bad hedge spec", func(o *options) { o.hedgeSpec = "soon" }, "hedge"},
 		{"negative hedge delay", func(o *options) { o.hedgeSpec = "-5ms" }, "hedge"},
 		{"listen behind router", func(o *options) { o.nodes = 4; o.listen = ":8080" }, "listen"},
+		{"bad model spec", func(o *options) { o.modelSpec = "a;;b" }, "models"},
+		{"bad model dim", func(o *options) { o.modelSpec = "a=d0" }, "models"},
+		{"bad tenant spec", func(o *options) { o.tenantSpec = "a=w0" }, "tenants"},
+		{"duplicate tenant", func(o *options) { o.tenantSpec = "a;a" }, "tenants"},
+		{"negative mem budget", func(o *options) { o.modelSpec = "a;b"; o.memBudget = -1 }, "mem-budget"},
+		{"mem budget without models", func(o *options) { o.memBudget = 1 << 20 }, "mem-budget"},
+		{"unknown mem policy", func(o *options) { o.modelSpec = "a;b"; o.memPolicy = "fifo" }, "mem-policy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -176,6 +184,41 @@ func TestValidateIntegrityFlags(t *testing.T) {
 	o.canaryInterval = 0
 	if err := o.validate(); err != nil {
 		t.Fatalf("zero canary-interval with no canaries rejected: %v", err)
+	}
+}
+
+// TestValidateParsesTenancyFlags checks the happy path for -models,
+// -tenants, -mem-budget and -mem-policy, and that annotate round-robins
+// requests across both axes.
+func TestValidateParsesTenancyFlags(t *testing.T) {
+	o := validOptions()
+	o.modelSpec = "main;wide=d1024"
+	o.tenantSpec = "prod=w4,p1,q64,d50ms;batch"
+	o.memBudget = 4 << 20
+	o.memPolicy = "pin"
+	if err := o.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if len(o.models) != 2 || o.models[1].Dim != 1024 {
+		t.Fatalf("parsed models %+v", o.models)
+	}
+	if len(o.tenants) != 2 || o.tenants[0].Weight != 4 || o.tenants[0].Priority != 1 ||
+		o.tenants[0].Quota != 64 || o.tenants[0].Deadline != 50*time.Millisecond {
+		t.Fatalf("parsed tenants %+v", o.tenants)
+	}
+	if o.policy != registry.PinFirst {
+		t.Fatalf("mem policy %v, want pin-first", o.policy)
+	}
+	cfg := o.config()
+	if cfg.MemBudget != 4<<20 || cfg.MemPolicy != registry.PinFirst || len(cfg.Tenants) != 2 {
+		t.Fatalf("config lost tenancy values: %+v", cfg)
+	}
+	// annotate round-robins both axes independently.
+	r0, r1, r2 := o.annotate(0), o.annotate(1), o.annotate(2)
+	if r0.Tenant != "prod" || r0.Model != "main" ||
+		r1.Tenant != "batch" || r1.Model != "wide" ||
+		r2.Tenant != "prod" || r2.Model != "main" {
+		t.Fatalf("annotate sequence %+v %+v %+v", r0, r1, r2)
 	}
 }
 

@@ -102,6 +102,12 @@ func DefaultPCIe() Config {
 	return c
 }
 
+// TransferTime returns the cost of moving n bytes across the host link:
+// one bulk-transfer latency plus the bandwidth term. It is the roofline
+// the model registry prices re-setup with (model blob download + parameter
+// upload) when a swapped-out model must be brought back on-chip.
+func (c Config) TransferTime(n int) time.Duration { return c.transferTime(n) }
+
 // transferTime returns the cost of moving n bytes across the host link.
 // Zero-byte transfers are free (no bulk transfer is issued).
 func (c Config) transferTime(n int) time.Duration {

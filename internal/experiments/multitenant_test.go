@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMultiTenantAcceptanceBars pins the two tenancy claims:
+//
+//   - Isolation: the prod tenant's p99 under a 4x batch flood stays within
+//     20% of its p99 running alone (strict priority + quotas), while the
+//     fair-share cell shows the flood costing prod roughly half its
+//     completions.
+//   - Parameter memory: LRU eviction delivers at least 1.3x the pin-first
+//     goodput when the working set is twice the on-chip budget and the hot
+//     set rotates.
+//
+// Both bars are wall-clock, so the test skips under the race detector; the
+// scheduler and eviction machinery themselves are race-tested in
+// internal/serve (tenant-smoke runs the deterministic eviction and
+// snapshot-monotonicity tests under -race).
+func TestMultiTenantAcceptanceBars(t *testing.T) {
+	skipLongUnderRace(t)
+	res, err := AblationMultiTenant(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderAblationMultiTenant(&buf, res)
+	t.Logf("\n%s", buf.String())
+	if !strings.Contains(buf.String(), "priority+quota") {
+		t.Error("render omits the isolation cells")
+	}
+
+	if len(res.Isolation) != 3 || len(res.Memory) != 2 {
+		t.Fatalf("unexpected shape: %d isolation cells, %d memory cells",
+			len(res.Isolation), len(res.Memory))
+	}
+	alone, guarded, fair := res.Isolation[0], res.Isolation[1], res.Isolation[2]
+
+	// The alone cell must actually be overloaded — prod's own quota-bounded
+	// queueing is what the flood is measured against.
+	if alone.ProdShed == 0 {
+		t.Errorf("alone cell shed nothing; prod is not past capacity (%+v)", alone)
+	}
+	if res.P99Degradation > 1.20 {
+		t.Errorf("prod p99 degraded %.2fx under the flood (alone %v, flooded %v), bar is 1.20x",
+			res.P99Degradation, alone.ProdP99, guarded.ProdP99)
+	}
+	// Priority must also protect prod's completions, not just its tail.
+	if guarded.ProdCompleted < alone.ProdCompleted*9/10 {
+		t.Errorf("flood cost prod completions under priority: %d alone vs %d flooded",
+			alone.ProdCompleted, guarded.ProdCompleted)
+	}
+	// The fair-share cell is the contrast: without the priority edge the
+	// flood claims roughly half the capacity prod was using.
+	if fair.ProdCompleted >= alone.ProdCompleted*3/4 {
+		t.Errorf("fair-share cell shows no contention: prod completed %d of %d alone",
+			fair.ProdCompleted, alone.ProdCompleted)
+	}
+	if fair.BatchCompleted <= guarded.BatchCompleted {
+		t.Errorf("flood gained nothing from losing priority: %d fair vs %d guarded batch completions",
+			fair.BatchCompleted, guarded.BatchCompleted)
+	}
+
+	lru, pin := res.Memory[0], res.Memory[1]
+	if lru.Completed != lru.Requests || pin.Completed != pin.Requests {
+		t.Fatalf("closed-loop cells dropped work: lru %d/%d, pin %d/%d",
+			lru.Completed, lru.Requests, pin.Completed, pin.Requests)
+	}
+	// Pin-first must be paying for the rotated hot set, and LRU must be
+	// evicting rather than pinning — otherwise the goodput bar is vacuous.
+	if pin.Misses <= lru.Misses {
+		t.Errorf("pin-first missed %d times, LRU %d; rotation is not stressing the pin set",
+			pin.Misses, lru.Misses)
+	}
+	if lru.Evictions == 0 {
+		t.Error("LRU cell never evicted; budget is not below the working set")
+	}
+	if pin.Evictions != 0 {
+		t.Errorf("pin-first cell evicted %d times", pin.Evictions)
+	}
+	if res.GoodputRatio < 1.3 {
+		t.Errorf("LRU goodput %.0f/s is only %.2fx pin-first %.0f/s, bar is 1.30x",
+			lru.Goodput, res.GoodputRatio, pin.Goodput)
+	}
+}

@@ -14,7 +14,7 @@ var AllExperiments = []string{
 	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
 	"ablation-scaleout", "ablation-faults", "ablation-overload", "ablation-batching",
 	"ablation-fleet", "ablation-chaos", "ablation-seu",
-	"ablation-binhd",
+	"ablation-binhd", "ablation-multitenant",
 	"table-variance",
 }
 
@@ -201,6 +201,12 @@ func RunOne(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		RenderAblationBinHD(w, res)
+	case "ablation-multitenant":
+		res, err := AblationMultiTenant(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationMultiTenant(w, res)
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, AllExperiments)
 	}

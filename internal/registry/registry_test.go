@@ -1,0 +1,255 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+
+	"hdcedge/internal/dataset"
+	"hdcedge/internal/edgetpu"
+	"hdcedge/internal/hdc"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/pipeline"
+)
+
+// testModel compiles a small HDC classifier at the given dimension.
+func testModel(t *testing.T, dim int, seed uint64) *edgetpu.CompiledModel {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.SyntheticSpec(16, 60, 3, 7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := hdc.Train(ds, nil, hdc.TrainConfig{
+		Dim: dim, Epochs: 1, LearningRate: 1, Nonlinear: true, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := pipeline.CompileInference(pipeline.EdgeTPU(), model, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestRegisterComputesFootprintAndSetup(t *testing.T) {
+	g := New()
+	cm := testModel(t, 256, 1)
+	e, err := g.Register("a", cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cm.MemoryMap().Used; e.Footprint != want {
+		t.Fatalf("footprint %d != memory-map used %d", e.Footprint, want)
+	}
+	if e.Footprint < cm.ParamBytes {
+		t.Fatalf("aligned footprint %d below raw param bytes %d", e.Footprint, cm.ParamBytes)
+	}
+	want := cm.Config.TransferTime(e.BlobBytes) + cm.Config.TransferTime(e.Footprint)
+	if e.Setup != want {
+		t.Fatalf("setup %v != transfer roofline %v", e.Setup, want)
+	}
+	if e.Setup <= 0 {
+		t.Fatal("setup cost must be positive")
+	}
+	if _, err := g.Register("a", cm, nil); err == nil {
+		t.Fatal("duplicate register must fail")
+	}
+	if _, err := g.Register("", cm, nil); err == nil {
+		t.Fatal("empty ID must fail")
+	}
+	if got := g.IDs(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("IDs %v", got)
+	}
+}
+
+func TestSwapBumpsVersionAndInvalidatesResidency(t *testing.T) {
+	g := New()
+	cm := testModel(t, 256, 1)
+	e1, err := g.Register("a", cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := g.NewDeviceMemory(0, e1.Footprint*2, EvictLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm := mem.Acquire(e1); adm.Hit {
+		t.Fatal("first touch must miss")
+	}
+	if adm := mem.Acquire(e1); !adm.Hit {
+		t.Fatal("second touch must hit")
+	}
+	e2, err := g.Swap("a", testModel(t, 256, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Version != e1.Version+1 {
+		t.Fatalf("swap version %d, want %d", e2.Version, e1.Version+1)
+	}
+	adm := mem.Acquire(e2)
+	if adm.Hit {
+		t.Fatal("swapped model must miss: stale parameters are invalid")
+	}
+	if !adm.Resident {
+		t.Fatal("swapped model should re-load resident")
+	}
+	if _, err := g.Swap("nope", cm, nil); err == nil {
+		t.Fatal("swap of unregistered ID must fail")
+	}
+}
+
+// lruScenario drives a fixed arrival order through a fresh registry +
+// device memory and returns the event log and stats.
+func lruScenario(t *testing.T, policy EvictPolicy, reg *metrics.Registry) ([]Event, MemStats) {
+	t.Helper()
+	g := New()
+	var entries []*Entry
+	for _, id := range []string{"a", "b", "c"} {
+		e, err := g.Register(id, testModel(t, 256, 1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	// Budget holds exactly two of the three same-sized models.
+	mem, err := g.NewDeviceMemory(0, entries[0].Footprint*2, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != nil {
+		mem.Instrument(reg, `worker="0"`)
+	}
+	// a b a c a b: classic LRU exercise.
+	for _, i := range []int{0, 1, 0, 2, 0, 1} {
+		mem.Acquire(entries[i])
+	}
+	return mem.Events(), mem.Stats()
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	evs, st := lruScenario(t, EvictLRU, nil)
+	// a miss, b miss, a hit, (evict b) c miss, a hit, (evict c) b miss.
+	var kinds []EventKind
+	var models []string
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind)
+		models = append(models, e.Model)
+	}
+	wantKinds := []EventKind{EvMiss, EvMiss, EvHit, EvEvict, EvMiss, EvHit, EvEvict, EvMiss}
+	wantModels := []string{"a", "b", "a", "b", "c", "a", "c", "b"}
+	if !reflect.DeepEqual(kinds, wantKinds) || !reflect.DeepEqual(models, wantModels) {
+		t.Fatalf("event stream %v %v, want %v %v", kinds, models, wantKinds, wantModels)
+	}
+	if st.Hits != 2 || st.Misses != 4 || st.Evictions != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Seq must be strictly increasing (total order).
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not increasing at %d: %v", i, evs)
+		}
+	}
+}
+
+func TestPinFirstNeverEvicts(t *testing.T) {
+	evs, st := lruScenario(t, PinFirst, nil)
+	// a and b pin; c streams on every access and evicts nobody.
+	for _, e := range evs {
+		if e.Kind == EvEvict {
+			t.Fatalf("pin-first evicted %s: %v", e.Model, evs)
+		}
+		if e.Model == "c" && e.Resident {
+			t.Fatalf("pin-first made c resident: %v", evs)
+		}
+	}
+	if st.Evictions != 0 || st.Hits != 3 || st.Misses != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestEvictionDeterministic: the same arrival order yields bit-identical
+// event sequences and re-setup billing, run to run. Runs under -race via
+// make tenant-smoke.
+func TestEvictionDeterministic(t *testing.T) {
+	reg1 := metrics.NewRegistry()
+	evs1, st1 := lruScenario(t, EvictLRU, reg1)
+	evs2, st2 := lruScenario(t, EvictLRU, metrics.NewRegistry())
+	if !reflect.DeepEqual(evs1, evs2) {
+		t.Fatalf("event sequences diverge:\n%v\n%v", evs1, evs2)
+	}
+	if st1 != st2 {
+		t.Fatalf("billing diverges: %+v vs %+v", st1, st2)
+	}
+	if st1.SwapTime <= 0 {
+		t.Fatal("no re-setup billed")
+	}
+	snap := reg1.Snapshot()
+	if n := snap.Counters[`hdc_registry_misses_total{worker="0"}`]; n != int64(st1.Misses) {
+		t.Fatalf("instrumented misses %d != stats %d", n, st1.Misses)
+	}
+	if n := snap.Counters[`hdc_registry_swap_ns_total{worker="0"}`]; n != int64(st1.SwapTime) {
+		t.Fatalf("instrumented swap ns %d != stats %v", n, st1.SwapTime)
+	}
+}
+
+func TestOversizedModelStreams(t *testing.T) {
+	g := New()
+	e, err := g.Register("big", testModel(t, 1024, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := g.NewDeviceMemory(0, e.Footprint/2, EvictLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		adm := mem.Acquire(e)
+		if adm.Hit || adm.Resident || adm.Setup != e.Setup {
+			t.Fatalf("touch %d: oversized model should stream: %+v", i, adm)
+		}
+	}
+	if st := mem.Stats(); st.Misses != 2 || st.Used != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPreloadSkipsBilling(t *testing.T) {
+	g := New()
+	e, err := g.Register("a", testModel(t, 256, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := g.NewDeviceMemory(0, e.Footprint*2, EvictLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.Preload(e)
+	if evs := mem.Events(); len(evs) != 0 {
+		t.Fatalf("preload emitted events: %v", evs)
+	}
+	if adm := mem.Acquire(e); !adm.Hit {
+		t.Fatal("preloaded model must hit")
+	}
+	if st := mem.Stats(); st.Misses != 0 || st.SwapTime != 0 {
+		t.Fatalf("preload billed: %+v", st)
+	}
+}
+
+func TestGoldenSharedAcrossCalls(t *testing.T) {
+	g := New()
+	e, err := g.Register("a", testModel(t, 256, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := e.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := e.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 || g1 == nil {
+		t.Fatal("golden must be computed once and shared")
+	}
+}

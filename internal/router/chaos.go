@@ -245,8 +245,14 @@ func (c *ChaosNode) active() bool {
 
 // Do implements serve.Node with the plan's failure interposed.
 func (c *ChaosNode) Do(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor)) (serve.Result, error) {
+	return c.Submit(ctx, serve.Request{Fill: fill, Consume: consume})
+}
+
+// Submit implements serve.Node with the plan's failure interposed; the
+// request's tenancy annotations pass through to the wrapped node untouched.
+func (c *ChaosNode) Submit(ctx context.Context, req serve.Request) (serve.Result, error) {
 	if !c.active() {
-		return c.inner.Do(ctx, fill, consume)
+		return c.inner.Submit(ctx, req)
 	}
 	switch c.plan.Mode {
 	case ChaosCrash:
@@ -273,7 +279,7 @@ func (c *ChaosNode) Do(ctx context.Context, fill func(in *tensor.Tensor), consum
 		}
 	case ChaosSlow:
 		start := time.Now()
-		res, err := c.inner.Do(ctx, fill, consume)
+		res, err := c.inner.Submit(ctx, req)
 		extra := time.Duration(float64(time.Since(start)) * (c.plan.Factor - 1))
 		// The result is already delivered (consume ran inside the inner
 		// call); the gray-slowness is purely wall-clock, stalling the
@@ -285,7 +291,7 @@ func (c *ChaosNode) Do(ctx context.Context, fill func(in *tensor.Tensor), consum
 		res.Latency += extra
 		return res, err
 	}
-	return c.inner.Do(ctx, fill, consume)
+	return c.inner.Submit(ctx, req)
 }
 
 // Health passes through: chaos failures are deliberately invisible to

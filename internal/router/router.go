@@ -249,10 +249,18 @@ func (r *Router) pick(tried []bool) *nodeSlot {
 }
 
 // Do submits one request through the routing tier and blocks until it
-// settles. Exactly one outcome counter is incremented per call, whatever
-// combination of failover and hedge attempts served it — the router-level
-// accounting never double-counts a request.
+// settles — the legacy tenant-less entry point.
 func (r *Router) Do(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor)) (serve.Result, error) {
+	return r.Submit(ctx, serve.Request{Fill: fill, Consume: consume})
+}
+
+// Submit routes one annotated request and blocks until it settles. The
+// tenant and model annotations travel with the request through failover and
+// hedging — every attempt, on whichever node, runs under the same tenancy.
+// Exactly one outcome counter is incremented per call, whatever combination
+// of failover and hedge attempts served it — the router-level accounting
+// never double-counts a request.
+func (r *Router) Submit(ctx context.Context, req serve.Request) (serve.Result, error) {
 	r.met.submitted.Inc()
 	if r.draining.Load() {
 		err := &serve.ShedError{Cause: serve.ShedDraining}
@@ -264,9 +272,9 @@ func (r *Router) Do(ctx context.Context, fill func(in *tensor.Tensor), consume f
 	var err error
 	tried := make([]bool, len(r.nodes))
 	if r.cfg.Hedge.Enabled && len(r.nodes) > 1 {
-		res, err = r.routeHedged(ctx, fill, consume, tried)
+		res, err = r.routeHedged(ctx, req, tried)
 	} else {
-		res, err = r.routeSync(ctx, fill, consume, tried, false)
+		res, err = r.routeSync(ctx, req, tried, false)
 	}
 	r.account(err, time.Since(start))
 	return res, err
@@ -294,7 +302,7 @@ func (r *Router) account(err error, lat time.Duration) {
 // node error (with the caller's context still alive) fail over to the
 // next-best untried node. failedBefore marks whether a prior attempt
 // already failed, so the first pick here counts as a failover.
-func (r *Router) routeSync(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor), tried []bool, failedBefore bool) (serve.Result, error) {
+func (r *Router) routeSync(ctx context.Context, req serve.Request, tried []bool, failedBefore bool) (serve.Result, error) {
 	var lastRes serve.Result
 	var lastErr error
 	for {
@@ -310,7 +318,7 @@ func (r *Router) routeSync(ctx context.Context, fill func(in *tensor.Tensor), co
 		}
 		tried[n.id] = true
 		n.inflight.Add(1)
-		res, err := n.node.Do(ctx, fill, consume)
+		res, err := n.node.Submit(ctx, req)
 		n.inflight.Add(-1)
 		if err == nil {
 			return res, nil
@@ -356,12 +364,13 @@ func (r *Router) hedgeDelay() time.Duration {
 // as wasted hedge work. consume runs exactly once however many attempts
 // complete. If every launched attempt fails while the caller's context is
 // alive, the remaining nodes are tried synchronously.
-func (r *Router) routeHedged(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor), tried []bool) (serve.Result, error) {
+func (r *Router) routeHedged(ctx context.Context, req serve.Request, tried []bool) (serve.Result, error) {
 	actx, acancel := context.WithCancel(ctx)
 	defer acancel()
 
 	var cmu sync.Mutex
 	consumed := false
+	consume := req.Consume
 	gated := func(out *tensor.Tensor) {
 		cmu.Lock()
 		defer cmu.Unlock()
@@ -373,13 +382,15 @@ func (r *Router) routeHedged(ctx context.Context, fill func(in *tensor.Tensor), 
 			consume(out)
 		}
 	}
+	greq := req
+	greq.Consume = gated
 
 	results := make(chan hedgeAttempt, 2) // buffered: a loser never blocks
 	launch := func(n *nodeSlot, hedge bool) {
 		tried[n.id] = true
 		n.inflight.Add(1)
 		go func() {
-			res, err := n.node.Do(actx, fill, gated)
+			res, err := n.node.Submit(actx, greq)
 			n.inflight.Add(-1)
 			results <- hedgeAttempt{hedge: hedge, res: res, err: err}
 		}()
@@ -430,7 +441,7 @@ func (r *Router) routeHedged(ctx context.Context, fill func(in *tensor.Tensor), 
 			}
 			// Every launched attempt failed with the caller still waiting:
 			// fall back to synchronous failover over the untried nodes.
-			return r.routeSync(ctx, fill, gated, tried, true)
+			return r.routeSync(ctx, greq, tried, true)
 		}
 	}
 }

@@ -34,6 +34,10 @@ func newFakeNode(id int, script func(int64) (time.Duration, error)) *fakeNode {
 }
 
 func (f *fakeNode) Do(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor)) (serve.Result, error) {
+	return f.Submit(ctx, serve.Request{Fill: fill, Consume: consume})
+}
+
+func (f *fakeNode) Submit(ctx context.Context, req serve.Request) (serve.Result, error) {
 	call := f.calls.Add(1)
 	if f.drained.Load() {
 		return serve.Result{}, &serve.ShedError{Cause: serve.ShedDraining}
@@ -53,17 +57,17 @@ func (f *fakeNode) Do(ctx context.Context, fill func(in *tensor.Tensor), consume
 	if err != nil {
 		return serve.Result{}, err
 	}
-	if consume != nil {
+	if req.Consume != nil {
 		out := tensor.New(tensor.Int32, 1)
 		out.I32[0] = int32(f.id)
-		consume(out)
+		req.Consume(out)
 	}
 	f.served.Add(1)
-	return serve.Result{Device: f.id, Backend: "fake"}, nil
+	return serve.Result{Device: f.id, Backend: "fake", Tenant: req.Tenant, Model: req.Model}, nil
 }
 
-func (f *fakeNode) Health() serve.Health        { return f.health }
-func (f *fakeNode) Metrics() *metrics.Registry  { return f.reg }
+func (f *fakeNode) Health() serve.Health       { return f.health }
+func (f *fakeNode) Metrics() *metrics.Registry { return f.reg }
 func (f *fakeNode) Drain(ctx context.Context) error {
 	f.drained.Store(true)
 	return nil

@@ -163,6 +163,86 @@ func measureFleetBench(t *testing.T, p pipeline.Platform, cm *edgetpu.CompiledMo
 	return row
 }
 
+// serveTenantBenchRow is one tenant's share of the weighted-fair bench.
+type serveTenantBenchRow struct {
+	Tenant       string  `json:"tenant"`
+	Weight       int     `json:"weight"`
+	Completed    int     `json:"completed"`
+	Shed         int     `json:"shed"`
+	CompletedRPS float64 `json:"completed_rps"`
+	P99Us        int64   `json:"e2e_p99_us"`
+}
+
+// serveTenantBench is the multi-tenant throughput section of
+// BENCH_serve.json: two tenants of unequal weight saturating a small pool,
+// showing the weighted-fair scheduler's completion split.
+type serveTenantBench struct {
+	Note    string                `json:"note"`
+	Tenants []serveTenantBenchRow `json:"tenants"`
+}
+
+// measureTenantBench saturates two paced workers with an equal offered
+// stream from a weight-3 and a weight-1 tenant; the completion split is
+// the scheduler's work.
+func measureTenantBench(t *testing.T, p pipeline.Platform, cm *edgetpu.CompiledModel, ds *dataset.Dataset) serveTenantBench {
+	t.Helper()
+	const (
+		n       = 400 // per tenant
+		service = time.Millisecond
+	)
+	tenants := []TenantSpec{
+		{Name: "gold", Weight: 3, Quota: 8},
+		{Name: "bronze", Weight: 1, Quota: 8},
+	}
+	s, err := New(p, cm, Config{
+		Devices:       2,
+		DrainDeadline: 5 * time.Second,
+		PacePerInvoke: service,
+		Tenants:       tenants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interarrival := service / 8 // both tenants together offer 4x capacity
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2*n; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interarrival)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := tenants[i%2].Name
+			// Quota sheds are the point of the saturation.
+			s.Submit(context.Background(), Request{Tenant: tenant, Fill: benchFill(ds.X, 1)})
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Failed > 0 {
+		t.Fatalf("%d tenant-bench requests failed:\n%s", rep.Failed, rep)
+	}
+	bench := serveTenantBench{
+		Note: "equal offered load from unequal-weight tenants at 4x capacity; completion split is the WFQ share",
+	}
+	for _, ts := range rep.Tenants {
+		bench.Tenants = append(bench.Tenants, serveTenantBenchRow{
+			Tenant:       ts.Name,
+			Weight:       ts.Weight,
+			Completed:    ts.Completed,
+			Shed:         ts.Shed,
+			CompletedRPS: float64(ts.Completed) / elapsed.Seconds(),
+			P99Us:        ts.Latency.Quantile(0.99).Microseconds(),
+		})
+	}
+	return bench
+}
+
 // binhdBenchRow is one engine's cost at the binhd comparison shape.
 type binhdBenchRow struct {
 	Backend         string  `json:"backend"` // "int8" (interpreter graph) or "bin"
@@ -333,18 +413,20 @@ func TestWriteServeBench(t *testing.T) {
 		})
 	}
 	doc := struct {
-		Note     string          `json:"note"`
-		Model    string          `json:"model"`
-		Capacity int             `json:"batch_capacity"`
-		Rows     []serveBenchRow `json:"rows"`
-		Fleet    serveFleetBench `json:"fleet"`
-		BinHD    binhdBench      `json:"binhd"`
+		Note     string           `json:"note"`
+		Model    string           `json:"model"`
+		Capacity int              `json:"batch_capacity"`
+		Rows     []serveBenchRow  `json:"rows"`
+		Fleet    serveFleetBench  `json:"fleet"`
+		Tenants  serveTenantBench `json:"tenants"`
+		BinHD    binhdBench       `json:"binhd"`
 	}{
 		Note:     "micro-batched invoke cost; regenerate with `make bench-serve`",
 		Model:    cm.Model.Name,
 		Capacity: cm.BatchCapacity(),
 		Rows:     rowsOut,
 		Fleet:    measureFleetBench(t, p, cm, ds),
+		Tenants:  measureTenantBench(t, p, cm, ds),
 		BinHD:    measureBinHDBench(t),
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")

@@ -19,10 +19,15 @@ import (
 // Every endpoint reads from snapshots that are safe while workers are
 // mid-invoke; hitting them never blocks the serving path.
 
-// snapshotJSON is the /snapshot response body.
+// snapshotJSON is the /snapshot response body. Tenants and Models are
+// omitted in legacy (single-tenant, single-model) mode, keeping the legacy
+// body byte-identical; the per-tenant hdc_tenant_* counters flow through
+// Counters/Histograms with their {tenant="..."} labels.
 type snapshotJSON struct {
 	Health     string                              `json:"health"`
 	Fleet      string                              `json:"fleet"`
+	Tenants    []string                            `json:"tenants,omitempty"`
+	Models     []string                            `json:"models,omitempty"`
 	Counters   map[string]int64                    `json:"counters"`
 	Gauges     map[string]int64                    `json:"gauges"`
 	Histograms map[string]metrics.HistogramSummary `json:"histograms"`
@@ -44,6 +49,12 @@ func (s *Server) Handler() http.Handler {
 			Counters:   snap.Counters,
 			Gauges:     snap.Gauges,
 			Histograms: make(map[string]metrics.HistogramSummary, len(snap.Histograms)),
+		}
+		for _, t := range s.cfg.Tenants {
+			body.Tenants = append(body.Tenants, t.Name)
+		}
+		if s.cfg.Registry != nil {
+			body.Models = s.cfg.Registry.IDs()
 		}
 		for name, h := range snap.Histograms {
 			body.Histograms[name] = h.Summary()

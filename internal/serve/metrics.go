@@ -24,6 +24,7 @@ type serveMetrics struct {
 	completed        *metrics.Counter
 	shedQueueFull    *metrics.Counter
 	shedDraining     *metrics.Counter
+	shedTenantQuota  *metrics.Counter
 	deadlineExceeded *metrics.Counter
 	cancelled        *metrics.Counter
 	drainForced      *metrics.Counter
@@ -50,6 +51,7 @@ func newServeMetrics(reg *metrics.Registry) *serveMetrics {
 		completed:        reg.Counter("hdc_serve_completed_total"),
 		shedQueueFull:    reg.Counter(`hdc_serve_shed_total{cause="queue_full"}`),
 		shedDraining:     reg.Counter(`hdc_serve_shed_total{cause="draining"}`),
+		shedTenantQuota:  reg.Counter(`hdc_serve_shed_total{cause="tenant_quota"}`),
 		deadlineExceeded: reg.Counter("hdc_serve_deadline_exceeded_total"),
 		cancelled:        reg.Counter("hdc_serve_cancelled_total"),
 		drainForced:      reg.Counter("hdc_serve_drain_forced_total"),
@@ -76,6 +78,7 @@ func (m *serveMetrics) counters() counters {
 		Completed:        int(m.completed.Value()),
 		ShedQueueFull:    int(m.shedQueueFull.Value()),
 		ShedDraining:     int(m.shedDraining.Value()),
+		ShedTenantQuota:  int(m.shedTenantQuota.Value()),
 		DeadlineExceeded: int(m.deadlineExceeded.Value()),
 		Cancelled:        int(m.cancelled.Value()),
 		DrainForced:      int(m.drainForced.Value()),

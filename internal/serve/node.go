@@ -21,6 +21,11 @@ type Node interface {
 	// output tensor before the worker reuses it.
 	Do(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor)) (Result, error)
 
+	// Submit is Do with tenancy: the request carries its tenant and model
+	// annotations. Submit(ctx, Request{Fill: f, Consume: c}) is exactly
+	// Do(ctx, f, c).
+	Submit(ctx context.Context, req Request) (Result, error)
+
 	// Health is the node-derived health state (from the per-worker
 	// breakers), one of the snapshot signals a router's prober folds into
 	// its up/degraded/down decision.

@@ -8,6 +8,7 @@ import (
 	"hdcedge/internal/integrity"
 	"hdcedge/internal/metrics"
 	"hdcedge/internal/pipeline"
+	"hdcedge/internal/registry"
 )
 
 // BackendStats aggregates the workers of one backend class ("tpu", "cpu"):
@@ -38,6 +39,31 @@ func (b BackendStats) MeanOccupancy() float64 {
 	return float64(b.Rows) / float64(b.Invokes)
 }
 
+// TenantStats is one tenant's admission and completion breakdown; present
+// only when the server is configured with tenants.
+type TenantStats struct {
+	Name           string
+	Priority       int
+	Weight         int
+	Admitted       int
+	Shed           int // all causes: draining, queue-full, tenant quota
+	Completed      int
+	DeadlineMissed int
+	Latency        *metrics.Histogram // e2e latency of this tenant's completions
+}
+
+// ModelStats is one registered model's serving share; present only in
+// registry mode.
+type ModelStats struct {
+	ID        string
+	Version   int
+	Footprint int           // on-chip parameter-memory occupancy, bytes
+	Setup     time.Duration // per-miss re-setup price
+	Requests  int           // completed requests served under this model
+	Invokes   int           // successful engine invokes
+	Swap      time.Duration // total re-setup billed across the fleet
+}
+
 // ServeReport is a point-in-time snapshot of everything the server counted:
 // admission outcomes, completion latencies, the aggregated reliability work
 // across all workers, the per-backend-class breakdowns, and the derived
@@ -55,6 +81,39 @@ type ServeReport struct {
 	// corruptions, canaries, repair-ladder work); nil when the server runs
 	// without an integrity policy.
 	Integrity *integrity.Report
+
+	// Tenants breaks admission and completion down per tenant, in
+	// registration order; empty without Config.Tenants.
+	Tenants []TenantStats
+
+	// Models breaks the serving work down per registered model, in
+	// registration order; empty without Config.Registry.
+	Models []ModelStats
+
+	// Memory is each accelerated worker's simulated parameter-memory
+	// accounting (hits, misses, evictions, swap billed), in worker order;
+	// empty without Config.Registry.
+	Memory []registry.MemStats
+}
+
+// Tenant returns one tenant's stats by name.
+func (r ServeReport) Tenant(name string) (TenantStats, bool) {
+	for _, t := range r.Tenants {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TenantStats{}, false
+}
+
+// Model returns one model's stats by registry ID.
+func (r ServeReport) Model(id string) (ModelStats, bool) {
+	for _, m := range r.Models {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return ModelStats{}, false
 }
 
 // Backend returns the stats of one backend class by name, if the fleet has
@@ -69,7 +128,7 @@ func (r ServeReport) Backend(name string) (BackendStats, bool) {
 }
 
 // Shed returns the total requests refused at admission, by any cause.
-func (r ServeReport) Shed() int { return r.ShedQueueFull + r.ShedDraining }
+func (r ServeReport) Shed() int { return r.ShedQueueFull + r.ShedDraining + r.ShedTenantQuota }
 
 // MeanOccupancy returns the mean occupied rows per device invoke, or zero
 // before the first completed invoke.
@@ -90,8 +149,8 @@ func (r ServeReport) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "serve: %d submitted, %d admitted, %d completed (%d on host), health %s\n",
 		r.Submitted, r.Admitted, r.Completed, r.HostFallback, r.Health)
-	fmt.Fprintf(&sb, "  shed %d (%d queue-full, %d draining), %d deadline-exceeded, %d cancelled, %d drain-forced, %d failed\n",
-		r.Shed(), r.ShedQueueFull, r.ShedDraining, r.DeadlineExceeded, r.Cancelled, r.DrainForced, r.Failed)
+	fmt.Fprintf(&sb, "  shed %d (%d queue-full, %d draining, %d tenant-quota), %d deadline-exceeded, %d cancelled, %d drain-forced, %d failed\n",
+		r.Shed(), r.ShedQueueFull, r.ShedDraining, r.ShedTenantQuota, r.DeadlineExceeded, r.Cancelled, r.DrainForced, r.Failed)
 	fmt.Fprintf(&sb, "  queue depth max %d across %d worker(s) [%s]\n", r.MaxQueueDepth, r.Devices, r.Fleet)
 	fmt.Fprintf(&sb, "  e2e %s\n", r.Latency)
 	fmt.Fprintf(&sb, "  queue-wait n=%d p50=%s p99=%s max=%s\n",
@@ -106,6 +165,21 @@ func (r ServeReport) String() string {
 			b.Requests, b.Invokes, b.MeanOccupancy(), b.MaxRows,
 			metrics.FmtDur(b.SimTime), metrics.FmtDur(b.Busy),
 			metrics.FmtDur(b.Latency.Quantile(0.5)), metrics.FmtDur(b.Latency.Quantile(0.99)))
+	}
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&sb, "  tenant %s (p%d w%d): %d admitted, %d shed, %d completed, %d deadline-missed, e2e p50=%s p99=%s\n",
+			t.Name, t.Priority, t.Weight, t.Admitted, t.Shed, t.Completed, t.DeadlineMissed,
+			metrics.FmtDur(t.Latency.Quantile(0.5)), metrics.FmtDur(t.Latency.Quantile(0.99)))
+	}
+	for _, m := range r.Models {
+		fmt.Fprintf(&sb, "  model %s@v%d: %d requests via %d invokes, footprint %dB, setup %s, swap billed %s\n",
+			m.ID, m.Version, m.Requests, m.Invokes, m.Footprint,
+			metrics.FmtDur(m.Setup), metrics.FmtDur(m.Swap))
+	}
+	for _, ms := range r.Memory {
+		fmt.Fprintf(&sb, "  device %d memory: %d/%d bytes, %d resident, %d hits, %d misses, %d evictions, swap %s\n",
+			ms.Device, ms.Used, ms.Budget, ms.Resident, ms.Hits, ms.Misses, ms.Evictions,
+			metrics.FmtDur(ms.SwapTime))
 	}
 	if g := r.Integrity; g != nil {
 		fmt.Fprintf(&sb, "  integrity: %d scrubs (%d corruptions), %d canary runs (%d failures), %d incidents (%d repaired), repairs %d reupload / %d reload / %d reset / %d quarantine, repair sim %s",

@@ -26,6 +26,7 @@ import (
 	"hdcedge/internal/integrity"
 	"hdcedge/internal/metrics"
 	"hdcedge/internal/pipeline"
+	"hdcedge/internal/registry"
 	"hdcedge/internal/tensor"
 )
 
@@ -209,8 +210,40 @@ type Config struct {
 	// checks through the real invoke path, self-healing through the repair
 	// ladder (segment re-upload → model reload → device reset →
 	// quarantine). Nil or disabled leaves the serving path bit-identical
-	// to a server without integrity support.
+	// to a server without integrity support. In registry mode the policy's
+	// canaries answer against the default model only; other models run
+	// scrub-only unless their registry entry carries its own policy.
 	Integrity *integrity.Policy
+
+	// Registry, when non-nil, makes the server multi-model: requests may
+	// name any registered model, workers bind models lazily by consulting
+	// the registry, and each accelerated worker's on-chip parameter memory
+	// is simulated — a miss pays the entry's deterministic re-setup cost,
+	// billed into the invoke's WeightStream phase, and evicts under
+	// MemPolicy. Nil serves the single compiled model passed to New — the
+	// legacy, bit-identical configuration.
+	Registry *registry.Registry
+
+	// DefaultModel is the model served by requests that name none. Empty
+	// means the first registered model. Ignored without Registry.
+	DefaultModel string
+
+	// MemBudget overrides the per-device on-chip parameter-memory budget
+	// in bytes. Zero uses the device's own ParamMemBytes (8 MiB on the
+	// default USB Edge TPU). Ignored without Registry.
+	MemBudget int
+
+	// MemPolicy selects the eviction policy under memory pressure
+	// (EvictLRU by default; PinFirst is the static baseline the ablation
+	// compares against). Ignored without Registry.
+	MemPolicy registry.EvictPolicy
+
+	// Tenants, when non-empty, makes admission multi-tenant: requests
+	// carry a tenant name, each tenant gets its own bounded FIFO, and
+	// dispatch follows strict priority classes with stride-based
+	// weighted-fair queuing inside a class. Empty keeps the single global
+	// FIFO — the legacy, bit-identical configuration.
+	Tenants []TenantSpec
 }
 
 // Validate checks the configuration for sanity.
@@ -250,6 +283,22 @@ func (c Config) Validate() error {
 	if len(c.Plans) != 0 && len(c.Plans) != c.workers() {
 		return fmt.Errorf("serve: %d per-device plans for %d workers", len(c.Plans), c.workers())
 	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("serve: negative MemBudget %d", c.MemBudget)
+	}
+	seen := map[string]bool{}
+	for i, t := range c.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("serve: tenant %d has an empty name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("serve: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Weight < 0 || t.Quota < 0 || t.Deadline < 0 || t.Priority < 0 {
+			return fmt.Errorf("serve: tenant %q has a negative field: %+v", t.Name, t)
+		}
+	}
 	if err := c.Integrity.Validate(); err != nil {
 		return err
 	}
@@ -285,6 +334,9 @@ const (
 	ShedQueueFull ShedCause = iota
 	// ShedDraining: the server had stopped admitting for shutdown.
 	ShedDraining
+	// ShedTenantQuota: the request's tenant was at its per-tenant queued
+	// quota, even though the global queue may have had room.
+	ShedTenantQuota
 )
 
 // String renders the cause.
@@ -294,6 +346,8 @@ func (c ShedCause) String() string {
 		return "queue full"
 	case ShedDraining:
 		return "draining"
+	case ShedTenantQuota:
+		return "tenant quota"
 	}
 	return fmt.Sprintf("shed(%d)", int(c))
 }
@@ -345,6 +399,31 @@ type Result struct {
 	BatchSize int            // occupied rows of the invoke that served it
 	QueueWait time.Duration  // wall-clock time spent queued
 	Latency   time.Duration  // wall-clock admission → completion
+
+	Tenant string        // tenant the request ran under ("" in legacy mode)
+	Model  string        // model that served it ("" in legacy mode)
+	Swap   time.Duration // re-setup billed because the model was not resident
+}
+
+// Request is one unit of work with its tenancy annotations. The zero
+// Tenant/Model mean "the first tenant" and "the default model", so a
+// Request{Fill: f, Consume: c} is exactly a legacy Do call.
+type Request struct {
+	// Tenant names the submitting tenant. Must be a configured tenant
+	// when Config.Tenants is set; "" maps to the first tenant.
+	Tenant string
+
+	// Model names the registered model to run. "" means the default
+	// model; non-empty names require Config.Registry.
+	Model string
+
+	// Fill populates the input tensor (may run more than once under
+	// recovery; must be idempotent).
+	Fill func(in *tensor.Tensor)
+
+	// Consume, if non-nil, reads the output tensor before the worker
+	// reuses it — copy out anything kept past the call.
+	Consume func(out *tensor.Tensor)
 }
 
 // outcome is the settled fate of one request.
@@ -361,6 +440,8 @@ type request struct {
 	cancel  context.CancelFunc
 	fill    func(in *tensor.Tensor)
 	consume func(out *tensor.Tensor)
+	tenant  *tenantState // resolved admission tenant (never nil once admitted)
+	model   string       // resolved model ID ("" in legacy mode)
 	enq     time.Time
 	deq     time.Time    // dequeue into a batch; zero while queued (under s.mu)
 	res     chan outcome // buffered, cap 1; receives exactly one outcome
@@ -379,25 +460,56 @@ type workerStats struct {
 	Latency  *metrics.Histogram // e2e latency of requests served here
 }
 
-// worker owns one backend-backed runner. The runner is not safe for
-// concurrent use and is touched only by the worker goroutine; after every
-// invoke the worker publishes a reliability snapshot under mu so Report can
-// read it without blocking behind an in-flight invoke.
+// modelBind is one worker's runner (and optional integrity checker) for
+// one model. A legacy server has a single bind keyed ""; a registry-mode
+// worker grows binds lazily as models are dispatched to it. Only the
+// worker goroutine touches the runner/integ/loaded fields; the accounting
+// fields are guarded by worker.mu.
+type modelBind struct {
+	id      string          // model ID ("" in legacy mode)
+	version int             // registry entry version the runner was built from
+	entry   *registry.Entry // nil in legacy mode
+	runner  *pipeline.ResilientRunner
+	integ   *integrity.Checker
+	loaded  bool // host worker paid its one-time model-load bill
+
+	// Guarded by worker.mu.
+	report   pipeline.ReliabilityReport // snapshot after the last invoke
+	requests int                        // completed requests served via this bind
+	invokes  int                        // successful engine invokes
+	swap     time.Duration              // re-setup billed on this worker for this model
+}
+
+// worker owns one backend slot of the pool and the per-model runners bound
+// to it. Runners are not safe for concurrent use and are touched only by
+// the worker goroutine; after every invoke the worker publishes a
+// reliability snapshot under mu so Report can read it without blocking
+// behind an in-flight invoke.
 type worker struct {
-	id     int
-	name   string // backend class (tpu.Name or hostcpu.Name)
-	runner *pipeline.ResilientRunner
-	state  atomic.Int32 // pipeline.BreakerState, updated after every invoke
+	id    int
+	name  string // backend class (tpu.Name, hostcpu.Name, binhd.Name)
+	accel bool   // accelerated class: participates in device-memory simulation
 
-	mu     sync.Mutex
-	report pipeline.ReliabilityReport // snapshot after the last invoke
-	stats  workerStats
+	// cur is the currently bound model; binds caches every model this
+	// worker has ever bound. Both are touched only by the worker goroutine
+	// (cur is set once in New before the loop starts).
+	cur   *modelBind
+	binds map[string]*modelBind
 
-	// integ, when non-nil, runs this worker's integrity maintenance
-	// (scrubs, canaries, the repair ladder) between batches. Only the
-	// worker goroutine calls Maintain; report/event reads are safe from
-	// anywhere.
-	integ *integrity.Checker
+	// mem simulates this worker's on-chip parameter memory in registry
+	// mode (nil otherwise, and for host workers).
+	mem *registry.DeviceMemory
+
+	// policy/plan/labels are the positional seeds and metric labels the
+	// worker builds lazy binds with.
+	policy pipeline.RecoveryPolicy
+	plan   edgetpu.FaultPlan
+	labels string
+
+	state atomic.Int32 // pipeline.BreakerState of cur, updated after every invoke
+
+	mu    sync.Mutex
+	stats workerStats
 
 	// invokeMu guards invokeCancel, the cancel func of the in-flight
 	// batched invoke's merged context; the drain force path fires it so a
@@ -432,16 +544,19 @@ func (w *worker) rowView(t *tensor.Tensor, i int) *tensor.Tensor {
 // Server is the serving runtime. Create with New; shut down with Drain or
 // Close. All methods are safe for concurrent use.
 type Server struct {
-	cfg     Config
-	workers []*worker
-	met     *serveMetrics // live registry handles (one source of truth)
-	traces  *traceRing
-	reqID   atomic.Uint64 // admission sequence for trace identity
-	forced  atomic.Bool   // drain deadline fired: cancellations are force-failures
+	cfg      Config
+	p        pipeline.Platform // platform lazy binds are built against
+	defModel string            // resolved default model ID ("" in legacy mode)
+	golden   *integrity.Golden // legacy-mode shared golden (nil in registry mode)
+	workers  []*worker
+	met      *serveMetrics // live registry handles (one source of truth)
+	traces   *traceRing
+	reqID    atomic.Uint64 // admission sequence for trace identity
+	forced   atomic.Bool   // drain deadline fired: cancellations are force-failures
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    []*request
+	sched    *scheduler            // per-tenant queues; single anonymous FIFO in legacy mode
 	pending  map[*request]struct{} // admitted, not yet settled
 	draining bool
 	wg       sync.WaitGroup
@@ -457,6 +572,7 @@ type counters struct {
 	Completed        int
 	ShedQueueFull    int
 	ShedDraining     int
+	ShedTenantQuota  int
 	DeadlineExceeded int
 	Cancelled        int
 	DrainForced      int
@@ -474,7 +590,10 @@ type counters struct {
 // New builds a server over the configured fleet — by default cfg.Devices
 // simulated accelerator workers, each loaded with cm and armed with its
 // fault plan; with cfg.Fleet set, a heterogeneous mix of accelerator and
-// host-CPU workers — and starts the worker pool.
+// host-CPU workers — and starts the worker pool. With cfg.Registry set, cm
+// may be nil: the registry's default model takes its place, every worker
+// pre-binds it (the construction-time model upload the single-model server
+// performs), and further models bind lazily as requests name them.
 func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -482,34 +601,80 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 	if cfg.Policy == (pipeline.RecoveryPolicy{}) {
 		cfg.Policy = pipeline.DefaultRecoveryPolicy()
 	}
-	if cfg.MaxBatch > 1 {
-		if capacity := cm.BatchCapacity(); cfg.MaxBatch > capacity {
-			return nil, fmt.Errorf("serve: MaxBatch %d exceeds compiled batch capacity %d", cfg.MaxBatch, capacity)
-		}
-		if !cm.Model.RowSliceable() {
-			return nil, fmt.Errorf("serve: model %q is not row-sliceable; cannot micro-batch", cm.Model.Name)
-		}
-	}
 	n := cfg.workers()
 	fleet := cfg.fleet()
+	hasBin := false
+	for _, kind := range fleet {
+		hasBin = hasBin || kind == binhd.Name
+	}
+
+	// Resolve the default model: in registry mode it stands in for cm.
+	var defEntry *registry.Entry
+	defModel := ""
+	if cfg.Registry != nil {
+		ids := cfg.Registry.IDs()
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("serve: registry holds no models")
+		}
+		defModel = cfg.DefaultModel
+		if defModel == "" {
+			defModel = ids[0]
+		}
+		e, ok := cfg.Registry.Get(defModel)
+		if !ok {
+			return nil, fmt.Errorf("serve: default model %q is not registered", defModel)
+		}
+		defEntry = e
+		if cm == nil {
+			cm = e.Compiled
+		}
+		for _, id := range ids {
+			ent, _ := cfg.Registry.Get(id)
+			if err := checkServable(ent.ID, ent.Compiled, cfg.MaxBatch); err != nil {
+				return nil, err
+			}
+			if hasBin && ent.Bipolar == nil {
+				return nil, fmt.Errorf("serve: fleet has %q workers but model %q has no bipolar form", binhd.Name, id)
+			}
+		}
+	} else {
+		if cfg.DefaultModel != "" {
+			return nil, fmt.Errorf("serve: DefaultModel %q without a Registry", cfg.DefaultModel)
+		}
+		if cm == nil {
+			return nil, fmt.Errorf("serve: nil compiled model and no registry")
+		}
+		if err := checkServable(cm.Model.Name, cm, cfg.MaxBatch); err != nil {
+			return nil, err
+		}
+	}
+
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	// The golden integrity reference is computed once from the compiled
-	// model and shared read-only across all workers.
-	var golden *integrity.Golden
-	if cfg.Integrity.Enabled() && cfg.Integrity.ScrubInterval > 0 {
+	s := &Server{
+		cfg:      cfg,
+		p:        p,
+		defModel: defModel,
+		pending:  make(map[*request]struct{}),
+		met:      newServeMetrics(reg),
+		traces:   newTraceRing(cfg.TraceDepth),
+	}
+	// The legacy golden integrity reference is computed once from the
+	// compiled model and shared read-only across all workers; registry-mode
+	// goldens live per entry and are computed on first bind.
+	if cfg.Registry == nil && cfg.Integrity.Enabled() && cfg.Integrity.ScrubInterval > 0 {
 		var err error
-		if golden, err = integrity.ComputeGolden(cm); err != nil {
+		if s.golden, err = integrity.ComputeGolden(cm); err != nil {
 			return nil, err
 		}
 	}
-	s := &Server{
-		cfg:     cfg,
-		pending: make(map[*request]struct{}),
-		met:     newServeMetrics(reg),
-		traces:  newTraceRing(cfg.TraceDepth),
+	s.sched = newScheduler(cfg.Tenants)
+	if len(cfg.Tenants) > 0 {
+		for _, t := range s.sched.tenants {
+			t.met = newTenantMetrics(reg, t.spec.Name)
+		}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < n; i++ {
@@ -523,67 +688,39 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 		} else {
 			plan.Seed += uint64(i)
 		}
-		var r *pipeline.ResilientRunner
-		var err error
-		switch fleet[i] {
-		case hostcpu.Name:
-			// Host-CPU workers run the interpreter as their primary engine
-			// with no degraded mode; fault plans are accelerator-only and do
-			// not apply.
-			var prim *hostcpu.Backend
-			if prim, err = hostcpu.New(p.Host, cm.Model); err == nil {
-				r, err = pipeline.WrapBackends(prim, nil, policy)
-			}
-		case binhd.Name:
-			// Binary-HDC workers serve the bit-packed model on host silicon
-			// at the compiled batch capacity, so row coalescing and the
-			// MaxBatch validation hold fleet-wide. Like hostcpu they cannot
-			// fault and have no degraded mode.
-			var prim *binhd.Backend
-			if prim, err = binhd.New(p.Host, cfg.Bipolar, cm.BatchCapacity()); err == nil {
-				r, err = pipeline.WrapBackends(prim, nil, policy)
-			}
-		default:
-			r, err = pipeline.NewResilientRunner(p, cm, plan, policy)
+		w := &worker{
+			id: i, name: fleet[i], accel: fleet[i] == tpu.Name,
+			policy: policy, plan: plan,
+			labels: fmt.Sprintf("worker=%q,backend=%q", strconv.Itoa(i), fleet[i]),
+			binds:  map[string]*modelBind{},
+			stats:  workerStats{Latency: metrics.NewHistogram()},
 		}
+		if cfg.Registry != nil && w.accel {
+			budget := cfg.MemBudget
+			if budget == 0 {
+				budget = defEntry.Compiled.Config.ParamMemBytes
+			}
+			mem, err := cfg.Registry.NewDeviceMemory(i, budget, cfg.MemPolicy)
+			if err != nil {
+				return nil, err
+			}
+			mem.Instrument(reg, w.labels)
+			w.mem = mem
+		}
+		b, err := s.buildBind(w, defModel, defEntry, cm)
 		if err != nil {
 			return nil, fmt.Errorf("serve: worker %d (%s): %w", i, fleet[i], err)
 		}
-		// Stream this worker's reliability events and its backend's invoke
-		// telemetry into the shared registry, labelled per worker so the
-		// whole fleet coexists in one namespace.
-		labels := fmt.Sprintf("worker=%q,backend=%q", strconv.Itoa(i), fleet[i])
-		r.Instrument(reg, labels)
-		if ib, ok := r.Backend().(instrumentable); ok {
-			ib.Instrument(reg, labels)
-		}
-		w := &worker{
-			id: i, name: fleet[i], runner: r,
-			stats: workerStats{Latency: metrics.NewHistogram()},
-		}
-		if cfg.Integrity.Enabled() && fleet[i] != binhd.Name {
-			// A device-backed worker scrubs and repairs its hardware; a
-			// host-CPU worker has no device SRAM to scrub, so it runs
-			// canary-only with a ladder starting at reload. Binary-HDC
-			// workers opt out entirely: the golden canary answers come from
-			// the quantized graph, which the sign-quantized model does not
-			// reproduce bit-for-bit, so canaries would misfire on a healthy
-			// worker (and there is no device state to scrub or repair).
-			var target integrity.Target
-			if dev := r.Device(); dev != nil {
-				target = dev
-			}
-			ck, err := integrity.NewChecker(golden, *cfg.Integrity, integrity.Deps{
-				Worker:     i,
-				Target:     target,
-				Reload:     r.ForceReload,
-				Quarantine: r.Quarantine,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("serve: worker %d (%s) integrity: %w", i, fleet[i], err)
-			}
-			ck.Instrument(reg, labels)
-			w.integ = ck
+		w.cur = b
+		w.binds[defModel] = b
+		// The construction-time bind is the unbilled initial model load,
+		// for host silicon exactly as Preload is for device memory.
+		b.loaded = true
+		if w.mem != nil {
+			// The default model uploads at construction, exactly like the
+			// single-model server's LoadModel: resident from the start, no
+			// re-setup bill on its first request.
+			w.mem.Preload(defEntry)
 		}
 		s.workers = append(s.workers, w)
 	}
@@ -594,27 +731,192 @@ func New(p pipeline.Platform, cm *edgetpu.CompiledModel, cfg Config) (*Server, e
 	return s, nil
 }
 
-// Do submits one request and blocks until it settles: completion, shed,
-// deadline, cancellation, or force-drain. fill populates the input tensor
-// (may run more than once under recovery; must be idempotent); consume, if
-// non-nil, reads the output tensor before the worker reuses it — copy out
-// anything kept past the call.
+// checkServable validates one model against the batching config.
+func checkServable(name string, cm *edgetpu.CompiledModel, maxBatch int) error {
+	if maxBatch <= 1 {
+		return nil
+	}
+	if capacity := cm.BatchCapacity(); maxBatch > capacity {
+		return fmt.Errorf("serve: MaxBatch %d exceeds model %q compiled batch capacity %d", maxBatch, name, capacity)
+	}
+	if !cm.Model.RowSliceable() {
+		return fmt.Errorf("serve: model %q is not row-sliceable; cannot micro-batch", name)
+	}
+	return nil
+}
+
+// buildBind constructs one worker's runner (and integrity checker) for one
+// model. Called from New for the default model and from the worker
+// goroutine for lazy binds; it touches no shared server state beyond the
+// (concurrency-safe) metrics registry.
+func (s *Server) buildBind(w *worker, id string, e *registry.Entry, cm *edgetpu.CompiledModel) (*modelBind, error) {
+	bip := s.cfg.Bipolar
+	version := 0
+	if e != nil {
+		cm = e.Compiled
+		bip = e.Bipolar
+		version = e.Version
+	}
+	var r *pipeline.ResilientRunner
+	var err error
+	switch w.name {
+	case hostcpu.Name:
+		// Host-CPU workers run the interpreter as their primary engine
+		// with no degraded mode; fault plans are accelerator-only and do
+		// not apply.
+		var prim *hostcpu.Backend
+		if prim, err = hostcpu.New(s.p.Host, cm.Model); err == nil {
+			r, err = pipeline.WrapBackends(prim, nil, w.policy)
+		}
+	case binhd.Name:
+		// Binary-HDC workers serve the bit-packed model on host silicon
+		// at the compiled batch capacity, so row coalescing and the
+		// MaxBatch validation hold fleet-wide. Like hostcpu they cannot
+		// fault and have no degraded mode.
+		var prim *binhd.Backend
+		if prim, err = binhd.New(s.p.Host, bip, cm.BatchCapacity()); err == nil {
+			r, err = pipeline.WrapBackends(prim, nil, w.policy)
+		}
+	default:
+		r, err = pipeline.NewResilientRunner(s.p, cm, w.plan, w.policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Stream this worker's reliability events and its backend's invoke
+	// telemetry into the shared registry, labelled per worker (and per
+	// model in registry mode) so the whole fleet coexists in one namespace.
+	labels := w.labels
+	if id != "" {
+		labels += fmt.Sprintf(",model=%q", id)
+	}
+	r.Instrument(s.met.reg, labels)
+	if ib, ok := r.Backend().(instrumentable); ok {
+		ib.Instrument(s.met.reg, labels)
+	}
+	b := &modelBind{id: id, version: version, entry: e, runner: r}
+	if b.integ, err = s.bindIntegrity(w, b, labels); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// bindIntegrity builds the integrity checker for one (worker, model) bind,
+// keying scrub/canary state per resident model. A device-backed worker
+// scrubs and repairs its hardware; a host-CPU worker has no device SRAM to
+// scrub, so it runs canary-only with a ladder starting at reload.
+// Binary-HDC workers opt out entirely: the golden canary answers come from
+// the quantized graph, which the sign-quantized model does not reproduce
+// bit-for-bit, so canaries would misfire on a healthy worker (and there is
+// no device state to scrub or repair).
+func (s *Server) bindIntegrity(w *worker, b *modelBind, labels string) (*integrity.Checker, error) {
+	if w.name == binhd.Name {
+		return nil, nil
+	}
+	pol := s.cfg.Integrity
+	if b.entry != nil {
+		if b.entry.Integrity != nil {
+			pol = b.entry.Integrity
+		} else if pol != nil && b.id != s.defModel && len(pol.Canaries) > 0 {
+			// The server-level canaries answer against the default model
+			// only; a different model would fail them while healthy. Other
+			// models run scrub-only unless their entry carries a policy.
+			stripped := *pol
+			stripped.Canaries = nil
+			stripped.CanaryInterval = 0
+			pol = &stripped
+		}
+	}
+	if !pol.Enabled() {
+		return nil, nil
+	}
+	var golden *integrity.Golden
+	if pol.ScrubInterval > 0 {
+		if b.entry != nil {
+			var err error
+			if golden, err = b.entry.Golden(); err != nil {
+				return nil, err
+			}
+		} else {
+			golden = s.golden
+		}
+	}
+	var target integrity.Target
+	if dev := b.runner.Device(); dev != nil {
+		target = dev
+	}
+	ck, err := integrity.NewChecker(golden, *pol, integrity.Deps{
+		Worker:     w.id,
+		Target:     target,
+		Reload:     b.runner.ForceReload,
+		Quarantine: b.runner.Quarantine,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("worker %d (%s) integrity: %w", w.id, w.name, err)
+	}
+	ck.Instrument(s.met.reg, labels)
+	return ck, nil
+}
+
+// Do submits one request under the default tenant and model and blocks
+// until it settles — the legacy single-tenant entry point, unchanged in
+// behavior. fill populates the input tensor (may run more than once under
+// recovery; must be idempotent); consume, if non-nil, reads the output
+// tensor before the worker reuses it — copy out anything kept past the call.
 func (s *Server) Do(ctx context.Context, fill func(in *tensor.Tensor), consume func(out *tensor.Tensor)) (Result, error) {
+	return s.Submit(ctx, Request{Fill: fill, Consume: consume})
+}
+
+// Submit submits one annotated request and blocks until it settles:
+// completion, shed, deadline, cancellation, or force-drain. A request
+// naming an unconfigured tenant or an unregistered model fails immediately
+// with a typed error, uncounted — those are caller bugs, not load.
+func (s *Server) Submit(ctx context.Context, req Request) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	t, ok := s.sched.tenant(req.Tenant)
+	if !ok {
+		return Result{}, &UnknownTenantError{Name: req.Tenant}
+	}
+	model := req.Model
+	if s.cfg.Registry == nil {
+		if model != "" {
+			return Result{}, &UnknownModelError{Model: model}
+		}
+	} else {
+		if model == "" {
+			model = s.defModel
+		}
+		if _, ok := s.cfg.Registry.Get(model); !ok {
+			return Result{}, &UnknownModelError{Model: model}
+		}
+	}
+
+	// Deadline precedence: the caller's own context deadline, else the
+	// tenant's configured deadline, else the server default.
 	var rctx context.Context
 	var cancel context.CancelFunc
-	if _, has := ctx.Deadline(); !has && s.cfg.DefaultDeadline > 0 {
-		rctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+	if _, has := ctx.Deadline(); !has {
+		d := s.cfg.DefaultDeadline
+		if t.spec.Deadline > 0 {
+			d = t.spec.Deadline
+		}
+		if d > 0 {
+			rctx, cancel = context.WithTimeout(ctx, d)
+		} else {
+			rctx, cancel = context.WithCancel(ctx)
+		}
 	} else {
 		rctx, cancel = context.WithCancel(ctx)
 	}
 	r := &request{
 		ctx:     rctx,
 		cancel:  cancel,
-		fill:    fill,
-		consume: consume,
+		fill:    req.Fill,
+		consume: req.Consume,
+		tenant:  t,
+		model:   model,
 		res:     make(chan outcome, 1),
 	}
 
@@ -622,27 +924,45 @@ func (s *Server) Do(ctx context.Context, fill func(in *tensor.Tensor), consume f
 	s.met.submitted.Inc()
 	if s.draining {
 		s.met.shedDraining.Inc()
+		if t.met != nil {
+			t.met.shed.Inc()
+		}
 		s.mu.Unlock()
 		cancel()
 		return Result{}, &ShedError{Cause: ShedDraining}
 	}
 	if err := rctx.Err(); err != nil {
-		s.account(outcome{err: err})
+		s.account(t, outcome{err: err})
 		s.mu.Unlock()
 		cancel()
 		return Result{}, err
 	}
-	if s.cfg.QueueCapacity > 0 && len(s.queue) >= s.cfg.QueueCapacity {
+	if s.cfg.QueueCapacity > 0 && s.sched.depth >= s.cfg.QueueCapacity {
 		s.met.shedQueueFull.Inc()
+		if t.met != nil {
+			t.met.shed.Inc()
+		}
 		s.mu.Unlock()
 		cancel()
 		return Result{}, &ShedError{Cause: ShedQueueFull}
 	}
+	if t.spec.Quota > 0 && len(t.q) >= t.spec.Quota {
+		s.met.shedTenantQuota.Inc()
+		if t.met != nil {
+			t.met.shed.Inc()
+		}
+		s.mu.Unlock()
+		cancel()
+		return Result{}, &ShedError{Cause: ShedTenantQuota}
+	}
 	s.met.admitted.Inc()
+	if t.met != nil {
+		t.met.admitted.Inc()
+	}
 	r.id = s.reqID.Add(1)
 	r.enq = time.Now()
-	s.queue = append(s.queue, r)
-	depth := int64(len(s.queue))
+	s.sched.push(t, r)
+	depth := int64(s.sched.depth)
 	s.met.queueDepth.Set(depth)
 	s.met.queueDepthMax.SetMax(depth)
 	s.pending[r] = struct{}{}
@@ -680,7 +1000,7 @@ func (s *Server) settle(r *request, o outcome) bool {
 	now := time.Now()
 	s.mu.Lock()
 	delete(s.pending, r)
-	s.account(o)
+	s.account(r.tenant, o)
 	deq := r.deq
 	s.mu.Unlock()
 	s.traces.record(r, o, deq, now)
@@ -689,10 +1009,15 @@ func (s *Server) settle(r *request, o outcome) bool {
 	return true
 }
 
-// account buckets one settled outcome into the live registry. The metric
-// objects are atomic, but callers hold s.mu anyway (the settle path already
-// does), keeping outcome accounting ordered with queue-state changes.
-func (s *Server) account(o outcome) {
+// account buckets one settled outcome into the live registry, attributing
+// it to its tenant when tenancy is configured. The metric objects are
+// atomic, but callers hold s.mu anyway (the settle path already does),
+// keeping outcome accounting ordered with queue-state changes.
+func (s *Server) account(t *tenantState, o outcome) {
+	var tm *tenantMetrics
+	if t != nil {
+		tm = t.met
+	}
 	var de *DrainError
 	switch {
 	case o.err == nil:
@@ -702,10 +1027,17 @@ func (s *Server) account(o outcome) {
 		}
 		s.met.latency.Observe(o.res.Latency)
 		s.met.queueWait.Observe(o.res.QueueWait)
+		if tm != nil {
+			tm.completed.Inc()
+			tm.latency.Observe(o.res.Latency)
+		}
 	case errors.As(o.err, &de):
 		s.met.drainForced.Inc()
 	case errors.Is(o.err, context.DeadlineExceeded):
 		s.met.deadlineExceeded.Inc()
+		if tm != nil {
+			tm.deadlineMissed.Inc()
+		}
 	case errors.Is(o.err, context.Canceled):
 		s.met.cancelled.Inc()
 	default:
@@ -713,22 +1045,41 @@ func (s *Server) account(o outcome) {
 	}
 }
 
-// popLocked moves up to n unsettled requests from the queue head into batch.
-// Requests that settled while queued (deadline, force-drain) are dropped
-// without consuming a slot. Caller holds s.mu.
+// popLocked moves up to n unsettled requests from the scheduler into batch,
+// in priority/weighted-fair order. The first live request fixes the batch's
+// model (a coalesced invoke runs one model); further pops take only queue
+// heads carrying the same model, so a multi-model backlog never blocks a
+// batch — it just caps its occupancy. Requests that settled while queued
+// (deadline, force-drain) are dropped without consuming a slot. Caller
+// holds s.mu.
 func (s *Server) popLocked(n int, batch []*request) []*request {
 	now := time.Now()
-	for n > 0 && len(s.queue) > 0 {
-		r := s.queue[0]
-		s.queue = s.queue[1:]
+	model := ""
+	constrained := false
+	if len(batch) > 0 {
+		model, constrained = batch[0].model, true
+	}
+	for n > 0 {
+		var r *request
+		if constrained {
+			r = s.sched.nextMatching(model)
+		} else {
+			r = s.sched.next()
+		}
+		if r == nil {
+			break
+		}
 		if r.settled.Load() {
 			continue
+		}
+		if !constrained {
+			model, constrained = r.model, true
 		}
 		r.deq = now
 		batch = append(batch, r)
 		n--
 	}
-	s.met.queueDepth.Set(int64(len(s.queue)))
+	s.met.queueDepth.Set(int64(s.sched.depth))
 	return batch
 }
 
@@ -743,9 +1094,9 @@ func (s *Server) nextBatch(w *worker) []*request {
 	maxBatch := max(s.cfg.MaxBatch, 1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 && !s.draining {
-		if w.integ != nil {
-			if due, ok := w.integ.NextDue(); ok {
+	for s.sched.depth == 0 && !s.draining {
+		if w.cur.integ != nil {
+			if due, ok := w.cur.integ.NextDue(); ok {
 				wait := time.Until(due)
 				if wait <= 0 {
 					return []*request{}
@@ -761,7 +1112,7 @@ func (s *Server) nextBatch(w *worker) []*request {
 		}
 		s.cond.Wait()
 	}
-	if len(s.queue) == 0 && s.draining {
+	if s.sched.depth == 0 && s.draining {
 		return nil
 	}
 	batch := s.popLocked(maxBatch, nil)
@@ -822,7 +1173,7 @@ func (s *Server) workerLoop(w *worker) {
 		if len(live) > 0 {
 			s.invokeBatch(w, live)
 		}
-		if w.integ != nil {
+		if w.cur.integ != nil {
 			s.maintain(w)
 		}
 	}
@@ -852,35 +1203,90 @@ func (s *Server) maintain(w *worker) {
 		w.invokeMu.Unlock()
 	}()
 
+	b := w.cur
 	invoke := func(ctx context.Context, c integrity.Canary) (int, float64, error) {
-		_, err := w.runner.InvokeCtx(ctx, func(in *tensor.Tensor) {
+		_, err := b.runner.InvokeCtx(ctx, func(in *tensor.Tensor) {
 			copy(in.F32[:len(c.Input)], c.Input)
 		})
 		if err != nil {
 			return 0, 0, err
 		}
-		return int(w.runner.Output(0).I32[0]), integrity.MarginRow(w.runner.Output(1), 0), nil
+		return int(b.runner.Output(0).I32[0]), integrity.MarginRow(b.runner.Output(1), 0), nil
 	}
-	w.integ.Maintain(ctx, invoke)
+	b.integ.Maintain(ctx, invoke)
 
 	// Repairs and canary invokes move breaker and reliability state;
 	// republish both so Health and Report see them without an invoke.
-	w.state.Store(int32(w.runner.BreakerState()))
-	rep := w.runner.Report()
+	w.state.Store(int32(b.runner.BreakerState()))
+	rep := b.runner.Report()
 	w.mu.Lock()
-	w.report = rep
+	b.report = rep
 	w.mu.Unlock()
+}
+
+// bind points w at model before an invoke, lazily building (or rebuilding,
+// after a hot swap) the runner, and charges the device-memory admission:
+// the returned swap is the re-setup this invoke must be billed because the
+// model was not resident — zero on a residency hit, and always zero in
+// legacy mode. Runs on the worker goroutine; the binds-map write is under
+// w.mu so Report can walk the map concurrently.
+func (s *Server) bind(w *worker, model string) (*modelBind, time.Duration, error) {
+	if s.cfg.Registry == nil {
+		return w.cur, 0, nil
+	}
+	e, ok := s.cfg.Registry.Get(model)
+	if !ok {
+		return nil, 0, &UnknownModelError{Model: model}
+	}
+	b := w.binds[model]
+	if b == nil || b.version != e.Version {
+		nb, err := s.buildBind(w, model, e, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		w.mu.Lock()
+		w.binds[model] = nb
+		w.mu.Unlock()
+		b = nb
+	}
+	w.cur = b
+	var swap time.Duration
+	if w.mem != nil {
+		swap = w.mem.Acquire(e).Setup
+	} else if !b.loaded {
+		// A host-silicon worker has no simulated device memory; it pays a
+		// one-time model-load bill per bind instead — one memory-bound
+		// pass over the serialized blob.
+		swap = e.HostSetup(s.p.Host)
+		b.loaded = true
+	}
+	if swap > 0 {
+		w.mu.Lock()
+		b.swap += swap
+		w.mu.Unlock()
+	}
+	return b, swap, nil
 }
 
 // invokeBatch serves a coalesced batch through one device invoke: members'
 // samples pack into consecutive rows of the input tensor, the runner executes
 // the occupied row prefix, and each member reads back its own output row.
 // With MaxBatch ≤ 1 the batch is always a single request and the invoke takes
-// exactly the pre-batching path (full-tensor fill, InvokeCtx).
+// exactly the pre-batching path (full-tensor fill, InvokeCtx). All batch
+// members share one model (popLocked guarantees it); the worker binds it
+// first, paying the re-setup bill if the device memory missed.
 func (s *Server) invokeBatch(w *worker, batch []*request) {
 	rows := len(batch)
 	start := time.Now()
 	batched := s.cfg.MaxBatch > 1
+
+	b, swap, berr := s.bind(w, batch[0].model)
+	if berr != nil {
+		for _, r := range batch {
+			s.settle(r, outcome{err: berr})
+		}
+		return
+	}
 
 	// One context governs the merged invoke. A single-request invoke uses
 	// the request's own context; a multi-request one gets a context bounded
@@ -930,22 +1336,22 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 		}()
 	}
 
-	before := w.runner.Report().FallbackInvokes
+	before := b.runner.Report().FallbackInvokes
 	var t backend.Timing
 	var err error
 	if batched {
-		t, err = w.runner.InvokeBatchCtx(ictx, rows, func(in *tensor.Tensor) {
+		t, err = b.runner.InvokeBatchCtx(ictx, rows, func(in *tensor.Tensor) {
 			for i, r := range batch {
 				r.fill(w.rowView(in, i))
 			}
 		})
 	} else {
-		t, err = w.runner.InvokeCtx(ictx, batch[0].fill)
+		t, err = b.runner.InvokeCtx(ictx, batch[0].fill)
 	}
-	rep := w.runner.Report()
+	rep := b.runner.Report()
 	onHost := rep.FallbackInvokes > before
 	if err == nil {
-		out := w.runner.Output(0)
+		out := b.runner.Output(0)
 		for i, r := range batch {
 			if r.consume == nil || r.settled.Load() {
 				continue
@@ -957,16 +1363,16 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 			}
 		}
 	}
-	w.state.Store(int32(w.runner.BreakerState()))
+	w.state.Store(int32(b.runner.BreakerState()))
 	w.mu.Lock()
-	w.report = rep
+	b.report = rep
 	w.mu.Unlock()
 
 	span := &invokeSpan{
 		worker:  w.id,
 		backend: w.name,
 		batch:   rows,
-		breaker: w.runner.BreakerState(),
+		breaker: b.runner.BreakerState(),
 		onHost:  onHost,
 		start:   start,
 	}
@@ -987,6 +1393,11 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 		}
 		return
 	}
+
+	// A residency miss paid its re-setup before the invoke could run; bill
+	// it into the parameter-streaming phase so the cost model (and pacing,
+	// which scales off the simulated total) both see it.
+	t.WeightStream += swap
 
 	s.met.batchInvokes.Inc()
 	s.met.batchRows.Add(int64(rows))
@@ -1021,6 +1432,7 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 	}
 	w.stats.SimTime += t.Total()
 	w.stats.Busy += now.Sub(start)
+	b.invokes++
 	w.mu.Unlock()
 	for _, r := range batch {
 		lat := now.Sub(r.enq)
@@ -1032,11 +1444,15 @@ func (s *Server) invokeBatch(w *worker, batch []*request) {
 			BatchSize: rows,
 			QueueWait: start.Sub(r.enq),
 			Latency:   lat,
+			Tenant:    r.tenant.spec.Name,
+			Model:     r.model,
+			Swap:      swap,
 		}, inv: span})
 		if won {
 			w.mu.Lock()
 			w.stats.Requests++
 			w.stats.Latency.Observe(lat)
+			b.requests++
 			w.mu.Unlock()
 		}
 	}
@@ -1095,8 +1511,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	// Deadline fired: force the stragglers.
 	s.forced.Store(true)
 	s.mu.Lock()
-	queued := s.queue
-	s.queue = nil
+	queued := s.sched.takeAll()
 	s.met.queueDepth.Set(0)
 	var inflight []*request
 	for r := range s.pending {
@@ -1144,13 +1559,35 @@ func (s *Server) Report() ServeReport {
 	s.mu.Unlock()
 	rep := ServeReport{counters: c, Devices: len(s.workers), Fleet: s.cfg.fleet(), Health: s.Health()}
 	byName := make(map[string]int) // backend class -> index into rep.Backends
+	type modelAgg struct {
+		requests, invokes int
+		swap              time.Duration
+	}
+	models := map[string]*modelAgg{}
 	for _, w := range s.workers {
 		w.mu.Lock()
-		r := w.report
 		st := w.stats
 		st.Latency = w.stats.Latency.Clone()
+		var wrel pipeline.ReliabilityReport
+		var integs []*integrity.Checker
+		for _, mb := range w.binds {
+			mergeReliability(&wrel, mb.report)
+			if mb.integ != nil {
+				integs = append(integs, mb.integ)
+			}
+			if s.cfg.Registry != nil {
+				a := models[mb.id]
+				if a == nil {
+					a = &modelAgg{}
+					models[mb.id] = a
+				}
+				a.requests += mb.requests
+				a.invokes += mb.invokes
+				a.swap += mb.swap
+			}
+		}
 		w.mu.Unlock()
-		mergeReliability(&rep.Reliability, r)
+		mergeReliability(&rep.Reliability, wrel)
 
 		bi, ok := byName[w.name]
 		if !ok {
@@ -1175,28 +1612,73 @@ func (s *Server) Report() ServeReport {
 		b.SimTime += st.SimTime
 		b.Busy += st.Busy
 		b.Latency.Merge(st.Latency)
-		mergeReliability(&b.Reliability, r)
+		mergeReliability(&b.Reliability, wrel)
 
-		if w.integ != nil {
+		for _, ck := range integs {
 			if rep.Integrity == nil {
 				rep.Integrity = &integrity.Report{}
 			}
-			rep.Integrity.Merge(w.integ.Report())
+			rep.Integrity.Merge(ck.Report())
+		}
+		if w.mem != nil {
+			rep.Memory = append(rep.Memory, w.mem.Stats())
+		}
+	}
+	if len(s.cfg.Tenants) > 0 {
+		for _, t := range s.sched.tenants {
+			rep.Tenants = append(rep.Tenants, TenantStats{
+				Name:           t.spec.Name,
+				Priority:       t.spec.Priority,
+				Weight:         t.spec.weight(),
+				Admitted:       int(t.met.admitted.Value()),
+				Shed:           int(t.met.shed.Value()),
+				Completed:      int(t.met.completed.Value()),
+				DeadlineMissed: int(t.met.deadlineMissed.Value()),
+				Latency:        t.met.latency.Snapshot(),
+			})
+		}
+	}
+	if s.cfg.Registry != nil {
+		for _, id := range s.cfg.Registry.IDs() {
+			e, _ := s.cfg.Registry.Get(id)
+			ms := ModelStats{ID: id, Version: e.Version, Footprint: e.Footprint, Setup: e.Setup}
+			if a := models[id]; a != nil {
+				ms.Requests, ms.Invokes, ms.Swap = a.requests, a.invokes, a.swap
+			}
+			rep.Models = append(rep.Models, ms)
 		}
 	}
 	return rep
 }
 
 // IntegrityEvents returns every worker's retained repair-ladder events in
-// worker order (each worker's events are Seq-ordered). Empty when the
+// worker order (each bind's events are Seq-ordered). Empty when the
 // server runs without an integrity policy, or nothing ever broke.
 func (s *Server) IntegrityEvents() []integrity.Event {
 	var evs []integrity.Event
 	for _, w := range s.workers {
-		if w.integ != nil {
-			evs = append(evs, w.integ.Events()...)
+		w.mu.Lock()
+		for _, b := range w.binds {
+			if b.integ != nil {
+				evs = append(evs, b.integ.Events()...)
+			}
+		}
+		w.mu.Unlock()
+	}
+	return evs
+}
+
+// RegistryEvents merges every accelerated worker's retained residency
+// transitions (hits, misses, evictions) into one Seq-ordered stream. Empty
+// outside registry mode.
+func (s *Server) RegistryEvents() []registry.Event {
+	var evs []registry.Event
+	for _, w := range s.workers {
+		if w.mem != nil {
+			evs = append(evs, w.mem.Events()...)
 		}
 	}
+	registry.SortEvents(evs)
 	return evs
 }
 
