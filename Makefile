@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fuzz-smoke chaos-smoke seu-smoke binhd-smoke tenant-smoke bench bench-serve bench-binhd experiments examples clean
+.PHONY: all build test vet race fuzz-smoke chaos-smoke seu-smoke binhd-smoke tenant-smoke online-smoke bench bench-serve bench-binhd experiments examples clean
 
 all: vet test
 
@@ -37,6 +37,7 @@ test:
 	@$(MAKE) seu-smoke
 	@$(MAKE) binhd-smoke
 	@$(MAKE) tenant-smoke
+	@$(MAKE) online-smoke
 	@$(MAKE) fuzz-smoke
 
 race:
@@ -77,6 +78,18 @@ binhd-smoke:
 tenant-smoke:
 	$(GO) test -race -count=1 \
 		-run 'TestSchedulerWeightedFairShares|TestSchedulerStrictPriority|TestServeTenantQuotaShed|TestServeTenantSnapshotMonotone|TestServeMultiModelDispatchAndSwapBilling|TestServeHotSwapInvalidatesBind|TestServeEvictionDeterministic|TestServeRegistrySingleModelBitIdentical' \
+		./internal/serve/
+
+# The online-learning loop under the race detector: the feedback trainer's
+# full package (snapshot publication, drift-triggered regeneration, the
+# trainer racing live serving, nil-trainer bit-identity), plus the atomic
+# swap-publication and bind-during-swap-storm hammers the trainer's
+# registry.Swap path leans on. Fast enough to run on every `make test`.
+online-smoke:
+	$(GO) test -race -count=1 ./internal/online/
+	$(GO) test -race -count=1 -run 'TestSwapPublicationAtomicUnderReaders|TestSwapBumpsVersionAndInvalidatesResidency' \
+		./internal/registry/
+	$(GO) test -race -count=1 -run 'TestServeBindDuringSwapStorm|TestServeHotSwapInvalidatesBind' \
 		./internal/serve/
 
 # A short fuzzing pass over every Fuzz target in the tree (FUZZTIME each),

@@ -12,6 +12,8 @@
 //	          [-tenants "prod=w4,p1,q64,d50ms;batch=w1"]
 //	          [-faults "link=0.05"] [-fault-seed 1] [-seed 7]
 //	          [-scrub-interval 0] [-canary 0] [-canary-interval 25ms]
+//	          [-online "lr=0.5,window=64"] [-feedback-rate 1]
+//	          [-drift-window 0] [-drift-threshold 0]
 //	          [-listen :8080]
 //	          [-nodes 4] [-chaos "0:crash,1:slow=8"] [-hedge adaptive]
 //	          [-probe 25ms]
@@ -53,6 +55,16 @@
 // The report gains per-tenant, per-model, and per-device-memory sections.
 // See docs/multitenant.md.
 //
+// With -online, a feedback trainer runs beside the server: a -feedback-rate
+// sampled fraction of completed requests report their ground-truth label
+// back through a bounded non-blocking queue, the trainer applies
+// confidence-weighted updates to a private model copy, and publishes
+// versioned snapshots through the registry for workers to hot-bind. A
+// drift detector (tunable via -drift-window / -drift-threshold or the spec
+// itself) triggers dimension regeneration on sustained accuracy collapse.
+// The run report gains the trainer's accounting, and /snapshot carries the
+// hdc_online_* series. See docs/online.md.
+//
 // With -nodes > 1 (or -chaos / -hedge), the run goes through the routing
 // tier instead: -nodes identical servers behind a health-checked
 // least-loaded router with failover, optional hedged requests (-hedge),
@@ -76,8 +88,11 @@ import (
 	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/hdc"
 	"hdcedge/internal/integrity"
+	"hdcedge/internal/metrics"
+	"hdcedge/internal/online"
 	"hdcedge/internal/pipeline"
 	"hdcedge/internal/registry"
+	"hdcedge/internal/rng"
 	"hdcedge/internal/router"
 	"hdcedge/internal/serve"
 	"hdcedge/internal/tensor"
@@ -127,6 +142,11 @@ type options struct {
 	canaryCount    int
 	canaryInterval time.Duration
 
+	onlineSpec     string
+	feedbackRate   float64
+	driftWindow    int
+	driftThreshold float64
+
 	// Parsed by validate.
 	fleet   serve.FleetSpec
 	plan    edgetpu.FaultPlan
@@ -135,6 +155,7 @@ type options struct {
 	models  []serve.ModelSpec
 	tenants []serve.TenantSpec
 	policy  registry.EvictPolicy
+	online  *online.Config
 
 	// Built in main when -models is set: one trained+compiled classifier
 	// per spec entry, behind its registry ID.
@@ -147,6 +168,20 @@ type options struct {
 	// Built in main when the fleet has bin-class workers: the trained
 	// model's sign-quantized deployment form.
 	bipolar *hdc.BipolarModel
+
+	// Built in main when -online is set: the shared telemetry registry
+	// (serving and trainer metrics on one /snapshot surface) and the
+	// trained models the feedback trainer adapts.
+	metrics *metrics.Registry
+	trained []trainedModel
+}
+
+// trainedModel pairs a registry ID with its host-side trained model, kept
+// (only when -online is set) so the feedback trainer can adapt a private
+// copy of what was compiled and registered.
+type trainedModel struct {
+	name  string
+	model *hdc.Model
 }
 
 // routed reports whether the run goes through the routing tier rather
@@ -280,6 +315,52 @@ func (o *options) validate() error {
 	if (o.memBudget > 0 || o.memPolicy != "") && len(o.models) == 0 {
 		return &flagError{"mem-budget", "device-memory simulation needs -models"}
 	}
+	if o.feedbackRate < 0 || o.feedbackRate > 1 {
+		return &flagError{"feedback-rate", fmt.Sprintf("must be in [0, 1], got %g", o.feedbackRate)}
+	}
+	if o.driftWindow < 0 || o.driftWindow == 1 {
+		return &flagError{"drift-window", fmt.Sprintf("must be 0 (spec default) or at least 2, got %d", o.driftWindow)}
+	}
+	if o.driftThreshold < 0 || o.driftThreshold >= 1 {
+		return &flagError{"drift-threshold", fmt.Sprintf("must be in [0, 1) (0 = spec default), got %g", o.driftThreshold)}
+	}
+	if o.onlineSpec == "" {
+		switch {
+		case o.feedbackRate != 0 && o.feedbackRate != 1:
+			return &flagError{"feedback-rate", "feedback sampling needs -online"}
+		case o.driftWindow != 0:
+			return &flagError{"drift-window", "drift tuning needs -online"}
+		case o.driftThreshold != 0:
+			return &flagError{"drift-threshold", "drift tuning needs -online"}
+		}
+		return nil
+	}
+	if o.routed() {
+		return &flagError{"online", "online learning is single-node; not available behind the router"}
+	}
+	cfg, err := online.ParseSpec(o.onlineSpec)
+	if err != nil {
+		return &flagError{"online", err.Error()}
+	}
+	// -drift-window / -drift-threshold override the spec, then the merged
+	// config revalidates (an override can break a cross-field constraint,
+	// e.g. a buffer smaller than the window).
+	if o.driftWindow != 0 {
+		cfg.DriftWindow = o.driftWindow
+	}
+	if o.driftThreshold != 0 {
+		cfg.DriftThreshold = o.driftThreshold
+	}
+	// Published snapshots must compile at the batch capacity the fleet
+	// serves at, or workers would bind a model they cannot batch into.
+	if cfg.Batch != 0 && cfg.Batch != o.batch {
+		return &flagError{"online", fmt.Sprintf("spec batch=%d conflicts with -batch %d", cfg.Batch, o.batch)}
+	}
+	cfg.Batch = o.batch
+	if err := cfg.Validate(); err != nil {
+		return &flagError{"online", err.Error()}
+	}
+	o.online = cfg
 	return nil
 }
 
@@ -300,6 +381,7 @@ func (o *options) config() serve.Config {
 		MemBudget:       o.memBudget,
 		MemPolicy:       o.policy,
 		Tenants:         o.tenants,
+		Metrics:         o.metrics,
 	}
 	if len(o.fleet) > 0 {
 		cfg.Fleet = o.fleet
@@ -363,6 +445,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.scrubInterval, "scrub-interval", 0, "device-parameter scrub interval (0 = no scrubbing)")
 	fs.IntVar(&o.canaryCount, "canary", 0, "known-answer canary rows per worker (0 = no canaries)")
 	fs.DurationVar(&o.canaryInterval, "canary-interval", 25*time.Millisecond, "canary check interval (needs -canary > 0)")
+	fs.StringVar(&o.onlineSpec, "online", "", "online learning: \"on\" for defaults or \"lr=0.5,window=64,...\" (see docs/online.md)")
+	fs.Float64Var(&o.feedbackRate, "feedback-rate", 1, "fraction of completed requests reporting ground-truth feedback (needs -online)")
+	fs.IntVar(&o.driftWindow, "drift-window", 0, "drift-detector sample window override (0 = spec default; needs -online)")
+	fs.Float64Var(&o.driftThreshold, "drift-threshold", 0, "drift-detector accuracy-gap override (0 = spec default; needs -online)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -414,6 +500,9 @@ func main() {
 			if _, err := o.registry.Register(ms.Name, cmi, bip); err != nil {
 				fail(err.Error())
 			}
+			if o.online != nil {
+				o.trained = append(o.trained, trainedModel{ms.Name, m})
+			}
 			if cm == nil {
 				cm = cmi
 			}
@@ -431,6 +520,17 @@ func main() {
 		if hasBin {
 			o.bipolar = model.Binarize()
 		}
+		if o.online != nil {
+			// Online learning publishes through registry.Swap, so the
+			// single-model run gets a one-entry registry for the trainer
+			// to publish into; workers pick versions up through the same
+			// bind path the multi-model server uses.
+			o.registry = registry.New()
+			if _, err := o.registry.Register("main", cm, o.bipolar); err != nil {
+				fail(err.Error())
+			}
+			o.trained = append(o.trained, trainedModel{"main", model})
+		}
 	}
 	if o.integrity, err = buildIntegrity(o, cm, ds); err != nil {
 		fail(err.Error())
@@ -438,6 +538,29 @@ func main() {
 	if o.routed() {
 		runRouted(o, p, cm, ds)
 		return
+	}
+	var tr *online.Trainer
+	if o.online != nil {
+		// One metrics registry for serving and training telemetry, so
+		// /metrics and /snapshot carry the hdc_online_* series too.
+		o.metrics = metrics.NewRegistry()
+		if hasBin && !o.online.Binarize {
+			// bin-class workers serve the sign-quantized form; every
+			// published snapshot must carry it or a bin worker binding the
+			// new version would have nothing to run.
+			o.online.Binarize = true
+		}
+		if tr, err = online.New(p, o.registry, o.online, o.metrics); err != nil {
+			fail(err.Error())
+		}
+		for _, tm := range o.trained {
+			if err := tr.Attach(tm.name, tm.model, ds); err != nil {
+				fail(err.Error())
+			}
+		}
+		if err := tr.Start(); err != nil {
+			fail(err.Error())
+		}
 	}
 	s, err := serve.New(p, cm, o.config())
 	if err != nil {
@@ -463,6 +586,7 @@ func main() {
 	fmt.Printf("serving %d requests at %.1fx capacity (%d workers [%s], pace %v, interarrival %v)\n",
 		o.requests, o.load, workers, fleetStr, o.pace, interarrival)
 	n := ds.Features()
+	fbRng := rng.New(o.seed + 1013)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < o.requests; i++ {
@@ -473,6 +597,17 @@ func main() {
 		}
 		row := i % ds.Samples()
 		req := o.annotate(i)
+		if tr != nil && fbRng.Float64() < o.feedbackRate {
+			// This request reports its ground truth once served — the
+			// -feedback-rate sampled application feedback loop. Offer
+			// never blocks the serving path; a full queue drops.
+			features := ds.X.F32[row*n : (row+1)*n]
+			label := ds.Y[row]
+			model := req.Model
+			req.Consume = func(*tensor.Tensor) {
+				tr.Offer(online.Feedback{Model: model, Features: features, Label: label})
+			}
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -491,6 +626,15 @@ func main() {
 		fmt.Printf("drain: %v\n", err)
 	} else {
 		fmt.Println("drain: clean")
+	}
+	if tr != nil {
+		tr.Close() // drains queued feedback and flushes pending snapshots
+		st := tr.Stats()
+		fmt.Printf("online: %d feedback (%d dropped), %d updates (%d mispredicted), %d snapshots, %d regens, drift score %+.3f\n",
+			st.Feedback, st.Dropped, st.Updates, st.Mispredictions, st.Snapshots, st.Regens, st.DriftScore)
+		if st.PublishErrors > 0 {
+			fmt.Printf("online: %d publish errors\n", st.PublishErrors)
+		}
 	}
 	rep := s.Report()
 	fmt.Println(rep)

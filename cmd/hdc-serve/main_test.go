@@ -78,6 +78,17 @@ func TestValidateRejections(t *testing.T) {
 		{"negative mem budget", func(o *options) { o.modelSpec = "a;b"; o.memBudget = -1 }, "mem-budget"},
 		{"mem budget without models", func(o *options) { o.memBudget = 1 << 20 }, "mem-budget"},
 		{"unknown mem policy", func(o *options) { o.modelSpec = "a;b"; o.memPolicy = "fifo" }, "mem-policy"},
+		{"bad online spec", func(o *options) { o.onlineSpec = "zzz=1" }, "online"},
+		{"feedback rate above one", func(o *options) { o.onlineSpec = "on"; o.feedbackRate = 1.5 }, "feedback-rate"},
+		{"feedback rate below zero", func(o *options) { o.onlineSpec = "on"; o.feedbackRate = -0.1 }, "feedback-rate"},
+		{"feedback sampling needs online", func(o *options) { o.feedbackRate = 0.5 }, "feedback-rate"},
+		{"drift window needs online", func(o *options) { o.driftWindow = 64 }, "drift-window"},
+		{"drift window of one", func(o *options) { o.onlineSpec = "on"; o.driftWindow = 1 }, "drift-window"},
+		{"drift threshold needs online", func(o *options) { o.driftThreshold = 0.2 }, "drift-threshold"},
+		{"drift threshold at one", func(o *options) { o.onlineSpec = "on"; o.driftThreshold = 1 }, "drift-threshold"},
+		{"online behind router", func(o *options) { o.onlineSpec = "on"; o.nodes = 4 }, "online"},
+		{"online spec batch conflict", func(o *options) { o.onlineSpec = "batch=4" }, "online"},
+		{"online override breaks buffer", func(o *options) { o.onlineSpec = "buffer=64"; o.driftWindow = 128 }, "online"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -222,6 +233,47 @@ func TestValidateParsesTenancyFlags(t *testing.T) {
 	}
 }
 
+// TestValidateParsesOnlineFlags checks the happy path for -online and its
+// companion flags: the spec parses into a Config, the -drift-window and
+// -drift-threshold overrides win over spec values, and the published
+// snapshot batch is forced to the serving -batch.
+func TestValidateParsesOnlineFlags(t *testing.T) {
+	o := validOptions()
+	o.onlineSpec = "lr=0.5,window=16,every=8,bin"
+	o.feedbackRate = 0.25
+	o.driftWindow = 32
+	o.driftThreshold = 0.25
+	if err := o.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	cfg := o.online
+	if cfg == nil {
+		t.Fatal("validate left o.online nil with -online set")
+	}
+	if cfg.LearningRate != 0.5 || cfg.SnapshotEvery != 8 || !cfg.Binarize {
+		t.Fatalf("spec values lost: %+v", cfg)
+	}
+	if cfg.DriftWindow != 32 || cfg.DriftThreshold != 0.25 {
+		t.Fatalf("overrides did not win over spec: window %d threshold %g",
+			cfg.DriftWindow, cfg.DriftThreshold)
+	}
+	if cfg.Batch != o.batch {
+		t.Fatalf("snapshot batch %d, want serving batch %d", cfg.Batch, o.batch)
+	}
+
+	// "on" is all defaults; -feedback-rate 0 (no sampling) and 1 (all
+	// requests) are legal without any drift tuning.
+	o = validOptions()
+	o.onlineSpec = "on"
+	o.feedbackRate = 0
+	if err := o.validate(); err != nil {
+		t.Fatalf("validate -online on: %v", err)
+	}
+	if o.online == nil || o.online.Batch != o.batch {
+		t.Fatalf("default spec config %+v", o.online)
+	}
+}
+
 // TestParseFlags exercises the end-to-end flag path: parse failure from the
 // flag package, validation failure, and success.
 func TestParseFlags(t *testing.T) {
@@ -231,8 +283,11 @@ func TestParseFlags(t *testing.T) {
 	if _, err := parseFlags([]string{"-window", "-1ms", "-batch", "4"}); err == nil {
 		t.Fatal("parseFlags accepted negative -window")
 	}
+	if _, err := parseFlags([]string{"-feedback-rate", "0.5"}); err == nil {
+		t.Fatal("parseFlags accepted -feedback-rate without -online")
+	}
 	o, err := parseFlags([]string{"-batch", "4", "-window", "2ms", "-fleet", "tpu=1,cpu=1",
-		"-scrub-interval", "40ms", "-canary", "2"})
+		"-scrub-interval", "40ms", "-canary", "2", "-online", "on", "-feedback-rate", "0.5"})
 	if err != nil {
 		t.Fatalf("parseFlags: %v", err)
 	}
@@ -241,5 +296,8 @@ func TestParseFlags(t *testing.T) {
 	}
 	if o.scrubInterval != 40*time.Millisecond || o.canaryCount != 2 || o.canaryInterval != 25*time.Millisecond {
 		t.Fatalf("parsed options %+v lost integrity flag values", o)
+	}
+	if o.online == nil || o.online.Batch != 4 || o.feedbackRate != 0.5 {
+		t.Fatalf("parsed options lost online flag values: online %+v rate %g", o.online, o.feedbackRate)
 	}
 }

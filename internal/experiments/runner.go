@@ -14,7 +14,7 @@ var AllExperiments = []string{
 	"ablation-encoder-compare", "ablation-link", "ablation-dim", "ablation-overlap",
 	"ablation-scaleout", "ablation-faults", "ablation-overload", "ablation-batching",
 	"ablation-fleet", "ablation-chaos", "ablation-seu",
-	"ablation-binhd", "ablation-multitenant",
+	"ablation-binhd", "ablation-multitenant", "ablation-drift",
 	"table-variance",
 }
 
@@ -207,6 +207,12 @@ func RunOne(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		RenderAblationMultiTenant(w, res)
+	case "ablation-drift":
+		res, err := AblationDrift(cfg)
+		if err != nil {
+			return err
+		}
+		RenderAblationDrift(w, res)
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, AllExperiments)
 	}

@@ -160,12 +160,81 @@ func TestRegenerateCountsAndZeroes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := m.Clone().Regenerate(0.25, rng.New(12))
+	n, err := m.Clone().Regenerate(0.25, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 128 {
 		t.Fatalf("regenerated %d dims, want 128", n)
 	}
-	if m.Clone().Regenerate(0, rng.New(12)) != 0 {
-		t.Fatal("zero fraction regenerated dims")
+	if n, err := m.Clone().Regenerate(0, rng.New(12)); err != nil || n != 0 {
+		t.Fatalf("zero fraction regenerated %d dims (err %v)", n, err)
+	}
+}
+
+// TestRegenerateTruncationEdges pins the fraction*d truncation behaviour:
+// fractions below 1/d regenerate nothing (n truncates to 0), fraction 1
+// regenerates every dimension, and out-of-range fractions clamp.
+func TestRegenerateTruncationEdges(t *testing.T) {
+	train, _ := synthTrainTest(t, 16, 400, 3, 906)
+	m, _, err := Train(train, nil, TrainConfig{Dim: 64, Epochs: 3, LearningRate: 1, Nonlinear: true, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Dim()
+	cases := []struct {
+		name     string
+		fraction float64
+		want     int
+	}{
+		{"below-one-dim", 0.5 / float64(d), 0}, // fraction*d = 0.5 → truncates to 0
+		{"exactly-one-dim", 1.0 / float64(d), 1},
+		{"half", 0.5, d / 2},
+		{"all", 1.0, d},
+		{"clamped-above", 2.0, d},
+		{"negative", -0.5, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := m.Clone()
+			n, err := c.Regenerate(tc.fraction, rng.New(22))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != tc.want {
+				t.Fatalf("fraction %g regenerated %d dims, want %d", tc.fraction, n, tc.want)
+			}
+			if tc.want == d {
+				// Full regeneration must zero the entire class matrix.
+				for _, v := range c.Classes.F32 {
+					if v != 0 {
+						t.Fatal("full regeneration left non-zero class entries")
+					}
+				}
+			}
+			if tc.want == 0 {
+				// No-op regeneration must leave the model untouched.
+				for i, v := range c.Classes.F32 {
+					if v != m.Classes.F32[i] {
+						t.Fatal("zero-dim regeneration modified the class matrix")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRegenerateSingleClassErrors pins the K()<2 guard: with one class the
+// across-class variance is identically zero, so weakest-dimension ranking
+// is meaningless and Regenerate must refuse rather than silently mis-rank.
+func TestRegenerateSingleClassErrors(t *testing.T) {
+	enc := NewEncoder(8, 32, true, rng.New(23))
+	m := &Model{Encoder: enc, Classes: tensor.New(tensor.Float32, 1, 32)}
+	if _, err := m.Regenerate(0.5, rng.New(24)); err == nil {
+		t.Fatal("single-class Regenerate succeeded; want error")
+	}
+	if _, _, err := m.RegenerateAndRefine(tensor.New(tensor.Float32, 4, 8), []int{0, 0, 0, 0}, 0.5, 2, 1, rng.New(25)); err == nil {
+		t.Fatal("single-class RegenerateAndRefine succeeded; want error")
 	}
 }
 

@@ -48,7 +48,7 @@ func (m *Model) FitOnline(enc *tensor.Tensor, y []int, cfg OnlineConfig, r *rng.
 	}
 	order := r.Perm(s)
 	scores := make([]float32, m.K())
-	updates := 0
+	updates, mispred := 0, 0
 	for _, idx := range order {
 		e := enc.Row(idx)
 		m.cosineScores(scores, e)
@@ -58,15 +58,19 @@ func (m *Model) FitOnline(enc *tensor.Tensor, y []int, cfg OnlineConfig, r *rng.
 			m.Bundle(truth, lr*(1-scores[truth]), e)
 			m.Detach(pred, lr*(1-scores[pred]), e)
 			updates++
+			mispred++
 		} else if cfg.Margin > 0 && scores[truth] < cfg.Margin {
+			// A margin reinforcement touches the class matrix but the
+			// prediction was correct — it counts as an update, not a miss.
 			m.Bundle(truth, lr*(cfg.Margin-scores[truth]), e)
 			updates++
 		}
 	}
 	return &TrainStats{Epochs: []EpochStats{{
-		Epoch:         0,
-		Updates:       updates,
-		TrainAccuracy: 1 - float64(updates)/float64(s),
+		Epoch:          0,
+		Updates:        updates,
+		Mispredictions: mispred,
+		TrainAccuracy:  1 - float64(mispred)/float64(s),
 	}}}, nil
 }
 
@@ -114,20 +118,73 @@ func TrainOnline(train *dataset.Dataset, dim int, passes int, cfg OnlineConfig, 
 	return model, all, nil
 }
 
+// AdaptScratch holds the encode and score buffers a streaming update loop
+// reuses across samples, keeping the hot path allocation-free (the same
+// zero-alloc discipline the binhd invoke path follows).
+type AdaptScratch struct {
+	e      []float32
+	scores []float32
+}
+
+// NewAdaptScratch sizes scratch buffers for this model's width and class
+// count.
+func (m *Model) NewAdaptScratch() *AdaptScratch {
+	return &AdaptScratch{
+		e:      make([]float32, m.Dim()),
+		scores: make([]float32, m.K()),
+	}
+}
+
 // Adapt applies one streaming update: the sample is encoded, classified,
 // and on a misprediction the class hypervectors are corrected with rate
 // lr. It returns the prediction made before the update. This is the
 // "frequent model update" primitive of the paper's IoT motivation.
+// Callers on a hot path should reuse scratch via AdaptWith; this wrapper
+// allocates fresh buffers per call.
 func (m *Model) Adapt(features []float32, label int, lr float32) (pred int, updated bool) {
+	return m.AdaptWith(m.NewAdaptScratch(), features, label, lr)
+}
+
+// AdaptWith is Adapt against caller-owned scratch: with one AdaptScratch
+// reused across samples the streaming path performs zero heap allocations.
+func (m *Model) AdaptWith(s *AdaptScratch, features []float32, label int, lr float32) (pred int, updated bool) {
 	if label < 0 || label >= m.K() {
 		panic(fmt.Sprintf("hdc: Adapt label %d out of range [0,%d)", label, m.K()))
 	}
-	e := make([]float32, m.Dim())
-	m.Encoder.Encode(e, features)
-	pred = m.ClassifyEncoded(e)
+	m.Encoder.Encode(s.e, features)
+	m.Scores(s.scores, s.e)
+	pred = tensor.ArgMax(s.scores)
 	if pred != label {
-		m.Bundle(label, lr, e)
-		m.Detach(pred, lr, e)
+		m.Bundle(label, lr, s.e)
+		m.Detach(pred, lr, s.e)
+		return pred, true
+	}
+	return pred, false
+}
+
+// AdaptOnline applies one confidence-weighted streaming update — the
+// FitOnline rule on a single sample: cosine-normalized similarities scale
+// the correction by (1 − δ), and a positive Margin also reinforces
+// correct-but-weak predictions. It reuses caller-owned scratch and returns
+// the prediction made before any update.
+func (m *Model) AdaptOnline(s *AdaptScratch, features []float32, label int, cfg OnlineConfig) (pred int, updated bool) {
+	if label < 0 || label >= m.K() {
+		panic(fmt.Sprintf("hdc: AdaptOnline label %d out of range [0,%d)", label, m.K()))
+	}
+	lr := cfg.LearningRate
+	if lr == 0 {
+		lr = 1
+	}
+	m.Encoder.Encode(s.e, features)
+	m.cosineScores(s.scores, s.e)
+	pred = tensor.ArgMax(s.scores)
+	if pred != label {
+		m.Bundle(label, lr*(1-s.scores[label]), s.e)
+		m.Detach(pred, lr*(1-s.scores[pred]), s.e)
+		return pred, true
+	}
+	if cfg.Margin > 0 && s.scores[label] < cfg.Margin {
+		m.Bundle(label, lr*(cfg.Margin-s.scores[label]), s.e)
 		return pred, true
 	}
 	return pred, false

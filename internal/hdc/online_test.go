@@ -92,6 +92,58 @@ func TestFitOnlineConfidenceWeighting(t *testing.T) {
 	}
 }
 
+// TestFitOnlineMarginAccuracyAccounting is the regression test for the
+// accounting bug where margin reinforcements of *correctly classified*
+// samples were counted as errors: with a margin high enough that every
+// correct sample triggers a reinforcement, the buggy accounting reported
+// TrainAccuracy near zero even when the model predicted everything right.
+func TestFitOnlineMarginAccuracyAccounting(t *testing.T) {
+	enc := NewEncoder(2, 64, true, rng.New(30))
+	m := NewModel(enc, 2)
+	r := rng.New(31)
+	proto := make([]float32, 64)
+	r.FillNormal(proto)
+	copy(m.Classes.Row(1), proto)
+	for j, v := range proto {
+		m.Classes.Row(0)[j] = -v
+	}
+	// Every sample is its class prototype plus independent noise: the
+	// prediction stays correct (δ against the right class is strongly
+	// positive, against the opposite strongly negative) but cosine
+	// similarity lands well below a 0.95 margin, so every sample fires a
+	// reinforcement update.
+	encT := tensor.New(tensor.Float32, 4, 64)
+	y := []int{1, 0, 1, 0}
+	noise := make([]float32, 64)
+	for i, label := range y {
+		src := proto
+		if label == 0 {
+			src = m.Classes.Row(0)
+		}
+		r.FillNormal(noise)
+		row := encT.Row(i)
+		for j := range row {
+			row[j] = src[j] + 0.5*noise[j]
+		}
+	}
+	stats, err := m.FitOnline(encT, y, OnlineConfig{LearningRate: 0.01, Margin: 0.95}, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := stats.Epochs[0]
+	if es.Mispredictions != 0 {
+		t.Fatalf("all-correct pass reported %d mispredictions", es.Mispredictions)
+	}
+	if es.Updates == 0 {
+		t.Fatal("margin reinforcement never fired; test premise broken")
+	}
+	// Pre-fix this was 1 - updates/s = 0 with every sample reinforcing.
+	if es.TrainAccuracy != 1 {
+		t.Fatalf("TrainAccuracy %.3f counts margin reinforcements as errors; want 1.0 (updates=%d)",
+			es.TrainAccuracy, es.Updates)
+	}
+}
+
 func TestAdaptStreamingImproves(t *testing.T) {
 	train, test := synthTrainTest(t, 24, 1500, 4, 602)
 	// Start with an untrained model and stream the training set through
@@ -123,6 +175,106 @@ func TestAdaptReturnsUpdatedFlag(t *testing.T) {
 	if pred2 != train.Y[0] && !updated2 {
 		t.Fatal("second adapt neither correct nor updated")
 	}
+}
+
+// TestAdaptWithMatchesAdapt pins that the scratch-reuse variant is the
+// same update rule: identical models streamed through Adapt and AdaptWith
+// must end bit-identical.
+func TestAdaptWithMatchesAdapt(t *testing.T) {
+	train, _ := synthTrainTest(t, 20, 600, 4, 604)
+	enc := NewEncoder(train.Features(), 512, true, rng.New(9))
+	a := NewModel(enc, train.Classes)
+	b := a.Clone()
+	scratch := b.NewAdaptScratch()
+	for i := 0; i < train.Samples(); i++ {
+		predA, updA := a.Adapt(train.X.Row(i), train.Y[i], 1)
+		predB, updB := b.AdaptWith(scratch, train.X.Row(i), train.Y[i], 1)
+		if predA != predB || updA != updB {
+			t.Fatalf("sample %d diverged: Adapt (%d,%v) vs AdaptWith (%d,%v)",
+				i, predA, updA, predB, updB)
+		}
+	}
+	for j, v := range a.Classes.F32 {
+		if b.Classes.F32[j] != v {
+			t.Fatalf("class matrices diverged at element %d", j)
+		}
+	}
+}
+
+// TestAdaptWithZeroAllocs enforces the binhd zero-alloc discipline on the
+// streaming hot path: with caller-owned scratch, AdaptWith and AdaptOnline
+// must not touch the heap.
+func TestAdaptWithZeroAllocs(t *testing.T) {
+	train, _ := synthTrainTest(t, 16, 200, 3, 605)
+	enc := NewEncoder(train.Features(), 256, true, rng.New(10))
+	m := NewModel(enc, train.Classes)
+	scratch := m.NewAdaptScratch()
+	i := 0
+	next := func() int { v := i; i = (i + 1) % train.Samples(); return v }
+	if n := testing.AllocsPerRun(200, func() {
+		s := next()
+		m.AdaptWith(scratch, train.X.Row(s), train.Y[s], 1)
+	}); n != 0 {
+		t.Fatalf("AdaptWith allocates %.1f objects per call; want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		s := next()
+		m.AdaptOnline(scratch, train.X.Row(s), train.Y[s], OnlineConfig{LearningRate: 1, Margin: 0.3})
+	}); n != 0 {
+		t.Fatalf("AdaptOnline allocates %.1f objects per call; want 0", n)
+	}
+}
+
+// TestAdaptOnlineConfidenceWeighting checks the streaming rule matches the
+// batch FitOnline semantics: mispredictions correct with (1 − δ) weights,
+// and the margin reinforces weakly-correct samples.
+func TestAdaptOnlineConfidenceWeighting(t *testing.T) {
+	train, test := synthTrainTest(t, 24, 1200, 4, 606)
+	enc := NewEncoder(train.Features(), 1024, true, rng.New(11))
+	m := NewModel(enc, train.Classes)
+	scratch := m.NewAdaptScratch()
+	updates := 0
+	for i := 0; i < train.Samples(); i++ {
+		if _, upd := m.AdaptOnline(scratch, train.X.Row(i), train.Y[i], OnlineConfig{LearningRate: 1}); upd {
+			updates++
+		}
+	}
+	if updates == 0 {
+		t.Fatal("streaming pass applied no updates")
+	}
+	m.Metric = CosineSimilarity
+	if acc := m.Accuracy(test); acc < 0.65 {
+		t.Fatalf("confidence-weighted streaming accuracy %.3f (chance 0.25)", acc)
+	}
+	// Margin path: a correctly-classified sample below the margin must
+	// still report updated=true and move the class matrix. Predict (which
+	// never updates) finds such a sample first; with Metric set to cosine
+	// above, it agrees with AdaptOnline's cosine classification.
+	for i := 0; i < train.Samples(); i++ {
+		if m.Predict(train.X.Row(i)) != train.Y[i] {
+			continue
+		}
+		before := append([]float32(nil), m.Classes.F32...)
+		pred, upd := m.AdaptOnline(scratch, train.X.Row(i), train.Y[i], OnlineConfig{LearningRate: 0.001, Margin: 0.9999})
+		if pred != train.Y[i] {
+			t.Fatalf("sample %d: Predict and AdaptOnline disagree", i)
+		}
+		if !upd {
+			t.Fatal("near-1 margin did not reinforce a correct sample")
+		}
+		changed := false
+		for j, v := range m.Classes.F32 {
+			if v != before[j] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			t.Fatal("reinforcement left the class matrix untouched")
+		}
+		return
+	}
+	t.Fatal("no correctly-classified sample found to probe the margin path")
 }
 
 func TestAdaptPanicsOnBadLabel(t *testing.T) {

@@ -16,15 +16,24 @@ import (
 // dimensions, zeroes those class entries, and returns how many dimensions
 // were regenerated. Callers then run a few refinement epochs so the fresh
 // dimensions pick up signal.
-func (m *Model) Regenerate(fraction float64, r *rng.RNG) int {
+//
+// With fewer than two classes the across-class variance is identically
+// zero for every dimension, so "weakest dimension" has no meaning; rather
+// than silently regenerating an arbitrary subset, that case is an error.
+// fraction*d truncates toward zero: a fraction below 1/d regenerates
+// nothing, and fraction 1 regenerates every dimension.
+func (m *Model) Regenerate(fraction float64, r *rng.RNG) (int, error) {
+	d := m.Dim()
+	k := m.K()
+	if k < 2 {
+		return 0, fmt.Errorf("hdc: regenerate needs at least 2 classes, got %d (across-class variance is identically zero)", k)
+	}
 	if fraction <= 0 {
-		return 0
+		return 0, nil
 	}
 	if fraction > 1 {
 		fraction = 1
 	}
-	d := m.Dim()
-	k := m.K()
 	// Variance of each dimension's entries across classes.
 	type dimVar struct {
 		idx int
@@ -44,6 +53,9 @@ func (m *Model) Regenerate(fraction float64, r *rng.RNG) int {
 	sort.Slice(vars, func(a, b int) bool { return vars[a].v < vars[b].v })
 
 	n := int(fraction * float64(d))
+	if n == 0 {
+		return 0, nil
+	}
 	base := m.Encoder.Base
 	nf := m.Encoder.Features()
 	for _, dv := range vars[:n] {
@@ -55,7 +67,7 @@ func (m *Model) Regenerate(fraction float64, r *rng.RNG) int {
 			m.Classes.Row(c)[j] = 0
 		}
 	}
-	return n
+	return n, nil
 }
 
 // RegenerateAndRefine regenerates the weakest dimensions and runs
@@ -65,7 +77,10 @@ func (m *Model) RegenerateAndRefine(x *tensor.Tensor, y []int, fraction float64,
 	if epochs < 1 {
 		return 0, nil, fmt.Errorf("hdc: refinement needs at least one epoch")
 	}
-	n := m.Regenerate(fraction, r)
+	n, err := m.Regenerate(fraction, r)
+	if err != nil {
+		return 0, nil, err
+	}
 	encoded := m.Encoder.EncodeBatch(x)
 	stats, err := m.FitEncoded(encoded, y, nil, nil, epochs, lr, r)
 	if err != nil {

@@ -45,11 +45,18 @@ func (c TrainConfig) withDefaults() TrainConfig {
 // EpochStats records one training epoch's outcome.
 type EpochStats struct {
 	Epoch int
-	// Updates is the number of misclassified samples, i.e. the number of
-	// bundling+detaching pairs applied. The co-design runtime model uses
-	// it to price the host-CPU update phase.
+	// Updates is the number of class-matrix updates applied. Under the
+	// perceptron rule every update is a misprediction's bundling+detaching
+	// pair; the online rule additionally counts margin reinforcements of
+	// correct predictions. The co-design runtime model uses it to price
+	// the host-CPU update phase.
 	Updates int
-	// TrainAccuracy is the online accuracy during the pass.
+	// Mispredictions is the number of samples the pre-update model got
+	// wrong during the pass. It never exceeds Updates; the two differ only
+	// when a margin reinforces already-correct samples.
+	Mispredictions int
+	// TrainAccuracy is the online accuracy during the pass:
+	// 1 − Mispredictions/samples.
 	TrainAccuracy float64
 	// ValidationAccuracy is measured after the pass when a validation
 	// set is supplied (NaN-free: zero when absent).
@@ -61,11 +68,20 @@ type TrainStats struct {
 	Epochs []EpochStats
 }
 
-// TotalUpdates sums misclassification updates across epochs.
+// TotalUpdates sums class-matrix updates across epochs.
 func (s *TrainStats) TotalUpdates() int {
 	total := 0
 	for _, e := range s.Epochs {
 		total += e.Updates
+	}
+	return total
+}
+
+// TotalMispredictions sums pre-update misses across epochs.
+func (s *TrainStats) TotalMispredictions() int {
+	total := 0
+	for _, e := range s.Epochs {
+		total += e.Mispredictions
 	}
 	return total
 }
@@ -157,9 +173,10 @@ func fitClassesHook(classes, enc *tensor.Tensor, y []int, epochs int, lr float32
 			}
 		}
 		es := EpochStats{
-			Epoch:         epoch,
-			Updates:       updates,
-			TrainAccuracy: 1 - float64(updates)/float64(s),
+			Epoch:          epoch,
+			Updates:        updates,
+			Mispredictions: updates, // perceptron rule: every update is a miss
+			TrainAccuracy:  1 - float64(updates)/float64(s),
 		}
 		if hook != nil {
 			hook(&es)

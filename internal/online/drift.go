@@ -1,0 +1,82 @@
+package online
+
+// driftDetector watches the stream of per-feedback correctness outcomes
+// for distribution shift, DDM-style but with two exponential moving
+// averages instead of windows: a fast EWMA tracking recent feedback
+// accuracy and a slow EWMA tracking the long-run baseline. Under a stable
+// distribution the two stay close; when the inputs shift, the fast
+// average falls first and the gap (slow − fast) grows. Crossing the
+// threshold signals drift; the caller then regenerates and calls reset so
+// one shift does not re-trigger on every subsequent sample.
+type driftDetector struct {
+	fastAlpha float64
+	slowAlpha float64
+	threshold float64
+	minObs    int
+	persist   int // consecutive over-threshold samples required to fire
+
+	n      int
+	fast   float64
+	slow   float64
+	breach int // current over-threshold run length
+}
+
+// newDriftDetector sizes the averages from a nominal window: the fast
+// EWMA has the classic 2/(w+1) smoothing of a w-sample window, the slow
+// one is 8× more sluggish so it holds the pre-shift baseline while the
+// fast one falls.
+func newDriftDetector(window int, threshold float64) *driftDetector {
+	fast := 2.0 / (float64(window) + 1)
+	persist := window / 4
+	if persist < 2 {
+		persist = 2
+	}
+	return &driftDetector{
+		fastAlpha: fast,
+		slowAlpha: fast / 8,
+		threshold: threshold,
+		minObs:    window,
+		persist:   persist,
+	}
+}
+
+// observe folds one feedback outcome into both averages and reports
+// whether the accuracy gap has now stayed over the drift threshold for
+// `persist` consecutive samples — a single misprediction spikes the fast
+// average by roughly its smoothing factor, so an instantaneous comparison
+// would fire on noise; a genuine shift holds the gap open. The first
+// observation seeds both averages so the detector needs no warm-up bias
+// correction; it stays silent until minObs samples have arrived.
+func (d *driftDetector) observe(correct bool) bool {
+	v := 0.0
+	if correct {
+		v = 1.0
+	}
+	if d.n == 0 {
+		d.fast, d.slow = v, v
+	} else {
+		d.fast += d.fastAlpha * (v - d.fast)
+		d.slow += d.slowAlpha * (v - d.slow)
+	}
+	d.n++
+	if d.n >= d.minObs && d.score() > d.threshold {
+		d.breach++
+	} else {
+		d.breach = 0
+	}
+	return d.breach >= d.persist
+}
+
+// score is the current accuracy gap: positive when recent feedback
+// accuracy has fallen below the long-run baseline.
+func (d *driftDetector) score() float64 {
+	return d.slow - d.fast
+}
+
+// reset re-anchors the fast average on the baseline after a recovery
+// action, so the detector arms against the *new* steady state rather than
+// immediately re-firing on the residue of the old shift.
+func (d *driftDetector) reset() {
+	d.fast = d.slow
+	d.breach = 0
+}

@@ -1,0 +1,157 @@
+package online
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SpecError is a structured rejection of an -online spec, naming the
+// offending field so CLI errors point at the exact key.
+type SpecError struct {
+	Field string
+	Msg   string
+}
+
+func (e *SpecError) Error() string {
+	if e.Field == "" {
+		return "online: bad spec: " + e.Msg
+	}
+	return "online: bad spec field " + strconv.Quote(e.Field) + ": " + e.Msg
+}
+
+// ParseSpec parses the -online flag grammar into a Config. The spec is
+// "on" (all defaults) or a comma-separated list of key=value settings:
+//
+//	lr=0.2        learning rate
+//	margin=0.1    reinforcement margin
+//	every=32      snapshot after this many applied updates
+//	window=64     drift-detector window
+//	threshold=0.2 drift trigger (accuracy-gap)
+//	regen=0.2     fraction of dimensions regenerated on drift
+//	epochs=2      refinement epochs after regeneration
+//	cooldown=128  min feedback samples between regenerations
+//	queue=256     feedback queue capacity
+//	buffer=512    replay-buffer capacity
+//	batch=1       compile batch of published snapshots
+//	seed=7        regeneration/refinement seed
+//	bin           also publish the bit-packed bipolar form
+//
+// Every accepted spec satisfies Config.Validate.
+func ParseSpec(spec string) (*Config, error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return nil, &SpecError{Msg: "empty spec"}
+	}
+	cfg := &Config{}
+	if s == "on" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, &SpecError{Msg: "empty setting"}
+		}
+		if part == "bin" {
+			cfg.Binarize = true
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return nil, &SpecError{Field: part, Msg: "want key=value"}
+		}
+		switch key {
+		case "lr":
+			f, ok := parsePositiveFloat(val)
+			if !ok {
+				return nil, &SpecError{Field: key, Msg: "want a positive number"}
+			}
+			cfg.LearningRate = float32(f)
+		case "margin":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f >= 1 {
+				return nil, &SpecError{Field: key, Msg: "want a value in [0, 1)"}
+			}
+			cfg.Margin = float32(f)
+		case "threshold":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f >= 1 {
+				return nil, &SpecError{Field: key, Msg: "want a value in (0, 1)"}
+			}
+			cfg.DriftThreshold = f
+		case "regen":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return nil, &SpecError{Field: key, Msg: "want a value in (0, 1]"}
+			}
+			cfg.RegenFraction = f
+		case "every":
+			n, ok := parsePositiveInt(val)
+			if !ok {
+				return nil, &SpecError{Field: key, Msg: "want a positive integer"}
+			}
+			cfg.SnapshotEvery = n
+		case "window":
+			n, ok := parsePositiveInt(val)
+			if !ok || n < 2 {
+				return nil, &SpecError{Field: key, Msg: "want an integer >= 2"}
+			}
+			cfg.DriftWindow = n
+		case "epochs":
+			n, ok := parsePositiveInt(val)
+			if !ok {
+				return nil, &SpecError{Field: key, Msg: "want a positive integer"}
+			}
+			cfg.RegenEpochs = n
+		case "cooldown":
+			n, ok := parsePositiveInt(val)
+			if !ok {
+				return nil, &SpecError{Field: key, Msg: "want a positive integer"}
+			}
+			cfg.RegenCooldown = n
+		case "queue":
+			n, ok := parsePositiveInt(val)
+			if !ok {
+				return nil, &SpecError{Field: key, Msg: "want a positive integer"}
+			}
+			cfg.Queue = n
+		case "buffer":
+			n, ok := parsePositiveInt(val)
+			if !ok {
+				return nil, &SpecError{Field: key, Msg: "want a positive integer"}
+			}
+			cfg.Buffer = n
+		case "batch":
+			n, ok := parsePositiveInt(val)
+			if !ok {
+				return nil, &SpecError{Field: key, Msg: "want a positive integer"}
+			}
+			cfg.Batch = n
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, &SpecError{Field: key, Msg: "want an unsigned integer"}
+			}
+			cfg.Seed = n
+		default:
+			return nil, &SpecError{Field: key, Msg: "unknown setting"}
+		}
+	}
+	// Cross-field sanity the per-key checks cannot see (e.g. a buffer
+	// smaller than the drift window).
+	if err := cfg.Validate(); err != nil {
+		return nil, &SpecError{Msg: err.Error()}
+	}
+	return cfg, nil
+}
+
+func parsePositiveFloat(val string) (float64, bool) {
+	f, err := strconv.ParseFloat(val, 64)
+	return f, err == nil && f > 0 && !math.IsInf(f, 0)
+}
+
+func parsePositiveInt(val string) (int, bool) {
+	n, err := strconv.Atoi(val)
+	return n, err == nil && n >= 1
+}

@@ -1,0 +1,80 @@
+package online
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestParseSpecTable(t *testing.T) {
+	good := []struct {
+		spec string
+		want Config
+	}{
+		{"on", Config{}},
+		{"lr=0.2", Config{LearningRate: 0.2}},
+		{"lr=0.5,margin=0.1,every=16,window=32,threshold=0.2,regen=0.3,epochs=3,cooldown=64,queue=128,buffer=256,batch=4,seed=7,bin", Config{
+			LearningRate: 0.5, Margin: 0.1, SnapshotEvery: 16, DriftWindow: 32,
+			DriftThreshold: 0.2, RegenFraction: 0.3, RegenEpochs: 3, RegenCooldown: 64,
+			Queue: 128, Buffer: 256, Batch: 4, Seed: 7, Binarize: true,
+		}},
+		{" lr = 1 , bin ", Config{LearningRate: 1, Binarize: true}},
+	}
+	for _, tc := range good {
+		got, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+		}
+		if !reflect.DeepEqual(*got, tc.want) {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", tc.spec, *got, tc.want)
+		}
+	}
+
+	bad := []string{
+		"", "  ", ",", "on,", "lr", "lr=", "=1", "lr=0", "lr=-1", "lr=x", "lr=Inf",
+		"margin=1", "margin=-0.1", "threshold=0", "threshold=1", "regen=0", "regen=1.5",
+		"every=0", "window=1", "epochs=0", "cooldown=0", "queue=0", "buffer=0",
+		"batch=0", "seed=-1", "zzz=1", "bin=1", "buffer=4,window=64", "lr=1,,bin",
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted a bad spec", spec)
+		} else {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseSpec(%q) error %T is not *SpecError", spec, err)
+			}
+		}
+	}
+}
+
+// FuzzParseOnlineFlags checks the -online spec parser never panics and
+// that every accepted spec yields a Config passing Validate — the
+// contract cmd/hdc-serve relies on before handing the config to the
+// trainer. Named for the CLI flag family it guards; make fuzz-smoke picks
+// it up automatically.
+func FuzzParseOnlineFlags(f *testing.F) {
+	for _, seed := range []string{
+		"on", "lr=0.2,margin=0.1,every=16", "window=32,threshold=0.2,regen=0.3",
+		"epochs=3,cooldown=64,queue=128,buffer=256,bin", "batch=4,seed=7",
+		"=", ",,", "lr=1e300", "window=2,buffer=2", "bin,bin",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseSpec(%q) error %T is not *SpecError", spec, err)
+			}
+			return
+		}
+		if cfg == nil {
+			t.Fatalf("ParseSpec(%q) returned nil config without error", spec)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted a config failing Validate: %v", spec, err)
+		}
+	})
+}

@@ -83,11 +83,34 @@ func (e *Entry) Golden() (*integrity.Golden, error) {
 	return e.golden, e.goldenErr
 }
 
-// Registry is the model catalog. All methods are safe for concurrent use.
-type Registry struct {
-	mu      sync.RWMutex
+// catalog is one immutable snapshot of the registry contents. Mutators
+// never modify a published catalog: they build a fresh one and publish it
+// with a single atomic pointer store (copy-on-write).
+type catalog struct {
 	entries map[string]*Entry
 	order   []string // registration order, stable across swaps
+}
+
+// clone returns a mutable copy sharing no structure with c.
+func (c *catalog) clone() *catalog {
+	n := &catalog{
+		entries: make(map[string]*Entry, len(c.entries)),
+		order:   append([]string(nil), c.order...),
+	}
+	for id, e := range c.entries {
+		n.entries[id] = e
+	}
+	return n
+}
+
+// Registry is the model catalog. All methods are safe for concurrent use.
+// Readers (Get, IDs, Len) are lock-free — they load the current immutable
+// catalog with one atomic pointer read — so a trainer hot-swapping models
+// through Swap never blocks the serving invoke path, and vice versa.
+// Mutators serialize on an internal mutex and publish copy-on-write.
+type Registry struct {
+	mu  sync.Mutex // serializes mutators; readers never take it
+	cat atomic.Pointer[catalog]
 
 	// seq is the global residency-event sequence shared by every
 	// DeviceMemory created from this registry, so events from different
@@ -97,7 +120,9 @@ type Registry struct {
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{entries: map[string]*Entry{}}
+	g := &Registry{}
+	g.cat.Store(&catalog{entries: map[string]*Entry{}})
+	return g
 }
 
 // build assembles an Entry from its parts, pricing footprint and setup
@@ -131,11 +156,14 @@ func (g *Registry) Register(id string, cm *edgetpu.CompiledModel, bip *hdc.Bipol
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, dup := g.entries[id]; dup {
+	cat := g.cat.Load()
+	if _, dup := cat.entries[id]; dup {
 		return nil, fmt.Errorf("registry: model %q already registered", id)
 	}
-	g.entries[id] = e
-	g.order = append(g.order, id)
+	next := cat.clone()
+	next.entries[id] = e
+	next.order = append(next.order, id)
+	g.cat.Store(next)
 	return e, nil
 }
 
@@ -146,7 +174,8 @@ func (g *Registry) Register(id string, cm *edgetpu.CompiledModel, bip *hdc.Bipol
 func (g *Registry) Swap(id string, cm *edgetpu.CompiledModel, bip *hdc.BipolarModel) (*Entry, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	old, ok := g.entries[id]
+	cat := g.cat.Load()
+	old, ok := cat.entries[id]
 	if !ok {
 		return nil, fmt.Errorf("registry: swap of unregistered model %q", id)
 	}
@@ -155,45 +184,62 @@ func (g *Registry) Swap(id string, cm *edgetpu.CompiledModel, bip *hdc.BipolarMo
 		return nil, err
 	}
 	e.Integrity = old.Integrity
-	g.entries[id] = e
+	next := cat.clone()
+	next.entries[id] = e
+	g.cat.Store(next)
 	return e, nil
 }
 
 // SetIntegrity attaches a per-model integrity policy to id (nil clears the
-// override, falling back to the server-level policy).
+// override, falling back to the server-level policy). Published entries
+// are immutable, so this installs a fresh Entry at the same Version with
+// the policy attached; the golden cache restarts cold (it recomputes from
+// the same compiled graph).
 func (g *Registry) SetIntegrity(id string, pol *integrity.Policy) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	e, ok := g.entries[id]
+	cat := g.cat.Load()
+	e, ok := cat.entries[id]
 	if !ok {
 		return fmt.Errorf("registry: unregistered model %q", id)
 	}
-	e.Integrity = pol
+	// Field-wise copy: Entry embeds a sync.Once, so it must not be copied
+	// by value.
+	n := &Entry{
+		ID:        e.ID,
+		Version:   e.Version,
+		Compiled:  e.Compiled,
+		Bipolar:   e.Bipolar,
+		Footprint: e.Footprint,
+		BlobBytes: e.BlobBytes,
+		Setup:     e.Setup,
+		Integrity: pol,
+	}
+	next := cat.clone()
+	next.entries[id] = n
+	g.cat.Store(next)
 	return nil
 }
 
-// Get returns the current entry for id.
+// Get returns the current entry for id. It is lock-free: one atomic load
+// of the published catalog, so the serving invoke path never contends
+// with a trainer publishing snapshots through Swap.
 func (g *Registry) Get(id string) (*Entry, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	e, ok := g.entries[id]
+	e, ok := g.cat.Load().entries[id]
 	return e, ok
 }
 
-// IDs returns the registered model IDs in registration order.
+// IDs returns the registered model IDs in registration order (lock-free).
 func (g *Registry) IDs() []string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]string, len(g.order))
-	copy(out, g.order)
+	order := g.cat.Load().order
+	out := make([]string, len(order))
+	copy(out, order)
 	return out
 }
 
-// Len returns the number of registered models.
+// Len returns the number of registered models (lock-free).
 func (g *Registry) Len() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.entries)
+	return len(g.cat.Load().entries)
 }
 
 // SortEvents orders a merged event slice by global sequence number, the

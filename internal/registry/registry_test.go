@@ -1,12 +1,16 @@
 package registry
 
 import (
+	"errors"
+	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"hdcedge/internal/dataset"
 	"hdcedge/internal/edgetpu"
 	"hdcedge/internal/hdc"
+	"hdcedge/internal/integrity"
 	"hdcedge/internal/metrics"
 	"hdcedge/internal/pipeline"
 )
@@ -251,5 +255,117 @@ func TestGoldenSharedAcrossCalls(t *testing.T) {
 	}
 	if g1 != g2 || g1 == nil {
 		t.Fatal("golden must be computed once and shared")
+	}
+}
+
+// TestSwapPublicationAtomicUnderReaders hammers Swap from a trainer-style
+// publisher while reader goroutines Get concurrently (the serving bind
+// path): every observed entry must be internally consistent — its
+// Compiled pointer one of the published models with the footprint, blob
+// size and setup priced from exactly that model — and versions must be
+// monotone per reader. Runs under -race via make online-smoke.
+func TestSwapPublicationAtomicUnderReaders(t *testing.T) {
+	const swaps = 200
+	g := New()
+	models := []*edgetpu.CompiledModel{
+		testModel(t, 256, 1), testModel(t, 256, 2), testModel(t, 256, 3),
+	}
+	type fp struct {
+		footprint, blob int
+	}
+	want := map[*edgetpu.CompiledModel]fp{}
+	for _, cm := range models {
+		want[cm] = fp{footprint: cm.MemoryMap().Used, blob: len(cm.Model.Marshal())}
+	}
+	if _, err := g.Register("m", models[0], nil); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	readerErr := make(chan error, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for {
+				e, ok := g.Get("m")
+				if !ok || e == nil {
+					readerErr <- errors.New("registered model vanished")
+					return
+				}
+				exp, known := want[e.Compiled]
+				if !known {
+					readerErr <- errors.New("entry holds an unpublished compiled model")
+					return
+				}
+				if e.Footprint != exp.footprint || e.BlobBytes != exp.blob {
+					readerErr <- fmt.Errorf("torn entry: footprint %d blob %d, want %d %d",
+						e.Footprint, e.BlobBytes, exp.footprint, exp.blob)
+					return
+				}
+				if e.Version < last {
+					readerErr <- fmt.Errorf("version went backwards: %d after %d", e.Version, last)
+					return
+				}
+				last = e.Version
+				if g.Len() != 1 || len(g.IDs()) != 1 {
+					readerErr <- errors.New("catalog shape changed under swaps")
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 1; i <= swaps; i++ {
+		e, err := g.Swap("m", models[i%len(models)], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Version != i+1 {
+			t.Fatalf("swap %d produced version %d", i, e.Version)
+		}
+	}
+	close(done)
+	wg.Wait()
+	close(readerErr)
+	for err := range readerErr {
+		t.Fatal(err)
+	}
+	if e, _ := g.Get("m"); e.Version != swaps+1 {
+		t.Fatalf("final version %d, want %d", e.Version, swaps+1)
+	}
+}
+
+// TestSetIntegrityPreservesPublishedEntries pins the copy-on-write
+// contract: attaching a policy must not mutate the entry a worker already
+// holds — it installs a fresh entry at the same version.
+func TestSetIntegrityPreservesPublishedEntries(t *testing.T) {
+	g := New()
+	if _, err := g.Register("a", testModel(t, 256, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := g.Get("a")
+	pol := &integrity.Policy{}
+	if err := g.SetIntegrity("a", pol); err != nil {
+		t.Fatal(err)
+	}
+	if before.Integrity != nil {
+		t.Fatal("SetIntegrity mutated a published entry in place")
+	}
+	after, _ := g.Get("a")
+	if after == before {
+		t.Fatal("SetIntegrity did not install a fresh entry")
+	}
+	if after.Integrity != pol || after.Version != before.Version || after.Compiled != before.Compiled {
+		t.Fatalf("replacement entry inconsistent: %+v", after)
+	}
+	if err := g.SetIntegrity("ghost", nil); err == nil {
+		t.Fatal("SetIntegrity on unknown model accepted")
 	}
 }

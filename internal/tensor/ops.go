@@ -125,22 +125,34 @@ func VecMat(dst []float32, x []float32, a *Tensor) {
 	// exactly one worker and accumulates its contributions in the same
 	// ascending-i order (with the same xv == 0 skips) as the serial loop,
 	// so the float results are bit-identical regardless of worker count.
+	// Small widths skip ParallelFor entirely — the chunk closure escapes
+	// to the heap, and streaming callers (hdc.AdaptWith) need this path
+	// allocation-free.
+	if parallelWorkers(k, 1024) <= 1 {
+		vecMatBlock(dst, x, a.F32, m, k, 0, k)
+		return
+	}
 	ParallelFor(k, 1024, func(j0, j1 int) {
-		out := dst[j0:j1]
-		for j := range out {
-			out[j] = 0
-		}
-		for i := 0; i < m; i++ {
-			xv := x[i]
-			if xv == 0 {
-				continue
-			}
-			row := a.F32[i*k+j0 : i*k+j1]
-			for j, v := range row {
-				out[j] += xv * v
-			}
-		}
+		vecMatBlock(dst, x, a.F32, m, k, j0, j1)
 	})
+}
+
+// vecMatBlock accumulates the [j0, j1) column block of dst = x · a.
+func vecMatBlock(dst, x, af []float32, m, k, j0, j1 int) {
+	out := dst[j0:j1]
+	for j := range out {
+		out[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		xv := x[i]
+		if xv == 0 {
+			continue
+		}
+		row := af[i*k+j0 : i*k+j1]
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
 }
 
 // Transpose returns the transpose of a 2-D tensor (float or int8).
@@ -187,11 +199,19 @@ func Tanh(t *Tensor) {
 // TanhSlice applies tanh in place on a raw slice. Elements are independent,
 // so the parallel chunks produce bit-identical results to a serial pass.
 func TanhSlice(xs []float32) {
+	if parallelWorkers(len(xs), 4096) <= 1 {
+		tanhBlock(xs, 0, len(xs))
+		return
+	}
 	ParallelFor(len(xs), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			xs[i] = float32(math.Tanh(float64(xs[i])))
-		}
+		tanhBlock(xs, lo, hi)
 	})
+}
+
+func tanhBlock(xs []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		xs[i] = float32(math.Tanh(float64(xs[i])))
+	}
 }
 
 // Axpy computes y += alpha * x over raw float slices of equal length.

@@ -39,3 +39,22 @@ func ParallelFor(n, minPerWorker int, fn func(lo, hi int)) {
 	}
 	wg.Wait()
 }
+
+// parallelWorkers reports how many workers ParallelFor would use for the
+// same (n, minPerWorker). Callers on allocation-sensitive hot paths use it
+// to take a direct serial path without constructing the chunk closure
+// (which escapes to the heap because ParallelFor may hand it to
+// goroutines).
+func parallelWorkers(n, minPerWorker int) int {
+	if n <= 0 {
+		return 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if minPerWorker < 1 {
+		minPerWorker = 1
+	}
+	if bound := n / minPerWorker; workers > bound {
+		workers = bound
+	}
+	return workers
+}
